@@ -1,0 +1,574 @@
+(* The experiment harness: regenerates every experiment of
+   EXPERIMENTS.md (the paper has no tables or figures — each experiment
+   is keyed to a theorem, lemma or example instead) and then runs the
+   bechamel timing micro-benchmarks.
+
+   Run with `dune exec bench/main.exe`; pass a subset of section names
+   (e.g. `E1 E11 timings`) to run only those. *)
+
+let section id title =
+  Printf.printf "\n== %s: %s ==\n%!" id title
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ E1 *)
+
+let e1 () =
+  section "E1" "Example 2.1 — P_k vs P'_k compute x >= 2^k";
+  row "%-4s %-12s %-12s %-14s %-14s\n" "k" "states(P_k)" "states(P'_k)" "eta(P_k)" "eta(P'_k)";
+  List.iter
+    (fun k ->
+      let eta_of p max_input =
+        match Eta_search.find p ~max_input with
+        | Eta_search.Eta e -> string_of_int e
+        | Eta_search.Always_accepts -> "<=2"
+        | r -> Format.asprintf "%a" Eta_search.pp_result r
+      in
+      let naive = Flock.naive k and succinct = Flock.succinct k in
+      let max_input = (1 lsl k) + 6 in
+      row "%-4d %-12d %-12d %-14s %-14s\n" k
+        (Population.num_states naive)
+        (Population.num_states succinct)
+        (eta_of naive max_input) (eta_of succinct max_input))
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ E2 *)
+
+let e2 () =
+  section "E2" "Theorem 2.2 — BB(n) ∈ Ω(2^n): states vs eta for the constructions";
+  row "%-8s %-14s %-14s %-10s\n" "eta" "unary-states" "binary-states" "log2(eta)";
+  List.iter
+    (fun eta ->
+      row "%-8d %-14d %-14d %-10.1f\n" eta
+        (State_complexity.states_unary eta)
+        (State_complexity.states_binary eta)
+        (Float.log2 (float_of_int eta)))
+    [ 2; 3; 4; 6; 8; 13; 16; 32; 64; 128; 1000; 65536; 1_000_000 ];
+  row "\nconstructive busy-beaver lower bound (succinct flock, exact-verified for small n):\n";
+  row "%-4s %-16s\n" "n" "BB(n) >=";
+  List.iter
+    (fun n -> row "%-4d %-16d\n" n (State_complexity.busy_beaver_lower n))
+    [ 3; 4; 5; 6; 8; 10; 16; 24 ]
+
+(* ------------------------------------------------------------------ E3 *)
+
+let e3 () =
+  section "E3" "Leader protocols — the leader-counter family (see DESIGN.md on [12]'s Ω(2^2^n))";
+  row "%-4s %-8s %-8s %-8s %-20s\n" "k" "states" "leaders" "eta" "verified";
+  List.iter
+    (fun k ->
+      let p = Leader_counter.protocol k in
+      let eta =
+        match Eta_search.find p ~max_input:((1 lsl k) + 4) with
+        | Eta_search.Eta e -> string_of_int e
+        | r -> Format.asprintf "%a" Eta_search.pp_result r
+      in
+      row "%-4d %-8d %-8d %-8d %-20s\n" k (Population.num_states p)
+        (Mset.size p.Population.leaders)
+        (1 lsl k) eta)
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ E4 *)
+
+let e4 () =
+  section "E4" "Lemma 3.2 — exact stable-set bases vs the beta bound";
+  row "%-22s %-4s %-10s %-10s %-10s %-10s %-18s\n" "protocol" "n" "|SC0|" "norm0"
+    "|SC1|" "norm1" "log2 beta(n)";
+  List.iter
+    (fun name ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        let n = Population.num_states p in
+        let a = Stable_sets.analyse p in
+        let beta_str =
+          let lg = Factorial_bounds.beta_log2 n in
+          if Bignat.bits lg <= 40 then Bignat.to_string lg
+          else Printf.sprintf "~2^%d" (Bignat.log2_floor lg)
+        in
+        row "%-22s %-4d %-10d %-10d %-10d %-10d %-18s\n" name n
+          (Downset.size a.Stable_sets.stable0)
+          (Downset.norm a.Stable_sets.stable0)
+          (Downset.size a.Stable_sets.stable1)
+          (Downset.norm a.Stable_sets.stable1)
+          beta_str)
+    [
+      "flock-succinct-1"; "flock-succinct-2"; "flock-succinct-3";
+      "threshold-binary-5"; "threshold-binary-11"; "threshold-unary-4";
+      "majority"; "mod-3-1"; "leader-counter-2";
+    ]
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5 () =
+  section "E5" "Corollary 5.7 — Pottier bases of potentially realisable multisets";
+  row "%-22s %-8s %-12s %-12s %-16s\n" "protocol" "|basis|" "max |pi|" "max input"
+    "xi/2 bound";
+  List.iter
+    (fun name ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        if Population.is_leaderless p then begin
+          let basis = Potential.basis p in
+          let max_size =
+            List.fold_left (fun acc pi -> Stdlib.max acc (Potential.size pi)) 0 basis
+          in
+          let max_input =
+            List.fold_left (fun acc pi -> Stdlib.max acc (Potential.min_input p pi)) 0 basis
+          in
+          let xi = Factorial_bounds.xi_of_protocol p in
+          let xi_str =
+            if Bignat.bits xi <= 40 then Bignat.to_string (Bignat.div xi Bignat.two)
+            else Printf.sprintf "~2^%d" (Bignat.log2_floor xi - 1)
+          in
+          row "%-22s %-8d %-12d %-12d %-16s  bounds hold: %b\n" name
+            (List.length basis) max_size max_input xi_str
+            (Potential.check_corollary_5_7 p basis)
+        end)
+    [
+      "flock-succinct-1"; "flock-succinct-2"; "flock-succinct-3";
+      "threshold-binary-3"; "threshold-binary-5"; "threshold-unary-3"; "mod-2-0";
+    ]
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6 () =
+  section "E6" "Lemma 5.4 — saturation witnesses: input 3^j reaches a 1-saturated configuration";
+  row "%-22s %-4s %-8s %-10s %-10s %-10s\n" "protocol" "n" "level j" "input 3^j"
+    "|sigma|" "3^n bound";
+  List.iter
+    (fun name ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        if Population.is_leaderless p then begin
+          match Saturation.find p with
+          | Error msg -> row "%-22s %s\n" name msg
+          | Ok w ->
+            let n = Population.num_states p in
+            row "%-22s %-4d %-8d %-10d %-10d %-10s  (replay ok: %b)\n" name n
+              w.Saturation.levels w.Saturation.input
+              (List.length w.Saturation.sigma)
+              (Bignat.to_string (Factorial_bounds.three_pow n))
+              (Saturation.check w)
+        end)
+    [
+      "flock-succinct-1"; "flock-succinct-2"; "flock-succinct-3";
+      "flock-succinct-4"; "threshold-binary-5"; "threshold-binary-11";
+      "threshold-unary-4"; "mod-3-1";
+    ]
+
+(* ------------------------------------------------------------------ E7 *)
+
+let e7 () =
+  section "E7" "Busy-beaver search over small protocol spaces (apparent values, cutoff 12)";
+  let print_result n r =
+    row "n=%d: %d protocols scanned, %d threshold, %d reject-all, apparent BB(%d) = %d\n"
+      n r.Busy_beaver.num_protocols r.Busy_beaver.num_threshold
+      r.Busy_beaver.num_reject_all n r.Busy_beaver.best_eta;
+    List.iter (fun (eta, c) -> row "   eta=%-3d  %d protocols\n" eta c)
+      r.Busy_beaver.histogram
+  in
+  print_result 1 (Busy_beaver.scan ~n:1 ());
+  print_result 2 (Busy_beaver.scan ~n:2 ());
+  row "n=3: exhaustive scan of %d protocols...\n%!"
+    (Busy_beaver.num_deterministic_protocols 3);
+  print_result 3 (Busy_beaver.scan ~n:3 ());
+  row "n=4: uniform sample of 30000 protocols...\n%!";
+  print_result 4 (Busy_beaver.scan ~n:4 ~sample:(30_000, 20260705) ())
+
+(* ------------------------------------------------------------------ E8 *)
+
+let e8 () =
+  section "E8" "Convergence under the uniform scheduler (parallel time, 10 runs each)";
+  row "%-22s %-8s %-12s %-12s %-12s\n" "protocol" "pop" "mean" "stddev" "median";
+  let rng = Splitmix64.create 20260705 in
+  List.iter
+    (fun (name, pops) ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        List.iter
+          (fun pop ->
+            let ts = Simulator.sample_parallel_times ~runs:10 ~rng p [| pop |] in
+            if ts = [] then row "%-22s %-8d (no convergence)\n" name pop
+            else
+              row "%-22s %-8d %-12.2f %-12.2f %-12.2f\n" name pop (Stats.mean ts)
+                (Stats.stddev ts) (Stats.median ts))
+          pops)
+    [
+      ("flock-succinct-4", [ 25; 50; 100; 200; 400 ]);
+      ("threshold-binary-13", [ 25; 50; 100; 200; 400 ]);
+      ("mod-3-1", [ 25; 50; 100; 200 ]);
+    ];
+  (* majority's passive-vs-passive drift makes large ties exponentially
+     slow under the random scheduler — measure small populations only *)
+  let maj = Majority.protocol () in
+  List.iter
+    (fun (a, b) ->
+      let ts =
+        Simulator.sample_parallel_times ~runs:5 ~max_steps:5_000_000 ~rng maj
+          [| a; b |]
+      in
+      if ts = [] then row "%-22s %d+%-5d (no convergence within budget)\n" "majority" a b
+      else
+        row "%-22s %d+%-5d %-12.2f %-12.2f %-12.2f\n" "majority" a b (Stats.mean ts)
+          (Stats.stddev ts) (Stats.median ts))
+    [ (15, 10); (30, 20); (60, 40) ]
+
+(* ------------------------------------------------------------------ E9 *)
+
+let e9 () =
+  section "E9" "Section 4 pumping — Dickson witnesses against exact thresholds";
+  row "%-22s %-10s %-6s %-6s %-8s\n" "protocol" "exact eta" "a" "b" "eta<=a";
+  List.iter
+    (fun (name, max_input) ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        let eta =
+          match Eta_search.find p ~max_input with
+          | Eta_search.Eta x -> Some x
+          | Eta_search.Always_accepts -> Some 2
+          | _ -> None
+        in
+        (match (eta, Pumping.find_witness p ~max_input) with
+         | Some eta, Ok w ->
+           row "%-22s %-10d %-6d %-6d %-8b (checked: %b)\n" name eta w.Pumping.a
+             w.Pumping.b (eta <= w.Pumping.a) (Pumping.check w)
+         | _, Error msg -> row "%-22s %s\n" name msg
+         | None, _ -> row "%-22s no exact eta below cutoff\n" name))
+    [
+      ("flock-succinct-1", 10); ("flock-succinct-2", 12);
+      ("threshold-binary-3", 10); ("threshold-binary-5", 12);
+      ("threshold-binary-6", 12); ("threshold-unary-3", 10);
+      ("leader-counter-1", 8);
+    ]
+
+(* ------------------------------------------------------------------ E10 *)
+
+let e10 () =
+  section "E10" "The paper's constants (Definitions 3, 6; Lemma 3.2; Theorems 4.5, 5.9)";
+  row "%-4s %-14s %-18s %-22s %-20s\n" "n" "3^n" "xi (det.)" "log2 beta = 2(2n+1)!+1"
+    "Theorem 5.9 bound";
+  List.iter
+    (fun n ->
+      let lg_beta = Factorial_bounds.beta_log2 n in
+      let simple = Factorial_bounds.theorem_5_9_simple n in
+      row "%-4d %-14s %-18s %-22s %-20s\n" n
+        (Bignat.to_string (Factorial_bounds.three_pow n))
+        (Bignat.to_string (Factorial_bounds.xi_deterministic ~num_states:n))
+        (if Bignat.bits lg_beta <= 40 then Bignat.to_string lg_beta
+         else Printf.sprintf "~2^%d" (Bignat.log2_floor lg_beta))
+        (Magnitude.to_string simple))
+    [ 2; 3; 4; 5; 6; 8 ];
+  row "\nFast Growing Hierarchy at tiny arguments (Theorem 4.5 lives at level F_omega):\n";
+  row "%-10s %-14s %-14s %-14s\n" "x" "F_1(x)" "F_2(x)" "F_omega(x)";
+  List.iter
+    (fun x ->
+      let s f = match f with Some v -> string_of_int v | None -> "overflow" in
+      row "%-10d %-14s %-14s %-14s\n" x (s (Fgh.f 1 x)) (s (Fgh.f 2 x)) (s (Fgh.f_omega x)))
+    [ 1; 2; 3; 4 ];
+  row "\nAckermann values / inverse (the leader lower-bound shape):\n";
+  List.iter
+    (fun m ->
+      match Fgh.ackermann m m with
+      | Some v -> row "A(%d,%d) = %d\n" m m v
+      | None -> row "A(%d,%d) : beyond machine integers\n" m m)
+    [ 0; 1; 2; 3; 4 ];
+  row "alpha(10^18) = %d\n" (Fgh.inverse_ackermann 1_000_000_000_000_000_000)
+
+(* ------------------------------------------------------------------ E11 *)
+
+let e11 () =
+  section "E11" "Lemma 5.2 certificates — machine-checked eta <= a on concrete protocols";
+  row "%-22s %-10s %-10s %-6s %-6s %-10s\n" "protocol" "exact eta" "cert. a" "m"
+    "b" "validates";
+  List.iter
+    (fun (name, max_input) ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        let eta =
+          match Eta_search.find p ~max_input with
+          | Eta_search.Eta x -> string_of_int x
+          | Eta_search.Always_accepts -> "<=2"
+          | _ -> "?"
+        in
+        (match Certificate.construct ~seed:7 p with
+         | Ok c ->
+           row "%-22s %-10s %-10d %-6d %-6d %-10b\n" name eta c.Certificate.a
+             c.Certificate.m c.Certificate.b (Certificate.check c)
+         | Error msg -> row "%-22s %-10s %s\n" name eta msg))
+    [
+      ("flock-succinct-1", 10); ("flock-succinct-2", 12); ("flock-succinct-3", 18);
+      ("threshold-binary-3", 10); ("threshold-binary-5", 12);
+      ("threshold-unary-3", 10);
+    ]
+
+(* ------------------------------------------------------------------ E12 *)
+
+let e12 () =
+  section "E12" "Controlled bad sequences (Lemma 4.4's engine, Figueira et al. [19])";
+  row "dim 1, exact: ";
+  List.iter
+    (fun d ->
+      match Bad_sequences.max_length_exact ~dim:1 ~delta:d ~budget:3_000_000 with
+      | Some l -> row "L(1,%d)=%d  " d l
+      | None -> row "L(1,%d)=?  " d)
+    [ 0; 1; 2; 3; 4; 5 ];
+  row "\ndim 2, exact: ";
+  List.iter
+    (fun d ->
+      match Bad_sequences.max_length_exact ~dim:2 ~delta:d ~budget:8_000_000 with
+      | Some l -> row "L(2,%d)=%d  " d l
+      | None -> row "L(2,%d)>=? (budget)  " d)
+    [ 0; 1; 2 ];
+  row "\nstaircase lower-bound witness (dim 2): ";
+  List.iter
+    (fun d ->
+      let l = List.length (Bad_sequences.descending_staircase ~delta:d ~max_len:2_000_000) in
+      row "delta=%d -> %d  " d l)
+    [ 2; 4; 6; 8; 10; 12; 14 ];
+  row "\ngreedy (dim 3, delta=1, capped 150): %d\n"
+    (List.length (Bad_sequences.greedy_sequence ~dim:3 ~delta:1 ~max_len:150))
+
+(* ------------------------------------------------------------------ E13 *)
+
+let e13 () =
+  section "E13" "Presburger fragment compiler (closure under boolean operations, [8])";
+  row "%-42s %-8s %-10s\n" "predicate" "states" "verified";
+  let grid1 = List.init 8 (fun i -> [| i + 2 |]) in
+  let grid2 =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a + b >= 2 then Some [| a; b |] else None)
+          (List.init 5 Fun.id))
+      (List.init 5 Fun.id)
+  in
+  List.iter
+    (fun (label, pred, inputs) ->
+      match Compile.compile pred with
+      | Error e -> row "%-42s %s\n" label e
+      | Ok p ->
+        (match
+           Fair_semantics.check_predicate ~max_configs:600_000 p pred ~inputs
+         with
+        | Fair_semantics.Ok_all n ->
+          row "%-42s %-8d on %d inputs\n" label (Population.num_states p) n
+        | Fair_semantics.Mismatch (v, _, _) ->
+          row "%-42s WRONG at %s\n" label
+            (String.concat "," (List.map string_of_int (Array.to_list v)))
+        | exception Configgraph.Too_many_configs _ ->
+          row "%-42s %-8d (state space too large to verify exhaustively)\n"
+            label (Population.num_states p)))
+    [
+      ("x >= 7", Predicate.threshold_single 7, grid1);
+      ("x ≡ 2 (mod 3)", Predicate.Modulo ([| 1 |], 2, 3), grid1);
+      ( "x >= 4 ∧ x ≡ 0 (mod 2)",
+        Predicate.And (Predicate.threshold_single 4, Predicate.Modulo ([| 1 |], 0, 2)),
+        List.init 6 (fun i -> [| i + 2 |]) );
+      ("x0 + 2·x1 >= 5", Predicate.Threshold ([| 1; 2 |], 5), grid2);
+      ("x0 > x1", Predicate.majority (), grid2);
+      ("x0 - x1 ≡ 0 (mod 2)", Predicate.Modulo ([| 1; -1 |], 0, 2), grid2);
+      ( "x0 > x1 ∧ x0 + x1 >= 4",
+        Predicate.And (Predicate.majority (), Predicate.Threshold ([| 1; 1 |], 4)),
+        grid2 );
+      ("¬(x0 + x1 >= 3)", Predicate.Not (Predicate.Threshold ([| 1; 1 |], 3)), grid2);
+    ]
+
+(* ------------------------------------------------------------------ E14 *)
+
+let e14 () =
+  section "E14" "Continuous-time (Gillespie SSA) vs discrete parallel time";
+  row "%-22s %-8s %-16s %-16s\n" "protocol" "pop" "SSA time (mean)" "discrete pt (mean)";
+  let rng = Splitmix64.create 7 in
+  List.iter
+    (fun (name, pops) ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        List.iter
+          (fun pop ->
+            let cont =
+              List.init 8 (fun _ -> Gillespie.run_input ~rng p [| pop |])
+              |> List.filter (fun r -> r.Gillespie.converged)
+              |> List.map (fun r -> r.Gillespie.last_change)
+            in
+            let disc = Simulator.sample_parallel_times ~runs:8 ~rng p [| pop |] in
+            row "%-22s %-8d %-16.2f %-16.2f\n" name pop
+              (if cont = [] then nan else Stats.mean cont)
+              (if disc = [] then nan else Stats.mean disc))
+          pops)
+    [ ("flock-succinct-4", [ 50; 100; 200 ]); ("threshold-binary-13", [ 50; 100; 200 ]) ]
+
+(* ------------------------------------------------------------------ E15 *)
+
+let e15 () =
+  section "E15" "Section 4.1's f(n): min input reaching All_1, maximised over protocols";
+  let print n r =
+    row
+      "n=%d: %d protocols, f(%d) = %d (apparent, cutoff 12); %d never reach All_1\n"
+      n r.Section_4_1.num_protocols n r.Section_4_1.max_f
+      r.Section_4_1.num_unreachable;
+    List.iter
+      (fun (i, c) -> row "   min accepting input %-3d %d protocols\n" i c)
+      r.Section_4_1.histogram
+  in
+  print 1 (Section_4_1.scan ~n:1 ());
+  print 2 (Section_4_1.scan ~n:2 ());
+  row "n=3: exhaustive...\n%!";
+  print 3 (Section_4_1.scan ~n:3 ());
+  row "(leaderless f stays tiny — consistent with f(n) ∈ 2^O(n) [10]; the\n\
+       non-elementary growth the paper cites needs leaders, out of enumeration reach)\n"
+
+(* ------------------------------------------------------------ ablations *)
+
+let ablations () =
+  section "ablations" "design-choice ablations (DESIGN.md §5)";
+
+  row "\nA. Contejean–Devie scalar-product criterion (Hilbert basis search):\n";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  List.iter
+    (fun name ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        let sys = Potential.system p in
+        let with_c, t_with =
+          time (fun () -> List.length (Hilbert_basis.solve_geq sys))
+        in
+        let without, t_without =
+          time (fun () ->
+              match
+                Hilbert_basis.solve_geq ~scalar_criterion:false
+                  ~max_candidates:400_000 sys
+              with
+              | basis -> Printf.sprintf "%d elements" (List.length basis)
+              | exception Failure _ -> "diverges (400k-candidate budget hit)")
+        in
+        row "  %-20s criterion on: %d elements %.3fs   off: %s %.3fs\n" name
+          with_c t_with without t_without)
+    [ "flock-succinct-1"; "flock-succinct-2" ];
+
+  row "\nB. Karatsuba multiplication threshold (Bignat):\n";
+  let big = Bignat.factorial 4000 in
+  let _, t_kara = time (fun () -> Bignat.mul big big) in
+  let _, t_school = time (fun () -> Bignat.mul_schoolbook big big) in
+  row "  4000! squared (%d bits): karatsuba %.4fs, schoolbook %.4fs (x%.1f)\n"
+    (Bignat.bits big) t_kara t_school (t_school /. t_kara);
+
+  row "\nC. Simulator quiet-window sensitivity (flock-succinct-4, pop 100):\n";
+  let rng = Splitmix64.create 99 in
+  List.iter
+    (fun window ->
+      let ts =
+        Simulator.sample_parallel_times ~runs:10 ~quiet_window:window ~rng
+          (Flock.succinct 4) [| 100 |]
+      in
+      row "  window %-6.0f convergence estimate: %s\n" window (Stats.summary ts))
+    [ 4.0; 16.0; 64.0; 256.0 ];
+
+  row "\nD. Certificate scale m (flock-succinct-2): larger m inflates the bound a:\n";
+  List.iter
+    (fun seed ->
+      match Certificate.construct ~seed (Flock.succinct 2) with
+      | Ok c ->
+        row "  seed %-3d m = %-3d a = %-4d (valid: %b)\n" seed c.Certificate.m
+          c.Certificate.a (Certificate.check c)
+      | Error e -> row "  seed %-3d %s\n" seed e)
+    [ 1; 7; 13 ]
+
+(* ------------------------------------------------------- timing benches *)
+
+let timings () =
+  section "timings" "bechamel micro-benchmarks";
+  let open Bechamel in
+  let sim_bench =
+    Test.make ~name:"simulate flock-succinct-4 pop=100"
+      (Staged.stage (fun () ->
+           let rng = Splitmix64.create 5 in
+           ignore (Simulator.run_input ~rng (Flock.succinct 4) [| 100 |])))
+  in
+  let eta_bench =
+    Test.make ~name:"exact eta of threshold-binary-6"
+      (Staged.stage (fun () -> ignore (Eta_search.find (Threshold.binary 6) ~max_input:10)))
+  in
+  let cover_bench =
+    Test.make ~name:"stable sets of threshold-binary-11"
+      (Staged.stage (fun () -> ignore (Stable_sets.analyse (Threshold.binary 11))))
+  in
+  let hilbert_bench =
+    Test.make ~name:"Pottier basis of flock-succinct-3"
+      (Staged.stage (fun () -> ignore (Potential.basis (Flock.succinct 3))))
+  in
+  let saturation_bench =
+    Test.make ~name:"saturation witness of flock-succinct-4"
+      (Staged.stage (fun () -> ignore (Saturation.find (Flock.succinct 4))))
+  in
+  let bignat_bench =
+    Test.make ~name:"bignat: 2000! and a 64-limb divmod"
+      (Staged.stage (fun () ->
+           let f = Bignat.factorial 2000 in
+           ignore (Bignat.divmod f (Bignat.pow (Bignat.of_int 997) 100))))
+  in
+  let tests =
+    [ sim_bench; eta_bench; cover_bench; hilbert_bench; saturation_bench; bignat_bench ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raws ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raws
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> row "%-45s %12.1f ns/run\n" name est
+          | _ -> row "%-45s (no estimate)\n" name)
+        results)
+    tests
+
+(* ----------------------------------------------------------------- main *)
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14); ("E15", e15);
+    ("ablations", ablations); ("timings", timings);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %s (have: %s)\n" name
+          (String.concat " " (List.map fst experiments)))
+    requested

@@ -1,0 +1,53 @@
+(* bbsearch: enumerate (or sample) small deterministic leaderless
+   protocols and report apparent busy-beaver values (Definition 1).
+
+     bbsearch --n 2
+     bbsearch --n 3 --sample 50000 --seed 9 *)
+
+let run n max_input sample seed print_best =
+  let sample = Option.map (fun count -> (count, seed)) sample in
+  let r =
+    try Busy_beaver.scan ?sample ~max_input ~n ()
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 1
+  in
+  Printf.printf
+    "scanned %d protocols with %d states (space: %d)\n"
+    r.Busy_beaver.num_protocols n
+    (Busy_beaver.num_deterministic_protocols n);
+  Printf.printf "threshold protocols: %d, reject-all: %d\n" r.Busy_beaver.num_threshold
+    r.Busy_beaver.num_reject_all;
+  Printf.printf "apparent BB(%d) = %d (inputs up to %d)\n" n r.Busy_beaver.best_eta
+    max_input;
+  List.iter
+    (fun (eta, count) -> Printf.printf "  eta=%-4d %d protocols\n" eta count)
+    r.Busy_beaver.histogram;
+  (match (print_best, r.Busy_beaver.best) with
+   | true, Some p ->
+     print_newline ();
+     print_string (Protocol_syntax.to_string p)
+   | _ -> ());
+  0
+
+open Cmdliner
+
+let n_arg = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of states (1-4).")
+
+let max_input_arg =
+  Arg.(value & opt int 12 & info [ "max-input" ] ~doc:"Threshold certification cutoff.")
+
+let sample_arg =
+  Arg.(value & opt (some int) None & info [ "sample" ]
+         ~doc:"Scan a uniform random sample instead of the full space.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sampling seed.")
+
+let best_arg =
+  Arg.(value & flag & info [ "print-best" ] ~doc:"Print the best protocol found.")
+
+let cmd =
+  Cmd.v (Cmd.info "bbsearch" ~doc:"Busy-beaver search over small protocols")
+    Term.(const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ best_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,32 @@
+(* ppbounds: print the paper's constants for a range of state counts.
+
+     ppbounds --max 8 *)
+
+let run max_n =
+  Printf.printf "%-4s %-14s %-18s %-24s %-24s\n" "n" "3^n" "xi (deterministic)"
+    "log2 beta = 2(2n+1)!+1" "Theorem 5.9: 2^((2n+2)!)";
+  for n = 1 to max_n do
+    let lg_beta = Factorial_bounds.beta_log2 n in
+    Printf.printf "%-4d %-14s %-18s %-24s %-24s\n" n
+      (Bignat.to_string (Factorial_bounds.three_pow n))
+      (Bignat.to_string (Factorial_bounds.xi_deterministic ~num_states:n))
+      (if Bignat.bits lg_beta <= 48 then Bignat.to_string lg_beta
+       else Printf.sprintf "~2^%d" (Bignat.log2_floor lg_beta))
+      (Magnitude.to_string (Factorial_bounds.theorem_5_9_simple n))
+  done;
+  Printf.printf "\nRackoff-style covering-length bounds (log2), weight 2:\n";
+  for n = 1 to max_n do
+    let lg = Rackoff.log2_bound ~dim:n ~weight:2 in
+    Printf.printf "  dim %d: log2 length <= %s\n" n (Bignat.to_string lg)
+  done;
+  0
+
+open Cmdliner
+
+let max_arg = Arg.(value & opt int 8 & info [ "max" ] ~doc:"Largest state count.")
+
+let cmd =
+  Cmd.v (Cmd.info "ppbounds" ~doc:"Print the paper's explicit constants")
+    Term.(const run $ max_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,79 @@
+(* ppcompile: compile a Presburger formula into a population protocol.
+
+     ppcompile "x0 + 2*x1 >= 5"
+     ppcompile "x0 - x1 >= 1 && x0 + x1 >= 4" -o conj.pp --verify 5 *)
+
+let run formula out verify =
+  match Predicate_parser.parse formula with
+  | Error e ->
+    Printf.eprintf "parse error: %s\n" e;
+    1
+  | Ok pred ->
+    (match Compile.compile pred with
+     | Error e ->
+       Printf.eprintf "compile error: %s\n" e;
+       1
+     | Ok p ->
+       Format.printf "%a@.compiled to %d states, %d transitions@." Predicate.pp
+         pred (Population.num_states p)
+         (Population.num_transitions p);
+       (match out with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Protocol_syntax.to_string p));
+          Format.printf "wrote %s@." path
+        | None -> print_string (Protocol_syntax.to_string p));
+       (match verify with
+        | None -> 0
+        | Some max ->
+          let arity = Array.length p.Population.input_vars in
+          let rec grids k =
+            if k = 0 then [ [] ]
+            else
+              List.concat_map
+                (fun rest -> List.init (max + 1) (fun v -> v :: rest))
+                (grids (k - 1))
+          in
+          let inputs =
+            List.filter_map
+              (fun l ->
+                let v = Array.of_list l in
+                if Array.fold_left ( + ) 0 v >= 2 then Some v else None)
+              (grids arity)
+          in
+          (match
+             Fair_semantics.check_predicate ~max_configs:400_000 p pred ~inputs
+           with
+          | Fair_semantics.Ok_all n ->
+            Format.printf "verified exactly on %d inputs (coordinates <= %d)@." n max;
+            0
+          | Fair_semantics.Mismatch (v, verdict, expected) ->
+            Format.printf "MISMATCH at %s: %a (expected %b)@."
+              (String.concat "," (List.map string_of_int (Array.to_list v)))
+              Fair_semantics.pp_verdict verdict expected;
+            1
+          | exception Configgraph.Too_many_configs _ ->
+            Format.printf "state space too large to verify at this bound@.";
+            1)))
+
+open Cmdliner
+
+let formula_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA"
+         ~doc:"e.g. \"x0 + 2*x1 >= 5 && !(x0 == 0 mod 2)\"")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the protocol file here instead of stdout.")
+
+let verify_arg =
+  Arg.(value & opt (some int) None & info [ "verify" ] ~docv:"MAX"
+         ~doc:"Exactly verify the compiled protocol on all inputs with \
+               coordinates up to MAX.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ppcompile" ~doc:"Compile Presburger formulas to population protocols")
+    Term.(const run $ formula_arg $ out_arg $ verify_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,102 @@
+(* ppsim: simulate a population protocol under the uniform random
+   scheduler.
+
+     ppsim --protocol flock-succinct-3 --input 20 --runs 5 --seed 7
+     ppsim --file my_protocol.pp --input 10,3 *)
+
+let load ~name ~file =
+  match (name, file) with
+  | Some n, None ->
+    (match Catalog.build n with
+     | Some e -> Ok (e.Catalog.build ())
+     | None ->
+       Error (Printf.sprintf "unknown protocol %S (expected: %s)" n Catalog.names_help))
+  | None, Some f -> Protocol_syntax.parse_file f
+  | _ -> Error "exactly one of --protocol and --file is required"
+
+let parse_input p s =
+  let parts = String.split_on_char ',' s in
+  match List.map int_of_string_opt parts with
+  | ints when List.for_all Option.is_some ints ->
+    let v = Array.of_list (List.map Option.get ints) in
+    if Array.length v = Array.length p.Population.input_vars then Ok v
+    else
+      Error
+        (Printf.sprintf "protocol expects %d input variables"
+           (Array.length p.Population.input_vars))
+  | _ -> Error "inputs must be comma-separated integers"
+
+let run name file input runs seed max_steps quiet verbose =
+  match load ~name ~file with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok p ->
+    (match parse_input p input with
+     | Error e ->
+       prerr_endline e;
+       1
+     | Ok v ->
+       if verbose then Format.printf "%a@." Population.pp p;
+       let rng = Splitmix64.create seed in
+       let population = Mset.size (Population.initial_config p v) in
+       let results =
+         List.init runs (fun _ ->
+             Simulator.run ~max_steps ~quiet_window:quiet ~rng p
+               (Population.initial_config p v))
+       in
+       List.iteri
+         (fun i r ->
+           Format.printf "run %d: output=%s steps=%d parallel-time=%.2f %s@." i
+             (match r.Simulator.output with
+              | Some b -> string_of_int (Bool.to_int b)
+              | None -> "undefined")
+             r.Simulator.steps
+             (Simulator.parallel_time r ~population)
+             (if r.Simulator.converged then "" else "(step budget exhausted)"))
+         results;
+       let times =
+         List.filter_map
+           (fun r ->
+             if r.Simulator.converged then
+               Some (Simulator.parallel_time r ~population)
+             else None)
+           results
+       in
+       Format.printf "parallel time: %s@." (Stats.summary times);
+       0)
+
+open Cmdliner
+
+let name_arg =
+  Arg.(value & opt (some string) None & info [ "p"; "protocol" ] ~docv:"NAME"
+         ~doc:("Catalog protocol name: " ^ Catalog.names_help))
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:"Protocol description file (see Protocol_syntax).")
+
+let input_arg =
+  Arg.(value & opt string "10" & info [ "i"; "input" ] ~docv:"INTS"
+         ~doc:"Comma-separated input counts, one per input variable.")
+
+let runs_arg = Arg.(value & opt int 3 & info [ "r"; "runs" ] ~doc:"Independent runs.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let steps_arg =
+  Arg.(value & opt int 50_000_000 & info [ "max-steps" ] ~doc:"Interaction budget.")
+
+let quiet_arg =
+  Arg.(value & opt float 64.0 & info [ "quiet-window" ]
+         ~doc:"Parallel time without an output change before declaring convergence.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the protocol.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ppsim" ~doc:"Simulate a population protocol")
+    Term.(
+      const run $ name_arg $ file_arg $ input_arg $ runs_arg $ seed_arg
+      $ steps_arg $ quiet_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/chemical_reactions.ml: Array Downset Fair_semantics Format List Population Simulator Splitmix64 Stable_sets Stats

@@ -1,0 +1,1 @@
+examples/chemical_reactions.mli:

@@ -1,0 +1,1 @@
+examples/dickson_pumping.ml: Array Bad_sequences Dickson Flock Format List Mset Population Printf Pumping Stable_sets String

@@ -1,0 +1,1 @@
+examples/dickson_pumping.mli:

@@ -1,0 +1,1 @@
+examples/flock_of_birds.ml: Array Bool Eta_search Fair_semantics Flock Format List Population Predicate Simulator Splitmix64 State_complexity Stats

@@ -1,0 +1,1 @@
+examples/flock_of_birds.mli:

@@ -1,0 +1,1 @@
+examples/presburger_compiler.ml: Array Compile Configgraph Fair_semantics Format Fun List Option Population Predicate String Threshold

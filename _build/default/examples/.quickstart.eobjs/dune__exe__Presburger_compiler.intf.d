@@ -1,0 +1,1 @@
+examples/presburger_compiler.mli:

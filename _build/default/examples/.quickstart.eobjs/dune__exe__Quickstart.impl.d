@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fair_semantics Format List Majority Population Predicate Protocol_syntax Simulator Splitmix64

@@ -1,0 +1,1 @@
+examples/state_complexity_audit.ml: Bignat Certificate Downset Eta_search Factorial_bounds Format List Magnitude Mset Population Potential Pumping Saturation Stable_sets State_complexity Threshold

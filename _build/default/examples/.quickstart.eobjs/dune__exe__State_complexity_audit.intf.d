@@ -1,0 +1,1 @@
+examples/state_complexity_audit.mli:

@@ -1,0 +1,61 @@
+(* Quickstart: define a protocol from scratch, simulate it, and verify
+   it exactly.
+
+   The protocol is the 4-state majority protocol from the library's
+   catalog, then a hand-rolled "at least one B?" detector built directly
+   against the Population API.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Take a protocol from the catalog and look at it. *)
+  let majority = Majority.protocol () in
+  Format.printf "%a@." Population.pp majority;
+
+  (* 2. Simulate it: 60 agents vote A, 40 vote B. *)
+  let rng = Splitmix64.create 2024 in
+  let result = Simulator.run_input ~rng majority [| 60; 40 |] in
+  Format.printf "simulation of 60 A vs 40 B: output=%s after %.1f parallel time@."
+    (match result.Simulator.output with
+     | Some true -> "A wins"
+     | Some false -> "B wins"
+     | None -> "undecided")
+    (Simulator.parallel_time result ~population:100);
+
+  (* 3. Verify it exactly on small inputs: every fair execution of a
+     correct protocol stabilises to the majority answer. *)
+  List.iter
+    (fun (a, b) ->
+      Format.printf "exact verdict for %d A vs %d B: %a@." a b
+        Fair_semantics.pp_verdict
+        (Fair_semantics.decide majority [| a; b |]))
+    [ (3, 2); (2, 3); (2, 2) ];
+
+  (* 4. Build a protocol of your own: "is there at least one B?".
+     One state per answer; a B converts everyone it meets. *)
+  let detector =
+    Population.complete
+      (Population.make ~name:"exists-b"
+         ~states:[| "a"; "b" |]
+         ~transitions:[ (0, 1, 1, 1) ] (* a,b -> b,b *)
+         ~inputs:[ ("A", 0); ("B", 1) ]
+         ~output:[| false; true |]
+         ())
+  in
+  (* It computes x_B >= 1: *)
+  (match
+     Fair_semantics.check_predicate detector
+       (Predicate.Threshold ([| 0; 1 |], 1))
+       ~inputs:[ [| 5; 0 |]; [| 4; 1 |]; [| 0; 2 |]; [| 9; 3 |] ]
+   with
+  | Fair_semantics.Ok_all n -> Format.printf "exists-b verified on %d inputs@." n
+  | Fair_semantics.Mismatch (v, verdict, expected) ->
+    Format.printf "exists-b WRONG at %d,%d: %a (expected %b)@." v.(0) v.(1)
+      Fair_semantics.pp_verdict verdict expected);
+
+  (* 5. Protocols can be saved and reloaded in a plain-text format. *)
+  let text = Protocol_syntax.to_string detector in
+  print_string text;
+  match Protocol_syntax.parse_string text with
+  | Ok _ -> print_endline "round-trip: ok"
+  | Error e -> print_endline ("round-trip failed: " ^ e)

@@ -1,0 +1,1 @@
+lib/bigarith/bigint.ml: Bignat Format Option

@@ -1,0 +1,1 @@
+lib/bigarith/bigint.mli: Bignat Format

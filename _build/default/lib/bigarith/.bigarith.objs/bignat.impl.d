@@ -1,0 +1,1 @@
+lib/bigarith/bignat.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bigarith/bignat.mli: Format

@@ -1,0 +1,1 @@
+lib/bigarith/magnitude.ml: Bignat Format Printf

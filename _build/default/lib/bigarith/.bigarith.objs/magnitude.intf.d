@@ -1,0 +1,1 @@
+lib/bigarith/magnitude.mli: Bignat Format

@@ -1,0 +1,1 @@
+lib/bounds/factorial_bounds.ml: Bignat Magnitude Population Stdlib

@@ -1,0 +1,1 @@
+lib/bounds/factorial_bounds.mli: Bignat Magnitude Population

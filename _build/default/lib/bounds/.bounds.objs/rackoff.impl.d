@@ -1,0 +1,1 @@
+lib/bounds/rackoff.ml: Bignat Factorial_bounds Magnitude

@@ -1,0 +1,1 @@
+lib/bounds/rackoff.mli: Bignat Magnitude

@@ -1,0 +1,36 @@
+let beta_log2 n =
+  if n < 0 then invalid_arg "Factorial_bounds.beta_log2: n >= 0";
+  Bignat.succ (Bignat.mul_int (Bignat.factorial ((2 * n) + 1)) 2)
+
+let beta n = Magnitude.exp2_bignat (beta_log2 n)
+let theta n = Magnitude.exp2_bignat (Bignat.factorial ((2 * n) + 2))
+
+let xi ~num_states ~num_transitions =
+  if num_states < 0 || num_transitions < 0 then
+    invalid_arg "Factorial_bounds.xi: negative argument";
+  Bignat.mul_int
+    (Bignat.pow (Bignat.of_int ((2 * num_transitions) + 1)) num_states)
+    2
+
+let xi_deterministic ~num_states =
+  Bignat.mul_int (Bignat.pow (Bignat.of_int (num_states + 2)) num_states) 2
+
+let xi_of_protocol p =
+  xi ~num_states:(Population.num_states p)
+    ~num_transitions:(Population.num_transitions p)
+
+let three_pow n = Bignat.pow (Bignat.of_int 3) n
+
+let theorem_5_9 ~num_states ~num_transitions =
+  let n = num_states in
+  let xi = xi ~num_states ~num_transitions in
+  (* ξ·n·3^n is an ordinary bignat; fold it into β's exponent as an
+     exact product with the power of two. *)
+  let small = Bignat.mul xi (Bignat.mul_int (three_pow n) (Stdlib.max n 1)) in
+  Magnitude.mul_upper (Magnitude.of_bignat small) (beta n)
+
+let theorem_5_9_simple n = Magnitude.exp2_bignat (Bignat.factorial ((2 * n) + 2))
+
+let max_transitions n =
+  let pairs = n * (n + 1) / 2 in
+  pairs * pairs

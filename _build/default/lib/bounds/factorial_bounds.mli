@@ -1,0 +1,39 @@
+(** The paper's explicit constants, as exact big numbers or magnitudes.
+
+    For a protocol with [n] states and [|T|] transitions:
+    - the small-basis constant [β = 2^(2(2n+1)!+1)] (Definition 3),
+    - the basis-size bound [ϑ(n) = 2^((2n+2)!)] (Lemma 3.2),
+    - the Pottier constant [ξ = 2(2|T|+1)^|Q|] (Definition 6), and
+    - Theorem 5.9's leaderless busy-beaver bound
+      [BB(n) <= ξ·n·β·3^n <= 2^((2n+2)!)]. *)
+
+val beta : int -> Magnitude.t
+(** [beta n] is [2^(2(2n+1)! + 1)]. *)
+
+val beta_log2 : int -> Bignat.t
+(** [2(2n+1)! + 1], the exact base-2 logarithm of [beta n]. *)
+
+val theta : int -> Magnitude.t
+(** [theta n] is [2^((2n+2)!)], Lemma 3.2's bound on the number of
+    basis elements. *)
+
+val xi : num_states:int -> num_transitions:int -> Bignat.t
+(** Definition 6: [2(2|T|+1)^|Q|]. *)
+
+val xi_deterministic : num_states:int -> Bignat.t
+(** Remark 1: [2(|Q|+2)^|Q|] suffices for deterministic protocols. *)
+
+val xi_of_protocol : Population.t -> Bignat.t
+
+val three_pow : int -> Bignat.t
+(** [3^n], the saturation input bound of Lemma 5.4. *)
+
+val theorem_5_9 : num_states:int -> num_transitions:int -> Magnitude.t
+(** The explicit bound [ξ·n·β·3^n] on [eta] for a leaderless protocol. *)
+
+val theorem_5_9_simple : int -> Magnitude.t
+(** The simplified bound [2^((2n+2)!)]. *)
+
+val max_transitions : int -> int
+(** The number of unordered state pairs squared — an upper bound
+    [|T| <= (n(n+1)/2)^2] used when only [n] is known. *)

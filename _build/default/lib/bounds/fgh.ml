@@ -1,0 +1,50 @@
+let overflow_guard = max_int / 2
+
+let rec f k x =
+  if k < 0 || x < 0 then invalid_arg "Fgh.f: negative argument";
+  (* Closed forms for the first two levels: iterating F_0 to evaluate
+     F_1(x) would cost x steps, making overflow detection at higher
+     levels exponentially slow. *)
+  if k = 0 then if x >= overflow_guard then None else Some (x + 1)
+  else if k = 1 then if x >= overflow_guard / 2 then None else Some ((2 * x) + 1)
+  else begin
+    (* F_{k+1}(x) = F_k applied x+1 times to x *)
+    let rec iterate times acc =
+      if times = 0 then Some acc
+      else
+        match f (k - 1) acc with
+        | None -> None
+        | Some acc' -> if acc' > overflow_guard then None else iterate (times - 1) acc'
+    in
+    iterate (x + 1) x
+  end
+
+let f_omega x = f x x
+
+let ackermann m n =
+  if m < 0 || n < 0 then invalid_arg "Fgh.ackermann: negative argument";
+  (* Iterative evaluation with an explicit stack of pending outer
+     arguments (A(m,n) = A(m-1, A(m, n-1))), so that the evaluation
+     budget is hit long before any memory pressure. *)
+  let exception Overflow in
+  let fuel = ref 5_000_000 in
+  let rec loop stack n =
+    decr fuel;
+    if !fuel <= 0 || n >= overflow_guard then raise Overflow;
+    match stack with
+    | [] -> n
+    | 0 :: rest -> loop rest (n + 1)
+    | m :: rest ->
+      if n = 0 then loop ((m - 1) :: rest) 1
+      else loop (m :: (m - 1) :: rest) (n - 1)
+  in
+  match loop [ m ] n with v -> Some v | exception Overflow -> None
+
+let inverse_ackermann n =
+  let rec go m =
+    match ackermann m m with
+    | Some v when v >= n -> m
+    | Some _ -> go (m + 1)
+    | None -> m (* A(m,m) overflowed, so it certainly exceeds n *)
+  in
+  go 0

@@ -1,0 +1,25 @@
+(** The Fast Growing Hierarchy (used in Lemma 4.4 / Theorem 4.5) and the
+    Ackermann function, evaluated exactly where machine integers allow.
+
+    [F_0(x) = x + 1], [F_{k+1}(x) = F_k^{x+1}(x)], and
+    [F_ω(x) = F_x(x)]. Level [F_ω] — "roughly, the Ackermann function"
+    in the paper's words — is where the busy-beaver bound for protocols
+    with leaders lives. Evaluation overflows almost immediately, which
+    is the point: the results double as a demonstration of how fast the
+    Theorem 4.5 bound grows. *)
+
+val f : int -> int -> int option
+(** [f k x] is [F_k(x)], or [None] on machine-integer overflow. *)
+
+val f_omega : int -> int option
+(** [F_ω(x) = F_x(x)]. *)
+
+val ackermann : int -> int -> int option
+(** The two-argument Ackermann–Péter function; [None] when the value
+    overflows a machine integer or the evaluation budget runs out
+    (in which case the value is astronomically large anyway). *)
+
+val inverse_ackermann : int -> int
+(** [inverse_ackermann n]: the least [m] with [A(m, m) >= n] — the
+    shape of the paper's state-complexity lower bound for protocols
+    with leaders (Section 6). At most 4 for any representable [n]. *)

@@ -1,0 +1,18 @@
+let log2_bound ~dim ~weight =
+  if dim < 0 || weight < 1 then invalid_arg "Rackoff.log2_bound: bad arguments";
+  (* lg ℓ(i+1) <= (i+1)·(1 + lg W + lg ℓ(i)) + 1, taking lg W rounded up. *)
+  let lg_w = Bignat.of_int (if weight = 1 then 0 else Bignat.bits (Bignat.of_int (weight - 1))) in
+  let rec go i acc =
+    if i >= dim then acc
+    else begin
+      let step =
+        Bignat.succ
+          (Bignat.mul_int (Bignat.add (Bignat.succ lg_w) acc) (i + 1))
+      in
+      go (i + 1) step
+    end
+  in
+  go 0 Bignat.zero
+
+let magnitude ~dim ~weight = Magnitude.exp2_bignat (log2_bound ~dim ~weight)
+let paper_beta n = Factorial_bounds.beta n

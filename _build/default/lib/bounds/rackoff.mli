@@ -1,0 +1,23 @@
+(** Rackoff-style length bounds for covering sequences [26].
+
+    Lemma 3.2's proof truncates stable configurations at [2β] because a
+    covering sequence of length at most [β] exists whenever any covering
+    sequence does. This module computes (the base-2 logarithm of) the
+    classic Rackoff recurrence
+
+    [ℓ(0) = 1],  [ℓ(i+1) = (2·W·ℓ(i))^(i+1) + ℓ(i)],
+
+    where [i] counts unbounded coordinates and [W] bounds transition
+    effects and the target norm; [ℓ(dim)] bounds the length of some
+    covering sequence. The paper replaces this protocol-specific bound
+    by the uniform [β] of Definition 3. *)
+
+val log2_bound : dim:int -> weight:int -> Bignat.t
+(** An upper bound on [log2 (ℓ(dim))] for effect/target weight
+    [weight >= 1]. *)
+
+val magnitude : dim:int -> weight:int -> Magnitude.t
+(** [2^(log2_bound …)], comparable against [Factorial_bounds.beta]. *)
+
+val paper_beta : int -> Magnitude.t
+(** The uniform bound the paper uses instead: [β] of Definition 3. *)

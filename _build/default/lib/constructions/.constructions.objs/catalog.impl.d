@@ -1,0 +1,1 @@
+lib/constructions/catalog.ml: Flock Leader_counter Majority Modulo_protocol Option Population Predicate Printf String Threshold

@@ -1,0 +1,1 @@
+lib/constructions/catalog.mli: Population Predicate

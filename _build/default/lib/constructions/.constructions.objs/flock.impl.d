@@ -1,0 +1,1 @@
+lib/constructions/flock.ml: Array Population Printf Threshold

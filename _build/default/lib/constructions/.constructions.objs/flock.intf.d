@@ -1,0 +1,1 @@
+lib/constructions/flock.mli: Population

@@ -1,0 +1,1 @@
+lib/constructions/leader_counter.ml: Array List Population Printf

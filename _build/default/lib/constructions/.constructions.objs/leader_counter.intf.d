@@ -1,0 +1,1 @@
+lib/constructions/leader_counter.mli: Population

@@ -1,0 +1,1 @@
+lib/constructions/majority.ml: Population

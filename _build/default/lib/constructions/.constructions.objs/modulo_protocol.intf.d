@@ -1,0 +1,1 @@
+lib/constructions/modulo_protocol.mli: Population

@@ -1,0 +1,1 @@
+lib/constructions/threshold.ml: Array Hashtbl List Population Printf

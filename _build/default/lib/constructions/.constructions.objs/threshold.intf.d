@@ -1,0 +1,1 @@
+lib/constructions/threshold.mli: Population

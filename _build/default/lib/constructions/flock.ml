@@ -1,0 +1,32 @@
+let naive k =
+  if k < 0 then invalid_arg "Flock.naive: k >= 0 required";
+  Population.rename (Threshold.unary (1 lsl k)) (Printf.sprintf "flock-naive-%d" k)
+
+let succinct k =
+  if k < 0 then invalid_arg "Flock.succinct: k >= 0 required";
+  if k = 0 then
+    Population.rename (Threshold.binary 1) "flock-succinct-0"
+  else begin
+    (* States: value 0 and the powers 2^0 .. 2^k. *)
+    let states =
+      Array.init (k + 2) (fun i ->
+          if i = 0 then "v0" else Printf.sprintf "v%d" (1 lsl (i - 1)))
+    in
+    (* state i>0 carries value 2^(i-1); state 0 carries 0 *)
+    let top = k + 1 in
+    let transitions = ref [] in
+    for i = 1 to k do
+      (* 2^(i-1), 2^(i-1) -> 0, 2^i *)
+      transitions := (i, i, 0, i + 1) :: !transitions
+    done;
+    for i = 0 to k + 1 do
+      transitions := (i, top, top, top) :: !transitions
+    done;
+    let output = Array.init (k + 2) (fun i -> i = top) in
+    Population.make
+      ~name:(Printf.sprintf "flock-succinct-%d" k)
+      ~states ~transitions:!transitions
+      ~inputs:[ ("x", 1) ]
+      ~output ()
+    |> Population.complete
+  end

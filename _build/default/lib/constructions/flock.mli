@@ -1,0 +1,14 @@
+(** The two protocols of Example 2.1, computing [x >= 2^k].
+
+    [P_k] ({!naive}) has [2^k + 1] states; [P'_k] ({!succinct}) has
+    [k + 2] states (the values [0, 2^0, …, 2^k] — the paper counts
+    [k + 1] by leaving the idle value [0] implicit). Together they
+    witness the exponential succinctness gap the paper's busy-beaver
+    question is about. *)
+
+val naive : int -> Population.t
+(** [naive k] is [P_k] for [k >= 0]. *)
+
+val succinct : int -> Population.t
+(** [succinct k] is [P'_k] for [k >= 0]: transitions
+    [2^i, 2^i ↦ 0, 2^(i+1)] and [a, 2^k ↦ 2^k, 2^k]. *)

@@ -1,0 +1,41 @@
+let protocol k =
+  if k < 1 then invalid_arg "Leader_counter.protocol: k >= 1 required";
+  (* Agent states. A token is a pending increment of weight 2^0; carry_i a
+     pending increment of weight 2^i. *)
+  let token = 0 in
+  let used = 1 in
+  let flag = 2 in
+  let carry i = if i = 0 then token else 2 + i (* carry_1 .. carry_(k-1) *) in
+  let num_agent_states = 2 + k (* token, used, F, carry_1..carry_(k-1) *) in
+  let bit i b = num_agent_states + (2 * i) + b in
+  let num_states = num_agent_states + (2 * k) in
+  let states =
+    Array.init num_states (fun s ->
+        if s = token then "token"
+        else if s = used then "used"
+        else if s = flag then "F"
+        else if s < num_agent_states then Printf.sprintf "carry%d" (s - 2)
+        else begin
+          let r = s - num_agent_states in
+          Printf.sprintf "bit%d_%d" (r / 2) (r mod 2)
+        end)
+  in
+  let transitions = ref [] in
+  for i = 0 to k - 1 do
+    (* a weight-2^i increment meets bit i: 0 -> 1 absorbs it; 1 -> 0 turns
+       it into a weight-2^(i+1) increment (or the flag if it overflows). *)
+    transitions := (carry i, bit i 0, used, bit i 1) :: !transitions;
+    let promoted = if i = k - 1 then flag else carry (i + 1) in
+    transitions := (carry i, bit i 1, promoted, bit i 0) :: !transitions
+  done;
+  for s = 0 to num_states - 1 do
+    if s <> flag then transitions := (flag, s, flag, flag) :: !transitions
+  done;
+  let output = Array.init num_states (fun s -> s = flag) in
+  let leaders = List.init k (fun i -> (bit i 0, 1)) in
+  Population.make
+    ~name:(Printf.sprintf "leader-counter-%d" k)
+    ~states ~transitions:!transitions ~leaders
+    ~inputs:[ ("x", token) ]
+    ~output ()
+  |> Population.complete

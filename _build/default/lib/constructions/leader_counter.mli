@@ -1,0 +1,16 @@
+(** A protocol {e with leaders} computing [x >= 2^k]: the population's
+    tokens increment a [k]-bit binary counter distributed over [k]
+    one-bit leader agents; a carry out of the top bit certifies
+    [x >= 2^k] and an accepting flag floods the population.
+
+    This exercises the leader machinery of the model (Section 2.2, the
+    multiset [L]) with [3k + 2] states and [k] leaders. It sits between
+    the unary and binary leaderless constructions in succinctness; the
+    doubly-exponential leader family behind Theorem 2.2's
+    [BB_L(n) ∈ Ω(2^(2^n))] (Blondin et al. [12]) is out of scope — see
+    DESIGN.md. *)
+
+val protocol : int -> Population.t
+(** [protocol k] for [k >= 1].  States: agent states [token] ([= x]),
+    [used], [carry1 .. carry(k-1)], flag [F]; leader states [bit_i_0],
+    [bit_i_1] for [i < k], with one leader starting in each [bit_i_0]. *)

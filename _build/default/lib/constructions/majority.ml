@@ -1,0 +1,15 @@
+let protocol () =
+  let states = [| "A"; "B"; "a"; "b" |] in
+  let transitions =
+    [
+      (0, 1, 2, 3); (* A,B -> a,b : cancellation *)
+      (0, 3, 0, 2); (* A,b -> A,a : active A converts *)
+      (1, 2, 1, 3); (* B,a -> B,b : active B converts *)
+      (2, 3, 3, 3); (* a,b -> b,b : b wins among passives (ties -> 0) *)
+    ]
+  in
+  Population.make ~name:"majority" ~states ~transitions
+    ~inputs:[ ("A", 0); ("B", 1) ]
+    ~output:[| true; false; true; false |]
+    ()
+  |> Population.complete

@@ -1,0 +1,11 @@
+(** The classic 4-state majority protocol, deciding [x_A > x_B]
+    (ties rejected).
+
+    Majority is the paper's opening example of a Presburger predicate
+    decidable by population protocols (Section 1). States: active
+    [A]/[B] and passive [a]/[b]; actives cancel pairwise, surviving
+    actives convert passives, and passive [b] wins over passive [a] so
+    that ties stabilise to output 0. *)
+
+val protocol : unit -> Population.t
+(** Input variables [A] then [B]; output 1 on states [A] and [a]. *)

@@ -1,0 +1,30 @@
+let protocol ~m ~r =
+  if m < 1 then invalid_arg "Modulo.protocol: m >= 1 required";
+  if r < 0 || r >= m then invalid_arg "Modulo.protocol: 0 <= r < m required";
+  (* States 0..m-1: active accumulator holding a residue.
+     States m (passive-no) and m+1 (passive-yes): copies of the verdict. *)
+  let passive_no = m and passive_yes = m + 1 in
+  let states =
+    Array.init (m + 2) (fun i ->
+        if i < m then Printf.sprintf "acc%d" i
+        else if i = passive_no then "no"
+        else "yes")
+  in
+  let verdict v = if v = r then passive_yes else passive_no in
+  let transitions = ref [] in
+  for u = 0 to m - 1 do
+    for v = u to m - 1 do
+      let s = (u + v) mod m in
+      transitions := (u, v, s, verdict s) :: !transitions
+    done;
+    (* the accumulator re-stamps passives with its current verdict *)
+    transitions := (u, passive_no, u, verdict u) :: !transitions;
+    transitions := (u, passive_yes, u, verdict u) :: !transitions
+  done;
+  let output = Array.init (m + 2) (fun i -> i = passive_yes || i = r) in
+  Population.make
+    ~name:(Printf.sprintf "mod-%d-%d" m r)
+    ~states ~transitions:!transitions
+    ~inputs:[ ("x", 1 mod m) ]
+    ~output ()
+  |> Population.complete

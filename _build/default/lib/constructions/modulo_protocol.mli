@@ -1,0 +1,9 @@
+(** Modulo protocols: deciding [x ≡ r (mod m)].
+
+    Together with thresholds, modulo predicates generate (under boolean
+    combinations) everything population protocols can compute [8].
+    One agent accumulates the sum of all values modulo [m]; the others
+    turn passive and copy the accumulator's verdict. [m + 2] states. *)
+
+val protocol : m:int -> r:int -> Population.t
+(** @raise Invalid_argument unless [m >= 1] and [0 <= r < m]. *)

@@ -1,0 +1,115 @@
+let trivial_accepting name =
+  Population.make ~name ~states:[| "yes" |]
+    ~transitions:[ (0, 0, 0, 0) ]
+    ~inputs:[ ("x", 0) ]
+    ~output:[| true |] ()
+
+let unary eta =
+  if eta < 1 then invalid_arg "Threshold.unary: eta >= 1 required";
+  if eta = 1 then trivial_accepting "threshold-unary-1"
+  else begin
+    (* States are the values 0..eta; two agents pool their values onto one
+       of them, capping at eta; value eta is accepting and absorbing. *)
+    let states = Array.init (eta + 1) (fun v -> Printf.sprintf "v%d" v) in
+    let transitions = ref [] in
+    for a = 0 to eta do
+      for b = a to eta do
+        let s = a + b in
+        if s >= eta then begin
+          if not (a = eta && b = eta) then
+            transitions := (a, b, eta, eta) :: !transitions
+        end
+        else if s <> b || a <> 0 then transitions := (a, b, 0, s) :: !transitions
+      done
+    done;
+    let output = Array.init (eta + 1) (fun v -> v = eta) in
+    Population.make
+      ~name:(Printf.sprintf "threshold-unary-%d" eta)
+      ~states ~transitions:!transitions
+      ~inputs:[ ("x", 1) ]
+      ~output ()
+    |> Population.complete
+  end
+
+(* Set bits of [eta], most significant first. *)
+let set_bits eta =
+  let rec go i acc =
+    if i > 62 then acc
+    else go (i + 1) (if eta land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 0 []
+
+(* The value set of [binary eta]: 0, all powers of two up to the top bit
+   of eta, and the proper prefix sums of eta's binary expansion with at
+   least two terms (the "collectors"). The accepting flag T is appended
+   separately by the caller. *)
+let value_set eta =
+  let bits = set_bits eta in
+  let top = match bits with b :: _ -> b | [] -> assert false in
+  let powers = List.init (top + 1) (fun i -> 1 lsl i) in
+  let prefixes =
+    match bits with
+    | [] -> []
+    | b1 :: rest ->
+      let _, acc =
+        List.fold_left
+          (fun (sum, acc) b ->
+            let sum = sum + (1 lsl b) in
+            (sum, if sum < eta then sum :: acc else acc))
+          (1 lsl b1, [])
+          rest
+      in
+      List.rev acc
+  in
+  let collectors = List.filter (fun v -> not (List.mem v powers)) prefixes in
+  (0 :: powers) @ collectors
+
+let binary_num_states eta =
+  if eta < 1 then invalid_arg "Threshold.binary_num_states: eta >= 1 required";
+  if eta = 1 then 1
+  else List.length (value_set eta) + 1
+
+let binary eta =
+  if eta < 1 then invalid_arg "Threshold.binary: eta >= 1 required";
+  if eta = 1 then trivial_accepting "threshold-binary-1"
+  else begin
+    let values = value_set eta in
+    let num_values = List.length values in
+    let value_of_state = Array.of_list values in
+    let t_state = num_values in
+    let index_of_value = Hashtbl.create 16 in
+    Array.iteri (fun i v -> Hashtbl.add index_of_value v i) value_of_state;
+    let states =
+      Array.init (num_values + 1) (fun i ->
+          if i = t_state then "T"
+          else begin
+            let v = value_of_state.(i) in
+            let is_power = v land (v - 1) = 0 in
+            if is_power then Printf.sprintf "v%d" v else Printf.sprintf "c%d" v
+          end)
+    in
+    let zero_state = Hashtbl.find index_of_value 0 in
+    let transitions = ref [] in
+    for i = 0 to num_values - 1 do
+      for j = i to num_values - 1 do
+        let s = value_of_state.(i) + value_of_state.(j) in
+        if s >= eta then transitions := (i, j, t_state, t_state) :: !transitions
+        else begin
+          match Hashtbl.find_opt index_of_value s with
+          | Some k when s > 0 && i <> zero_state && j <> zero_state ->
+            transitions := (i, j, k, zero_state) :: !transitions
+          | _ -> ()
+        end
+      done
+    done;
+    for i = 0 to num_values - 1 do
+      transitions := (i, t_state, t_state, t_state) :: !transitions
+    done;
+    let output = Array.init (num_values + 1) (fun i -> i = t_state) in
+    Population.make
+      ~name:(Printf.sprintf "threshold-binary-%d" eta)
+      ~states ~transitions:!transitions
+      ~inputs:[ ("x", Hashtbl.find index_of_value 1) ]
+      ~output ()
+    |> Population.complete
+  end

@@ -1,0 +1,26 @@
+(** Busy-beaver protocols: leaderless protocols computing the counting
+    predicate [x >= eta] (Section 2.3).
+
+    Two constructions:
+    - {!unary}: the protocol [P_k] of Example 2.1 generalised to
+      arbitrary thresholds — [eta + 1] states; agents sum their values,
+      capping at [eta].
+    - {!binary}: a succinct protocol in the spirit of [P'_k] and of
+      Blondin et al. [12], working for {e arbitrary} [eta] with
+      [O(log eta)] states. Agents hold either [0], a power of two
+      [<= 2^(floor(log2 eta))], a strict prefix sum of [eta]'s binary
+      expansion ("collector"), or the absorbing accepting flag [T].
+      Two agents combine when their sum is such a value, and switch to
+      [T] when their combined value already witnesses [x >= eta]. *)
+
+val unary : int -> Population.t
+(** [unary eta] for [eta >= 1]: [eta + 1] states.  [unary 1] is the
+    trivial always-accepting one-state protocol. *)
+
+val binary : int -> Population.t
+(** [binary eta] for [eta >= 1]: [O(log eta)] states.
+    States are labelled with the value they carry ([v0], [v1], [v2],
+    [v4], …, collectors [cNNN], and [T]). *)
+
+val binary_num_states : int -> int
+(** Number of states of [binary eta] without building it. *)

@@ -1,0 +1,1 @@
+lib/core/busy_beaver.ml: Array Configgraph Eta_search Fun Hashtbl List Option Population Printf Splitmix64 Stdlib

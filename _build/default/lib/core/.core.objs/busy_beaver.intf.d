@@ -1,0 +1,1 @@
+lib/core/busy_beaver.mli: Population

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Downset Format Fun Intvec List Mset Omega_vec Population Potential Saturation Splitmix64 Stable_sets Stdlib

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Format Mset Omega_vec Population Saturation

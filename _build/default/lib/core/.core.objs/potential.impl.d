@@ -1,0 +1,1 @@
+lib/core/potential.ml: Array Bignat Diophantine Factorial_bounds Fun Hilbert_basis Intvec List Mset Population Stdlib

@@ -1,0 +1,1 @@
+lib/core/pumping.ml: Array Configgraph Downset Format Intvec List Mset Omega_vec Population Potential Stable_sets

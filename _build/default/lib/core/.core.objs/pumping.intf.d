@@ -1,0 +1,1 @@
+lib/core/pumping.mli: Format Mset Omega_vec Population Stable_sets

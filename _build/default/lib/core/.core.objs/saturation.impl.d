@@ -1,0 +1,1 @@
+lib/core/saturation.ml: Array Fun List Mset Population String

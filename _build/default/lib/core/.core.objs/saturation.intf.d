@@ -1,0 +1,1 @@
+lib/core/saturation.mli: Mset Population

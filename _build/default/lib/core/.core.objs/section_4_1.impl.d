@@ -1,0 +1,1 @@
+lib/core/section_4_1.ml: Array Busy_beaver Configgraph Fair_semantics Fun Hashtbl List Option Population Stdlib

@@ -1,0 +1,1 @@
+lib/core/section_4_1.mli: Population

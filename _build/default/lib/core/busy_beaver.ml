@@ -1,0 +1,130 @@
+type scan_result = {
+  num_protocols : int;
+  num_threshold : int;
+  num_reject_all : int;
+  best_eta : int;
+  best : Population.t option;
+  histogram : (int * int) list;
+}
+
+let pairs n =
+  List.concat_map
+    (fun i -> List.map (fun j -> (i, j)) (List.init (n - i) (fun k -> i + k)))
+    (List.init n Fun.id)
+  |> Array.of_list
+
+let num_deterministic_protocols n =
+  let p = n * (n + 1) / 2 in
+  let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
+  pow p p 1 * (1 lsl n)
+
+(* Decode a protocol from (transition assignment index, output bitmap). *)
+let protocol_of_code n ~pair_list ~assignment ~output_bits =
+  let np = Array.length pair_list in
+  let transitions = ref [] in
+  let code = ref assignment in
+  for i = 0 to np - 1 do
+    let target = !code mod np in
+    code := !code / np;
+    let p, q = pair_list.(i) in
+    let p', q' = pair_list.(target) in
+    transitions := (p, q, p', q') :: !transitions
+  done;
+  let output = Array.init n (fun s -> output_bits land (1 lsl s) <> 0) in
+  Population.make
+    ~name:(Printf.sprintf "bb-%d-%d-%d" n assignment output_bits)
+    ~states:(Array.init n (fun i -> Printf.sprintf "q%d" i))
+    ~transitions:!transitions
+    ~inputs:[ ("x", 0) ]
+    ~output ()
+
+let iter_protocols ?sample ~n f =
+  if n < 1 || n > 4 then invalid_arg "Busy_beaver.iter_protocols: 1 <= n <= 4";
+  let pair_list = pairs n in
+  let np = Array.length pair_list in
+  let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
+  let num_assignments = pow np np 1 in
+  let num_outputs = 1 lsl n in
+  match sample with
+  | None ->
+    for assignment = 0 to num_assignments - 1 do
+      for output_bits = 0 to num_outputs - 1 do
+        f (protocol_of_code n ~pair_list ~assignment ~output_bits)
+      done
+    done
+  | Some (count, seed) ->
+    let rng = Splitmix64.create seed in
+    for _ = 1 to count do
+      f
+        (protocol_of_code n ~pair_list
+           ~assignment:(Splitmix64.int_below rng num_assignments)
+           ~output_bits:(Splitmix64.int_below rng num_outputs))
+    done
+
+let scan ?(max_input = 12) ?(max_configs = 60_000) ?sample ~n () =
+  if n < 1 || n > 4 then invalid_arg "Busy_beaver.scan: 1 <= n <= 4";
+  let pair_list = pairs n in
+  let np = Array.length pair_list in
+  let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
+  let num_assignments = pow np np 1 in
+  let num_outputs = 1 lsl n in
+  let num_threshold = ref 0 in
+  let num_reject_all = ref 0 in
+  let best_eta = ref 0 in
+  let best = ref None in
+  let histogram = Hashtbl.create 16 in
+  let scanned = ref 0 in
+  let examine assignment output_bits =
+    incr scanned;
+    (* all-reject and all-accept output maps short-circuit *)
+    if output_bits = 0 then incr num_reject_all
+    else begin
+      let p = protocol_of_code n ~pair_list ~assignment ~output_bits in
+      match Eta_search.find ~max_configs p ~max_input with
+      | Eta_search.Eta eta ->
+        incr num_threshold;
+        Hashtbl.replace histogram eta
+          (1 + Option.value (Hashtbl.find_opt histogram eta) ~default:0);
+        if eta > !best_eta then begin
+          best_eta := eta;
+          best := Some p
+        end
+      | Eta_search.Always_accepts ->
+        (* computes x >= i for every valid i up to the smallest input:
+           record as threshold 2 (all populations have >= 2 agents) *)
+        incr num_threshold;
+        Hashtbl.replace histogram 2
+          (1 + Option.value (Hashtbl.find_opt histogram 2) ~default:0);
+        if !best_eta < 2 then begin
+          best_eta := 2;
+          best := Some p
+        end
+      | Eta_search.Always_rejects -> incr num_reject_all
+      | Eta_search.Not_threshold _ -> ()
+      | exception Configgraph.Too_many_configs _ -> ()
+    end
+  in
+  (match sample with
+   | None ->
+     for assignment = 0 to num_assignments - 1 do
+       for output_bits = 0 to num_outputs - 1 do
+         examine assignment output_bits
+       done
+     done
+   | Some (count, seed) ->
+     let rng = Splitmix64.create seed in
+     for _ = 1 to count do
+       examine
+         (Splitmix64.int_below rng num_assignments)
+         (Splitmix64.int_below rng num_outputs)
+     done);
+  {
+    num_protocols = !scanned;
+    num_threshold = !num_threshold;
+    num_reject_all = !num_reject_all;
+    best_eta = !best_eta;
+    best = !best;
+    histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
+      |> List.sort Stdlib.compare;
+  }

@@ -1,0 +1,43 @@
+(** Empirical busy-beaver search (Definition 1 / Section 4.1): enumerate
+    small protocols and measure the largest threshold any of them
+    computes.
+
+    The search enumerates deterministic, complete, leaderless protocols
+    with [n] states and input state 0, decides each input up to a
+    cutoff with the exact semantics, and keeps the protocols whose
+    verdicts form a threshold pattern [0*1*]. Thresholds beyond the
+    cutoff cannot be certified (Section 4.1 explains why this is
+    fundamentally hard — it is VAS-reachability territory), so results
+    are reported as {e apparent} busy-beaver values. *)
+
+type scan_result = {
+  num_protocols : int;       (** protocols enumerated (or sampled) *)
+  num_threshold : int;       (** with a certified threshold pattern up to the cutoff *)
+  num_reject_all : int;      (** reject every checked input (threshold may exceed cutoff) *)
+  best_eta : int;            (** largest threshold seen *)
+  best : Population.t option;
+  histogram : (int * int) list;  (** threshold value -> number of protocols *)
+}
+
+val scan :
+  ?max_input:int ->
+  ?max_configs:int ->
+  ?sample:int * int ->
+  n:int ->
+  unit ->
+  scan_result
+(** [scan ~n ()] enumerates all [P^P · 2^n] protocols, where
+    [P = n(n+1)/2] (transition assignments times output maps). With
+    [~sample:(count, seed)] a uniform random sample is scanned instead —
+    required in practice for [n >= 4]. Defaults: [max_input = 12],
+    [max_configs = 60_000]. *)
+
+val num_deterministic_protocols : int -> int
+(** [P^P · 2^n] (may overflow for [n >= 5]; the busy beaver of
+    enumeration itself). *)
+
+val iter_protocols :
+  ?sample:int * int -> n:int -> (Population.t -> unit) -> unit
+(** Enumerate (or uniformly sample) the same deterministic complete
+    leaderless protocol space that {!scan} searches, calling the
+    function on each protocol. Used by {!Section_4_1}. *)

@@ -1,0 +1,27 @@
+let states_unary eta =
+  if eta < 1 then invalid_arg "State_complexity.states_unary: eta >= 1";
+  if eta = 1 then 1 else eta + 1
+
+let states_binary eta = Threshold.binary_num_states eta
+
+let state_upper_bound eta = Stdlib.min (states_unary eta) (states_binary eta)
+
+let busy_beaver_lower n =
+  if n < 1 then invalid_arg "State_complexity.busy_beaver_lower: n >= 1";
+  (* x >= 2 is the trivially-true predicate over populations. *)
+  if n <= 2 then 2
+  else begin
+    let k = n - 2 in
+    if k >= 61 then max_int / 2 else Stdlib.max 2 (1 lsl k)
+  end
+
+let loglog_lower_bound eta =
+  if eta < 1 then invalid_arg "State_complexity.loglog_lower_bound: eta >= 1";
+  let eta = Bignat.of_int eta in
+  let rec go k =
+    let bound = Bignat.factorial ((2 * k) + 2) in
+    (* eta <= 2^((2k+2)!)  iff  bits eta - 1 <= (2k+2)!  (conservative) *)
+    if Bignat.compare (Bignat.of_int (Bignat.bits eta)) bound <= 0 then k
+    else go (k + 1)
+  in
+  go 1

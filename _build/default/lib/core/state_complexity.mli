@@ -1,0 +1,27 @@
+(** The state-complexity picture of Section 2.3, instantiated with this
+    library's constructions: upper bounds on [STATE(eta)] from the
+    protocols we can actually build, and the busy-beaver values they
+    witness — the constructive side of Theorem 2.2's
+    [BB(n) ∈ Ω(2^n)]. *)
+
+val states_unary : int -> int
+(** States of the unary (Example 2.1 [P_k]-style) protocol for
+    [x >= eta]: [eta + 1]. *)
+
+val states_binary : int -> int
+(** States of the succinct protocol: [O(log eta)]. *)
+
+val state_upper_bound : int -> int
+(** [STATE(eta) <=] the best of this library's constructions. *)
+
+val busy_beaver_lower : int -> int
+(** The largest [eta] such that some construction in this library
+    computes [x >= eta] with at most [n] states — a constructive lower
+    bound on [BB(n)] ([= 2^(n-2)] for [n >= 3], via the succinct flock
+    protocol). Overflow-guarded: values are capped at [max_int/2]. *)
+
+val loglog_lower_bound : int -> int
+(** The paper's Theorem 5.9 read as a lower bound: any leaderless
+    protocol for [x >= eta] needs at least [k] states where [k] is
+    minimal with [eta <= 2^((2k+2)!)]. Tiny for representable [eta] —
+    that is the content of the [Ω(log log eta)] statement. *)

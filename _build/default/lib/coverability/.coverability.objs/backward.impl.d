@@ -1,0 +1,1 @@
+lib/coverability/backward.ml: Array Intvec Mset Population Stdlib Upset

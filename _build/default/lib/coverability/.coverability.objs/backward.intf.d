@@ -1,0 +1,1 @@
+lib/coverability/backward.mli: Mset Population Upset

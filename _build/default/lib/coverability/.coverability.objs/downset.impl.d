@@ -1,0 +1,1 @@
+lib/coverability/downset.ml: Format List Omega_vec Stdlib

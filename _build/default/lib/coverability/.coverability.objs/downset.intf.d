@@ -1,0 +1,1 @@
+lib/coverability/downset.mli: Format Mset Omega_vec

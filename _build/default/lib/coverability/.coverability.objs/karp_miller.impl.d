@@ -1,0 +1,1 @@
+lib/coverability/karp_miller.ml: Array Downset Intvec List Mset Omega_vec Population Stdlib

@@ -1,0 +1,1 @@
+lib/coverability/karp_miller.mli: Downset Mset Omega_vec Population

@@ -1,0 +1,1 @@
+lib/coverability/omega_vec.ml: Array Format Fun List Mset Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/coverability/omega_vec.mli: Format Mset

@@ -1,0 +1,1 @@
+lib/coverability/stable_sets.ml: Array Backward Downset Format Fun List Mset Population Upset

@@ -1,0 +1,1 @@
+lib/coverability/stable_sets.mli: Downset Format Mset Population Upset

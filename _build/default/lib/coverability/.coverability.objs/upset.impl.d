@@ -1,0 +1,1 @@
+lib/coverability/upset.ml: Array Format Fun Intvec List Mset Omega_vec Stdlib

@@ -1,0 +1,1 @@
+lib/coverability/upset.mli: Format Mset Omega_vec

@@ -1,0 +1,54 @@
+type stats = {
+  iterations : int;
+  added : int;
+}
+
+(* Least configuration that enables transition [t] and whose [t]-successor
+   covers [m]: pointwise max of the transition's precondition and
+   [m - Δ_t] (clamped at zero). *)
+let pre_element p ti m =
+  let d = Population.num_states p in
+  let { Population.pre = a, b; _ } = p.Population.transitions.(ti) in
+  let delta = Population.displacement p ti in
+  let v =
+    Array.init d (fun i ->
+        let need = Mset.get m i - Intvec.get delta i in
+        Stdlib.max 0 need)
+  in
+  v.(a) <- Stdlib.max v.(a) (if a = b then 2 else 1);
+  if a <> b then v.(b) <- Stdlib.max v.(b) 1;
+  Mset.of_array v
+
+let pre_star_stats p u =
+  let nt = Population.num_transitions p in
+  let iterations = ref 0 in
+  let added = ref 0 in
+  let rec loop current frontier =
+    match frontier with
+    | [] -> current
+    | m :: rest ->
+      let current, new_frontier =
+        let rec transitions ti acc_set acc_frontier =
+          if ti >= nt then (acc_set, acc_frontier)
+          else begin
+            incr iterations;
+            let cand = pre_element p ti m in
+            match Upset.add cand acc_set with
+            | None -> transitions (ti + 1) acc_set acc_frontier
+            | Some set' ->
+              incr added;
+              transitions (ti + 1) set' (cand :: acc_frontier)
+          end
+        in
+        transitions 0 current rest
+      in
+      loop current new_frontier
+  in
+  let result = loop u (Upset.minimal_elements u) in
+  (result, { iterations = !iterations; added = !added })
+
+let pre_star p u = fst (pre_star_stats p u)
+
+let coverable p ~from ~target =
+  let u = Upset.of_elements (Population.num_states p) [ target ] in
+  Upset.mem from (pre_star p u)

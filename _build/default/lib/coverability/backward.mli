@@ -1,0 +1,25 @@
+(** Backward coverability: the classic WSTS fixpoint computing
+    [pre*(U)] of an upward-closed set [U] of configurations.
+
+    For a transition [t = p,q ↦ p',q'] and a minimal element [m] of
+    [U], the least configuration that enables [t] and reaches [up(m)]
+    in one [t]-step is [max(p + q, m - Δ_t)] (pointwise, clamped at 0);
+    iterating to fixpoint terminates by Dickson's lemma.
+
+    This is the effective counterpart of the Rackoff-based argument of
+    Lemma 3.2: instead of bounding the norm of stable-set bases by
+    [β = 2^(2(2n+1)!+1)], it computes the bases exactly. *)
+
+type stats = {
+  iterations : int;     (** candidate elements examined *)
+  added : int;          (** minimal elements ever inserted *)
+}
+
+val pre_star : Population.t -> Upset.t -> Upset.t
+(** [pre_star p u] is the set of configurations from which [u] is
+    reachable (including [u] itself). *)
+
+val pre_star_stats : Population.t -> Upset.t -> Upset.t * stats
+
+val coverable : Population.t -> from:Mset.t -> target:Mset.t -> bool
+(** [coverable p ~from ~target]: can [from] reach some [C >= target]? *)

@@ -1,0 +1,128 @@
+type stats = {
+  nodes : int;
+  accelerations : int;
+}
+
+let coord_at_least (v : Omega_vec.t) i k =
+  match Omega_vec.get v i with Omega_vec.Omega -> true | Omega_vec.Fin n -> n >= k
+
+let enabled (v : Omega_vec.t) (a, b) =
+  if a = b then coord_at_least v a 2
+  else coord_at_least v a 1 && coord_at_least v b 1
+
+let apply (v : Omega_vec.t) (delta : Intvec.t) : Omega_vec.t =
+  Array.mapi
+    (fun i c ->
+      match c with
+      | Omega_vec.Omega -> Omega_vec.Omega
+      | Omega_vec.Fin n -> Omega_vec.Fin (n + Intvec.get delta i))
+    v
+
+(* ω-acceleration: any ancestor u strictly below v' witnesses a
+   self-covering pump, so the strictly increased coordinates go to ω. *)
+let accelerate ancestors v' =
+  let accelerated = ref false in
+  let result = ref v' in
+  List.iter
+    (fun u ->
+      if Omega_vec.leq u !result && not (Omega_vec.equal u !result) then begin
+        let bumped =
+          Array.mapi
+            (fun i c ->
+              match (Omega_vec.get u i, c) with
+              | Omega_vec.Fin a, Omega_vec.Fin b when a < b -> Omega_vec.Omega
+              | _, c -> c)
+            !result
+        in
+        if not (Omega_vec.equal bumped !result) then begin
+          accelerated := true;
+          result := bumped
+        end
+      end)
+    ancestors;
+  (!result, !accelerated)
+
+let clover_stats ?(max_nodes = 1_000_000) p c0 =
+  let nt = Population.num_transitions p in
+  let nodes = ref 0 in
+  let accelerations = ref 0 in
+  let discovered : Omega_vec.t list ref = ref [] in
+  let covered v = List.exists (fun u -> Omega_vec.leq v u) !discovered in
+  let root = Omega_vec.finite (Mset.to_intvec c0) in
+  (* depth-first over (vector, ancestor path) *)
+  let rec expand v ancestors =
+    incr nodes;
+    if !nodes > max_nodes then failwith "Karp_miller.clover: node budget exceeded";
+    discovered := v :: !discovered;
+    let ancestors' = v :: ancestors in
+    for t = 0 to nt - 1 do
+      let tr = p.Population.transitions.(t) in
+      if enabled v tr.Population.pre then begin
+        let v' = apply v (Population.displacement p t) in
+        let v', accel = accelerate ancestors' v' in
+        if accel then incr accelerations;
+        if not (covered v') then expand v' ancestors'
+      end
+    done
+  in
+  expand root [];
+  (* keep the maximal elements *)
+  let maximal =
+    List.filter
+      (fun v ->
+        not
+          (List.exists
+             (fun u -> (not (Omega_vec.equal u v)) && Omega_vec.leq v u)
+             !discovered))
+      !discovered
+    |> List.sort_uniq Stdlib.compare
+  in
+  (maximal, { nodes = !nodes; accelerations = !accelerations })
+
+let clover ?max_nodes p c0 = fst (clover_stats ?max_nodes p c0)
+
+let coverable p ~from ~target =
+  let cl = clover p from in
+  List.exists (Omega_vec.member target) cl
+
+let downset ?max_nodes p c0 =
+  Downset.of_max_elements (Population.num_states p) (clover ?max_nodes p c0)
+
+let clover_parametric ?(max_nodes = 1_000_000) p =
+  (* Re-run the tree construction from the ω-input root. The code above
+     only touches the root through [Omega_vec] operations, so we reuse
+     it by inlining a second entry point. *)
+  let d = Population.num_states p in
+  let root =
+    Array.init d (fun q ->
+        if Array.exists (fun s -> s = q) p.Population.input_map then Omega_vec.Omega
+        else Omega_vec.Fin (Mset.get p.Population.leaders q))
+  in
+  let nt = Population.num_transitions p in
+  let nodes = ref 0 in
+  let discovered : Omega_vec.t list ref = ref [] in
+  let covered v = List.exists (fun u -> Omega_vec.leq v u) !discovered in
+  let rec expand v ancestors =
+    incr nodes;
+    if !nodes > max_nodes then
+      failwith "Karp_miller.clover_parametric: node budget exceeded";
+    discovered := v :: !discovered;
+    let ancestors' = v :: ancestors in
+    for t = 0 to nt - 1 do
+      let tr = p.Population.transitions.(t) in
+      if enabled v tr.Population.pre then begin
+        let v' = apply v (Population.displacement p t) in
+        let v', _ = accelerate ancestors' v' in
+        if not (covered v') then expand v' ancestors'
+      end
+    done
+  in
+  expand root [];
+  List.filter
+    (fun v ->
+      not
+        (List.exists
+           (fun u -> (not (Omega_vec.equal u v)) && Omega_vec.leq v u)
+           !discovered))
+    !discovered
+  |> List.sort_uniq Stdlib.compare

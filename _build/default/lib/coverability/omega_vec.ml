@@ -1,0 +1,94 @@
+type coord = Fin of int | Omega
+type t = coord array
+
+let finite a =
+  Array.map
+    (fun x ->
+      if x < 0 then invalid_arg "Omega_vec.finite: negative coordinate"
+      else Fin x)
+    a
+
+let all_omega d = Array.make d Omega
+
+let of_basis_element b s =
+  let d = Mset.dim b in
+  let v = Array.init d (fun i -> Fin (Mset.get b i)) in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= d then invalid_arg "Omega_vec.of_basis_element: index";
+      v.(i) <- Omega)
+    s;
+  v
+
+let to_basis_element v =
+  let d = Array.length v in
+  let b = Array.make d 0 in
+  let s = ref [] in
+  for i = d - 1 downto 0 do
+    match v.(i) with
+    | Fin x -> b.(i) <- x
+    | Omega -> s := i :: !s
+  done;
+  (Mset.of_array b, !s)
+
+let dim = Array.length
+let get (v : t) i = v.(i)
+let is_finite (v : t) = Array.for_all (function Fin _ -> true | Omega -> false) v
+
+let coord_leq a b =
+  match (a, b) with
+  | _, Omega -> true
+  | Omega, Fin _ -> false
+  | Fin x, Fin y -> x <= y
+
+let leq (u : t) (v : t) =
+  let d = Array.length u in
+  let rec go i = i >= d || (coord_leq u.(i) v.(i) && go (i + 1)) in
+  go 0
+
+let member c (v : t) =
+  let d = Array.length v in
+  let rec go i =
+    i >= d
+    ||
+    match v.(i) with
+    | Omega -> go (i + 1)
+    | Fin x -> Mset.get c i <= x && go (i + 1)
+  in
+  go 0
+
+let coord_min a b =
+  match (a, b) with
+  | Omega, x | x, Omega -> x
+  | Fin x, Fin y -> Fin (Stdlib.min x y)
+
+let meet (u : t) (v : t) : t =
+  if Array.length u <> Array.length v then
+    invalid_arg "Omega_vec.meet: dimension mismatch";
+  Array.init (Array.length u) (fun i -> coord_min u.(i) v.(i))
+
+let equal (u : t) (v : t) = u = v
+
+let norm_inf (v : t) =
+  Array.fold_left
+    (fun acc c -> match c with Fin x -> Stdlib.max acc x | Omega -> acc)
+    0 v
+
+let pp ?names fmt (v : t) =
+  let name i =
+    match names with
+    | Some a when i < Array.length a -> a.(i)
+    | _ -> Printf.sprintf "q%d" i
+  in
+  let entries =
+    List.filter_map
+      (fun i ->
+        match v.(i) with
+        | Fin 0 -> None
+        | Fin x -> Some (Printf.sprintf "%d·%s" x (name i))
+        | Omega -> Some (Printf.sprintf "ω·%s" (name i)))
+      (List.init (Array.length v) Fun.id)
+  in
+  match entries with
+  | [] -> Format.pp_print_string fmt "()"
+  | _ -> Format.fprintf fmt "(%s)" (String.concat ", " entries)

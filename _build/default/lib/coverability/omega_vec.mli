@@ -1,0 +1,41 @@
+(** Vectors over [N ∪ {ω}]: the canonical finite representation of
+    downward-closed subsets of [N^d] (Section 3 of the paper represents
+    them as basis elements [(B, S)]; an ω-vector is exactly such a pair,
+    with [S] the set of ω-coordinates and [B] the finite ones). *)
+
+type coord = Fin of int | Omega
+type t = coord array
+
+val finite : int array -> t
+(** All coordinates finite. @raise Invalid_argument on negatives. *)
+
+val all_omega : int -> t
+
+val of_basis_element : Mset.t -> int list -> t
+(** [of_basis_element b s] is the ω-vector with value [ω] on the
+    coordinates of [s] and [b]'s counts elsewhere — the basis element
+    [(B, S)] denoting [B + N^S]. *)
+
+val to_basis_element : t -> Mset.t * int list
+(** Inverse of {!of_basis_element} (ω-coordinates map to count 0 in [B]). *)
+
+val dim : t -> int
+val get : t -> int -> coord
+val is_finite : t -> bool
+
+val leq : t -> t -> bool
+(** Pointwise order with [n <= ω] for all [n], [ω <= ω]. *)
+
+val member : Mset.t -> t -> bool
+(** [member c v]: does the concrete configuration [c] lie below [v]? *)
+
+val meet : t -> t -> t
+(** Pointwise minimum — intersection of the two down-closures. *)
+
+val equal : t -> t -> bool
+
+val norm_inf : t -> int
+(** Largest finite coordinate (0 if none) — the paper's norm of a basis
+    element, [‖(B,S)‖_∞ = ‖B‖_∞]. *)
+
+val pp : ?names:string array -> Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  protocol : Population.t;
+  unstable0 : Upset.t;
+  unstable1 : Upset.t;
+  stable0 : Downset.t;
+  stable1 : Downset.t;
+}
+
+(* Configurations populating at least one state of output [≠ b]: the
+   up-closure of the corresponding singletons. *)
+let bad_upset p b =
+  let d = Population.num_states p in
+  let singles =
+    List.filter_map
+      (fun q -> if p.Population.output.(q) <> b then Some (Mset.singleton d q) else None)
+      (List.init d Fun.id)
+  in
+  Upset.of_elements d singles
+
+let analyse p =
+  let d = Population.num_states p in
+  let unstable b = Backward.pre_star p (bad_upset p b) in
+  let unstable0 = unstable false and unstable1 = unstable true in
+  let stable_of u = Downset.of_max_elements d (Upset.complement u) in
+  {
+    protocol = p;
+    unstable0;
+    unstable1;
+    stable0 = stable_of unstable0;
+    stable1 = stable_of unstable1;
+  }
+
+let stable a b = if b then a.stable1 else a.stable0
+let unstable a b = if b then a.unstable1 else a.unstable0
+let stable_union a = Downset.union a.stable0 a.stable1
+let is_stable a b c = Downset.mem c (stable a b)
+
+let pp_summary fmt a =
+  Format.fprintf fmt
+    "SC_0: %d basis elements, norm %d; SC_1: %d basis elements, norm %d"
+    (Downset.size a.stable0) (Downset.norm a.stable0) (Downset.size a.stable1)
+    (Downset.norm a.stable1)

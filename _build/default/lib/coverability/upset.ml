@@ -1,0 +1,91 @@
+type t = {
+  dim : int;
+  minimal : Mset.t list; (* pairwise incomparable *)
+}
+
+let empty dim = { dim; minimal = [] }
+let dim u = u.dim
+
+let minimize elements =
+  let keep m =
+    not (List.exists (fun m' -> (not (Mset.equal m m')) && Mset.leq m' m) elements)
+  in
+  List.filter keep elements |> List.sort_uniq Mset.compare
+
+let of_elements dim elements =
+  List.iter
+    (fun m ->
+      if Mset.dim m <> dim then invalid_arg "Upset.of_elements: dimension")
+    elements;
+  { dim; minimal = minimize elements }
+
+let minimal_elements u = u.minimal
+let mem c u = List.exists (fun m -> Mset.leq m c) u.minimal
+let is_empty u = u.minimal = []
+
+let add m u =
+  if mem m u then None
+  else
+    let minimal = minimize (m :: List.filter (fun m' -> not (Mset.leq m m')) u.minimal) in
+    Some { u with minimal }
+
+let union a b =
+  if a.dim <> b.dim then invalid_arg "Upset.union: dimension mismatch";
+  { dim = a.dim; minimal = minimize (a.minimal @ b.minimal) }
+
+let subset a b = List.for_all (fun m -> mem m b) a.minimal
+let equal a b = subset a b && subset b a
+let size u = List.length u.minimal
+
+let max_norm u =
+  List.fold_left
+    (fun acc m -> Stdlib.max acc (Intvec.norm_inf (Mset.to_intvec m)))
+    0 u.minimal
+
+(* Complement of up(minimal): intersection over the minimal elements m of
+   the union over coordinates i with m(i) > 0 of the ω-vector putting
+   m(i)-1 at i and ω elsewhere. Distribute the intersection over the
+   unions, pruning dominated candidates as we go. *)
+let complement u =
+  let keep_maximal vs =
+    List.filter
+      (fun v ->
+        not
+          (List.exists
+             (fun v' -> (not (Omega_vec.equal v v')) && Omega_vec.leq v v')
+             vs))
+      vs
+    |> List.sort_uniq Stdlib.compare
+  in
+  let single m =
+    List.filter_map
+      (fun i ->
+        let c = Mset.get m i in
+        if c > 0 then begin
+          let v = Omega_vec.all_omega u.dim in
+          let v = Array.copy v in
+          v.(i) <- Omega_vec.Fin (c - 1);
+          Some v
+        end
+        else None)
+      (List.init u.dim Fun.id)
+  in
+  let start = [ Omega_vec.all_omega u.dim ] in
+  List.fold_left
+    (fun acc m ->
+      let choices = single m in
+      List.concat_map (fun v -> List.map (Omega_vec.meet v) choices) acc
+      |> keep_maximal)
+    start u.minimal
+
+let pp ?names fmt u =
+  match u.minimal with
+  | [] -> Format.pp_print_string fmt "∅"
+  | ms ->
+    Format.fprintf fmt "@[<v>up{";
+    List.iteri
+      (fun i m ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        Mset.pp ?names fmt m)
+      ms;
+    Format.fprintf fmt "}@]"

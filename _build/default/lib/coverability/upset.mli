@@ -1,0 +1,38 @@
+(** Upward-closed subsets of [N^d], represented by their finite set of
+    minimal elements (an antichain, by Dickson's lemma). *)
+
+type t
+
+val empty : int -> t
+val dim : t -> int
+
+val of_elements : int -> Mset.t list -> t
+(** Up-closure of the given configurations; dominated elements dropped. *)
+
+val minimal_elements : t -> Mset.t list
+(** The canonical antichain, sorted. *)
+
+val mem : Mset.t -> t -> bool
+val is_empty : t -> bool
+
+val add : Mset.t -> t -> t option
+(** [add m u] is [Some u'] with [u' = u ∪ up(m)] if [m] is not already
+    in [u], and [None] if [m ∈ u] (no change). *)
+
+val union : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+val size : t -> int
+(** Number of minimal elements. *)
+
+val max_norm : t -> int
+(** Largest coordinate over all minimal elements (0 when empty). *)
+
+val complement : t -> Omega_vec.t list
+(** The complement of the upset — a downward-closed set — as its finite
+    list of maximal ω-vectors. Worst-case exponential in the number of
+    minimal elements; intended for the modest protocols this library
+    analyses. *)
+
+val pp : ?names:string array -> Format.formatter -> t -> unit

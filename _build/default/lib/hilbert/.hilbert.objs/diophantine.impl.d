@@ -1,0 +1,1 @@
+lib/hilbert/diophantine.ml: Array Bignat Format Fun List Printf Stdlib String

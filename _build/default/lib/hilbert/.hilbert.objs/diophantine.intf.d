@@ -1,0 +1,1 @@
+lib/hilbert/diophantine.mli: Bignat Format

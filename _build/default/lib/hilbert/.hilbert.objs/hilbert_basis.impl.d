@@ -1,0 +1,1 @@
+lib/hilbert/hilbert_basis.ml: Array Diophantine Hashtbl List Stdlib

@@ -1,0 +1,130 @@
+let dot (u : int array) (v : int array) =
+  let acc = ref 0 in
+  Array.iteri (fun i x -> acc := !acc + (x * v.(i))) u;
+  !acc
+
+let vec_leq (u : int array) (v : int array) =
+  let n = Array.length u in
+  let rec go i = i >= n || (u.(i) <= v.(i) && go (i + 1)) in
+  go 0
+
+let is_zero (u : int array) = Array.for_all (fun x -> x = 0) u
+
+(* Keep only the pointwise-minimal vectors. *)
+let minimize vectors =
+  List.filter
+    (fun y ->
+      not (List.exists (fun y' -> y' <> y && vec_leq y' y) vectors))
+    vectors
+  |> List.sort_uniq Stdlib.compare
+
+let solve_eq ?(max_candidates = 5_000_000) ?(scalar_criterion = true) sys =
+  let v = sys.Diophantine.num_vars in
+  let columns =
+    Array.init v (fun j ->
+        Array.map (fun row -> row.(j)) sys.Diophantine.rows)
+  in
+  let unit j =
+    let y = Array.make v 0 in
+    y.(j) <- 1;
+    y
+  in
+  let basis = ref [] in
+  let candidates = ref 0 in
+  let dominated y = List.exists (fun b -> vec_leq b y) !basis in
+  let frontier = ref (List.init v (fun j -> (unit j, columns.(j)))) in
+  while !frontier <> [] do
+    (* First harvest this level's solutions, then extend the rest: a
+       solution at the current level must prune its level-mates'
+       extensions. *)
+    let solutions, others =
+      List.partition (fun (_, defect) -> is_zero defect) !frontier
+    in
+    List.iter
+      (fun (y, _) -> if not (dominated y) then basis := y :: !basis)
+      solutions;
+    let seen = Hashtbl.create 256 in
+    let next = ref [] in
+    List.iter
+      (fun (y, defect) ->
+        for j = 0 to v - 1 do
+          if (not scalar_criterion) || dot defect columns.(j) < 0 then begin
+            let y' = Array.copy y in
+            y'.(j) <- y'.(j) + 1;
+            if (not (Hashtbl.mem seen y')) && not (dominated y') then begin
+              Hashtbl.add seen y' ();
+              incr candidates;
+              if !candidates > max_candidates then
+                failwith "Hilbert_basis.solve_eq: candidate budget exceeded";
+              let defect' = Array.mapi (fun i d -> d + columns.(j).(i)) defect in
+              next := (y', defect') :: !next
+            end
+          end
+        done)
+      others;
+    frontier := !next
+  done;
+  minimize !basis
+
+(* Lift [A·y >= 0] to the equality system [A·y - s = 0]. *)
+let lift sys =
+  let e = Diophantine.num_constraints sys in
+  let v = sys.Diophantine.num_vars in
+  let rows =
+    Array.mapi
+      (fun i row ->
+        Array.init (v + e) (fun j ->
+            if j < v then row.(j) else if j = v + i then -1 else 0))
+      sys.Diophantine.rows
+  in
+  Diophantine.make rows ~num_vars:(v + e)
+
+let solve_geq ?max_candidates ?scalar_criterion sys =
+  let v = sys.Diophantine.num_vars in
+  solve_eq ?max_candidates ?scalar_criterion (lift sys)
+  |> List.map (fun y -> Array.sub y 0 v)
+  |> List.sort_uniq Stdlib.compare
+
+let decompose_with ~elements y =
+  (* Greedy subtraction over any system closed under truncated
+     subtraction of dominated elements. *)
+  let rec go y acc =
+    if is_zero y then Some (List.rev acc)
+    else
+      match List.find_opt (fun b -> (not (is_zero b)) && vec_leq b y) elements with
+      | None -> None
+      | Some b ->
+        let y' = Array.mapi (fun i x -> x - b.(i)) y in
+        go y' (b :: acc)
+  in
+  go y []
+
+let decompose_eq sys ~basis y =
+  if not (Diophantine.is_solution_eq sys y) then None
+  else decompose_with ~elements:basis y
+
+let decompose_geq sys ~basis y =
+  if not (Diophantine.is_solution_geq sys y) then None
+  else begin
+    let lift_vec b = Array.append b (Diophantine.eval sys b) in
+    let lifted_basis = List.map lift_vec basis in
+    let v = sys.Diophantine.num_vars in
+    match decompose_with ~elements:lifted_basis (lift_vec y) with
+    | None -> None
+    | Some parts -> Some (List.map (fun b -> Array.sub b 0 v) parts)
+  end
+
+let verify_minimal sys ~eq elements =
+  let solution =
+    if eq then Diophantine.is_solution_eq sys else Diophantine.is_solution_geq sys
+  in
+  (* Indecomposable elements of an inequality system may be pointwise
+     comparable; incomparability must be checked on the slack lift. *)
+  let reps =
+    if eq then elements
+    else List.map (fun b -> Array.append b (Diophantine.eval sys b)) elements
+  in
+  List.for_all (fun y -> (not (is_zero y)) && solution y) elements
+  && List.for_all
+       (fun y -> List.for_all (fun y' -> y == y' || not (vec_leq y' y)) reps)
+       reps

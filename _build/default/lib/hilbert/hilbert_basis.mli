@@ -1,0 +1,41 @@
+(** Hilbert bases of homogeneous linear Diophantine systems by the
+    Contejean–Devie completion procedure.
+
+    The basis of [A·y = 0] is the set of pointwise-minimal non-zero
+    solutions; the basis of [A·y >= 0] is obtained by adding one slack
+    variable per constraint ([A·y - s = 0]) and projecting — the
+    projections are exactly the indecomposable solutions of the
+    inequality system. Corollary 5.7 of the paper instantiates this for
+    the potentially-realisable transition multisets of a protocol. *)
+
+val solve_eq :
+  ?max_candidates:int -> ?scalar_criterion:bool -> Diophantine.t -> int array list
+(** Minimal non-zero solutions of [A·y = 0]. Breadth-first completion
+    from the unit vectors; each frontier vector is extended by [e_j]
+    only when column [j] of [A] has negative scalar product with the
+    current defect [A·y] (the Contejean–Devie criterion, which is both
+    complete and terminating). Passing [~scalar_criterion:false]
+    disables the criterion — the search stays complete but may diverge
+    (the benchmark harness uses this as an ablation; rely on
+    [max_candidates]).
+    @raise Failure if the frontier exceeds [max_candidates]
+    (default 5_000_000) — a safety valve only. *)
+
+val solve_geq :
+  ?max_candidates:int -> ?scalar_criterion:bool -> Diophantine.t -> int array list
+(** Hilbert basis (indecomposable solutions) of [A·y >= 0]. *)
+
+val decompose_eq :
+  Diophantine.t -> basis:int array list -> int array -> int array list option
+(** [decompose_eq sys ~basis y] writes the solution [y] as a multiset of
+    basis elements (returned with multiplicity); [None] if [y] is not a
+    solution or the basis is not generating. Greedy subtraction — any
+    basis element pointwise below a solution of an equality system can
+    be subtracted, so greediness is complete. *)
+
+val decompose_geq :
+  Diophantine.t -> basis:int array list -> int array -> int array list option
+(** Same for inequality systems, via the slack-variable lift. *)
+
+val verify_minimal : Diophantine.t -> eq:bool -> int array list -> bool
+(** All elements are non-zero solutions and pairwise incomparable. *)

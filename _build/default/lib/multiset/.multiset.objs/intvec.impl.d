@@ -1,0 +1,1 @@
+lib/multiset/intvec.ml: Array Format Fun List Printf Stdlib String

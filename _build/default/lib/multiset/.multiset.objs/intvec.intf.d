@@ -1,0 +1,1 @@
+lib/multiset/intvec.mli: Format

@@ -1,0 +1,1 @@
+lib/multiset/mset.ml: Array Intvec List

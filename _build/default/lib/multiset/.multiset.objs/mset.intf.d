@@ -1,0 +1,1 @@
+lib/multiset/mset.mli: Format Intvec

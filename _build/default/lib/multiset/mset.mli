@@ -1,0 +1,64 @@
+(** Multisets over a fixed finite domain: elements of [N^d].
+
+    A configuration of a population protocol (Section 2.2) is a multiset
+    over its states; this module provides the multiset algebra the paper
+    uses — size, support, pointwise order, and monotone arithmetic — on
+    top of {!Intvec}'s representation.
+
+    Values are [int array]s with non-negative coordinates, treated as
+    immutable. Constructors enforce non-negativity. *)
+
+type t = private int array
+
+val of_array : int array -> t
+(** Validates non-negativity (the array is copied).
+    @raise Invalid_argument on a negative coordinate. *)
+
+val unsafe_of_array : int array -> t
+(** No copy, no check; the caller must guarantee non-negative coordinates
+    and renounce mutation. For hot loops only. *)
+
+val to_intvec : t -> Intvec.t
+val zero : int -> t
+val singleton : int -> int -> t
+(** [singleton d i] has one element on coordinate [i]. *)
+
+val of_list : int -> (int * int) list -> t
+(** [of_list d assoc] sums [count] elements on each [(index, count)] pair. *)
+
+val dim : t -> int
+val get : t -> int -> int
+val size : t -> int
+(** Total number of elements, [|C|] in the paper. *)
+
+val count_on : t -> int list -> int
+(** [count_on c s] is [C(S) = sum_{q in S} C(q)]. *)
+
+val support : t -> int list
+val is_zero : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic; a total order for containers. *)
+
+val leq : t -> t -> bool
+(** Pointwise order. *)
+
+val lt : t -> t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val sub_opt : t -> t -> t option
+val scale : int -> t -> t
+val pointwise_min : t -> t -> t
+val pointwise_max : t -> t -> t
+
+val add_delta : t -> Intvec.t -> t option
+(** [add_delta c delta] is [Some (c + delta)] when non-negative — firing a
+    displacement. *)
+
+val hash : t -> int
+val pp : ?names:string array -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/presburger/compile.ml: Array General_modulo General_threshold List Population Predicate Printf Product Result Stdlib Transform

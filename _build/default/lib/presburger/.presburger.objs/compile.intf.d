@@ -1,0 +1,1 @@
+lib/presburger/compile.mli: Population Predicate

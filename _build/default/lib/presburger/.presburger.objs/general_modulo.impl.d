@@ -1,0 +1,1 @@
+lib/presburger/general_modulo.ml: Array Population Printf String

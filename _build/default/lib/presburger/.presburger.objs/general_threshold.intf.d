@@ -1,0 +1,1 @@
+lib/presburger/general_threshold.mli: Population

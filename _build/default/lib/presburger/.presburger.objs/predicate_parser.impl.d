@@ -1,0 +1,1 @@
+lib/presburger/predicate_parser.ml: Array List Predicate Printf Result Stdlib String

@@ -1,0 +1,1 @@
+lib/presburger/predicate_parser.mli: Predicate

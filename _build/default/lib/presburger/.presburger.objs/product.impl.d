@@ -1,0 +1,1 @@
+lib/presburger/product.ml: Array List Population Printf

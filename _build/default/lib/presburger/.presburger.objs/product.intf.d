@@ -1,0 +1,1 @@
+lib/presburger/product.mli: Population

@@ -1,0 +1,33 @@
+let protocol ~coeffs ~r ~m =
+  if Array.length coeffs = 0 then invalid_arg "General_modulo.protocol: no variables";
+  if m < 1 then invalid_arg "General_modulo.protocol: m >= 1 required";
+  if r < 0 || r >= m then invalid_arg "General_modulo.protocol: 0 <= r < m required";
+  let passive_no = m and passive_yes = m + 1 in
+  let states =
+    Array.init (m + 2) (fun i ->
+        if i < m then Printf.sprintf "acc%d" i
+        else if i = passive_no then "no"
+        else "yes")
+  in
+  let verdict v = if v = r then passive_yes else passive_no in
+  let transitions = ref [] in
+  for u = 0 to m - 1 do
+    for v = u to m - 1 do
+      transitions := (u, v, (u + v) mod m, verdict ((u + v) mod m)) :: !transitions
+    done;
+    transitions := (u, passive_no, u, verdict u) :: !transitions;
+    transitions := (u, passive_yes, u, verdict u) :: !transitions
+  done;
+  let residue a = ((a mod m) + m) mod m in
+  let inputs =
+    Array.to_list
+      (Array.mapi (fun i a -> (Printf.sprintf "x%d" i, residue a)) coeffs)
+  in
+  let output = Array.init (m + 2) (fun i -> i = passive_yes || i = r) in
+  Population.make
+    ~name:
+      (Printf.sprintf "linear-%s-mod-%d-%d"
+         (String.concat "," (Array.to_list (Array.map string_of_int coeffs)))
+         m r)
+    ~states ~transitions:!transitions ~inputs ~output ()
+  |> Population.complete

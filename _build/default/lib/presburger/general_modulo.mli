@@ -1,0 +1,12 @@
+(** Multi-variable modulo protocols [Σ a_i·x_i ≡ r (mod m)] for
+    arbitrary (possibly negative) coefficients.
+
+    Residue arithmetic has no sign problems, so — unlike thresholds —
+    the full coefficient range is supported: one agent accumulates the
+    residue sum while the others become passive and copy the
+    accumulator's verdict. *)
+
+val protocol : coeffs:int array -> r:int -> m:int -> Population.t
+(** Input variables are named [x0, x1, …]; [m + 2] states.
+    @raise Invalid_argument unless [m >= 1], [0 <= r < m] and at least
+    one variable is given. *)

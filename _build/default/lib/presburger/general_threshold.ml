@@ -1,0 +1,42 @@
+let protocol ~coeffs ~c =
+  if Array.length coeffs = 0 then
+    invalid_arg "General_threshold.protocol: no variables";
+  if Array.exists (fun a -> a < 0) coeffs then
+    invalid_arg "General_threshold.protocol: negative coefficient";
+  if c < 0 then invalid_arg "General_threshold.protocol: negative constant";
+  let name =
+    Printf.sprintf "linear-%s-ge-%d"
+      (String.concat "+" (Array.to_list (Array.map string_of_int coeffs)))
+      c
+  in
+  if c = 0 then
+    (* trivially true *)
+    Population.make ~name ~states:[| "yes" |]
+      ~transitions:[ (0, 0, 0, 0) ]
+      ~inputs:(Array.to_list (Array.mapi (fun i _ -> (Printf.sprintf "x%d" i, 0)) coeffs))
+      ~output:[| true |] ()
+  else begin
+    (* states: carried values 0 .. c-1, plus the accepting flag *)
+    let flag = c in
+    let states =
+      Array.init (c + 1) (fun v -> if v = flag then "T" else Printf.sprintf "v%d" v)
+    in
+    let transitions = ref [] in
+    for u = 0 to c - 1 do
+      for v = u to c - 1 do
+        let s = u + v in
+        if s >= c then transitions := (u, v, flag, flag) :: !transitions
+        else if v <> 0 then transitions := (u, v, s, 0) :: !transitions
+      done;
+      transitions := (u, flag, flag, flag) :: !transitions
+    done;
+    let inputs =
+      Array.to_list
+        (Array.mapi
+           (fun i a -> (Printf.sprintf "x%d" i, if a >= c then flag else a))
+           coeffs)
+    in
+    let output = Array.init (c + 1) (fun v -> v = flag) in
+    Population.make ~name ~states ~transitions:!transitions ~inputs ~output ()
+    |> Population.complete
+  end

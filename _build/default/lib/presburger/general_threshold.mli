@@ -1,0 +1,17 @@
+(** Multi-variable threshold protocols [Σ a_i·x_i >= c] for
+    {e non-negative} coefficients.
+
+    Each agent starts with the value [a_i] of its input variable;
+    agents pool values onto one of them, and any pair whose combined
+    value reaches [c] raises the absorbing accepting flag. With only
+    non-negative values in play the flag is sound (a witnessed
+    sub-population keeps its value forever), which is exactly why this
+    construction does not extend to mixed-sign coefficients — see
+    {!Compile} for what is and is not covered. *)
+
+val protocol : coeffs:int array -> c:int -> Population.t
+(** [protocol ~coeffs ~c] with [coeffs.(i) >= 0] and [c >= 0]; input
+    variables are named [x0, x1, …]. Uses [c + 1] value states
+    ([0 .. c-1] and the flag), independent of the number of variables.
+    @raise Invalid_argument on negative coefficients, negative [c], or
+    an empty coefficient array. *)

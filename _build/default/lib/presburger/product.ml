@@ -1,0 +1,48 @@
+(* Both orientations of a transition as agent-level (ordered) mappings:
+   p,q -> p',q' acts as "one agent goes p to p', the other q to q'". *)
+let oriented { Population.pre = a, b; post = a', b' } =
+  let straight = ((a, b), (a', b')) in
+  let swapped = ((b, a), (b', a')) in
+  if straight = swapped then [ straight ] else [ straight; swapped ]
+
+let combine ~f ~name (p1 : Population.t) (p2 : Population.t) =
+  if not (Population.is_leaderless p1 && Population.is_leaderless p2) then
+    invalid_arg "Product.combine: leaderless protocols only";
+  if p1.Population.input_vars <> p2.Population.input_vars then
+    invalid_arg "Product.combine: input variables must coincide";
+  let n1 = Population.num_states p1 and n2 = Population.num_states p2 in
+  let pair i j = (i * n2) + j in
+  let states =
+    Array.init (n1 * n2) (fun s ->
+        Printf.sprintf "%s|%s"
+          p1.Population.states.(s / n2)
+          p2.Population.states.(s mod n2))
+  in
+  let transitions = ref [] in
+  Array.iter
+    (fun t1 ->
+      Array.iter
+        (fun t2 ->
+          List.iter
+            (fun ((a1, b1), (a1', b1')) ->
+              List.iter
+                (fun ((a2, b2), (a2', b2')) ->
+                  transitions :=
+                    (pair a1 a2, pair b1 b2, pair a1' a2', pair b1' b2')
+                    :: !transitions)
+                (oriented t2))
+            (oriented t1))
+        p2.Population.transitions)
+    p1.Population.transitions;
+  let inputs =
+    Array.to_list
+      (Array.mapi
+         (fun x v ->
+           (v, pair p1.Population.input_map.(x) p2.Population.input_map.(x)))
+         p1.Population.input_vars)
+  in
+  let output =
+    Array.init (n1 * n2) (fun s ->
+        f p1.Population.output.(s / n2) p2.Population.output.(s mod n2))
+  in
+  Population.make ~name ~states ~transitions:!transitions ~inputs ~output ()

@@ -1,0 +1,21 @@
+(** Synchronous products of population protocols — the classic closure
+    construction (Angluin et al. [8]) behind boolean combinations of
+    predicates.
+
+    An agent of the product carries one state of each component; when
+    two agents interact, a transition of each component fires on the
+    respective coordinates. Any fair execution of the product projects
+    to fair executions of both components, so if the components compute
+    [φ1] and [φ2], the product with output [f o1 o2] computes
+    [f ∘ (φ1, φ2)]. *)
+
+val combine :
+  f:(bool -> bool -> bool) ->
+  name:string ->
+  Population.t ->
+  Population.t ->
+  Population.t
+(** [combine ~f ~name p1 p2]. Both protocols must be leaderless and
+    have identical input-variable name lists (in the same order).
+    The product has [|Q1|·|Q2|] states.
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,1 @@
+lib/protocol/population.ml: Array Format Fun Hashtbl Intvec List Mset Printf String

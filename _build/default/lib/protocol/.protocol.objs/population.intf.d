@@ -1,0 +1,1 @@
+lib/protocol/population.mli: Format Intvec Mset

@@ -1,0 +1,1 @@
+lib/protocol/predicate.ml: Array Format Stdlib

@@ -1,0 +1,1 @@
+lib/protocol/predicate.mli: Format

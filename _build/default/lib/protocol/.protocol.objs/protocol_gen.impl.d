@@ -1,0 +1,1 @@
+lib/protocol/protocol_gen.ml: Array Fun List Population Printf

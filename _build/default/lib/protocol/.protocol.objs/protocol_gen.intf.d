@@ -1,0 +1,1 @@
+lib/protocol/protocol_gen.mli: Population

@@ -1,0 +1,1 @@
+lib/protocol/protocol_syntax.ml: Array Buffer Fun Hashtbl In_channel List Mset Option Population Printf String

@@ -1,0 +1,1 @@
+lib/protocol/transform.ml: Array Fun Hashtbl List Mset Population

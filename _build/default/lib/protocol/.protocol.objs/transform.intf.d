@@ -1,0 +1,1 @@
+lib/protocol/transform.mli: Population

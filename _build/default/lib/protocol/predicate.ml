@@ -1,0 +1,63 @@
+type t =
+  | Const of bool
+  | Threshold of int array * int
+  | Modulo of int array * int * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let threshold_single eta = Threshold ([| 1 |], eta)
+let majority () = Threshold ([| 1; -1 |], 1)
+
+let dot a v =
+  if Array.length a > Array.length v then
+    invalid_arg "Predicate.eval: arity mismatch";
+  let acc = ref 0 in
+  Array.iteri (fun i c -> acc := !acc + (c * v.(i))) a;
+  !acc
+
+let rec eval p v =
+  match p with
+  | Const b -> b
+  | Threshold (a, c) -> dot a v >= c
+  | Modulo (a, r, m) ->
+    if m < 1 then invalid_arg "Predicate.eval: modulus < 1";
+    let s = dot a v mod m in
+    let s = if s < 0 then s + m else s in
+    s = r mod m
+  | Not p' -> not (eval p' v)
+  | And (p1, p2) -> eval p1 v && eval p2 v
+  | Or (p1, p2) -> eval p1 v || eval p2 v
+
+let rec arity = function
+  | Const _ -> 0
+  | Threshold (a, _) | Modulo (a, _, _) -> Array.length a
+  | Not p -> arity p
+  | And (p1, p2) | Or (p1, p2) -> Stdlib.max (arity p1) (arity p2)
+
+let pp_sum fmt a =
+  let first = ref true in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then begin
+        if !first then begin
+          first := false;
+          if c = 1 then Format.fprintf fmt "x%d" i
+          else Format.fprintf fmt "%d·x%d" c i
+        end
+        else if c > 0 then
+          if c = 1 then Format.fprintf fmt " + x%d" i
+          else Format.fprintf fmt " + %d·x%d" c i
+        else if c = -1 then Format.fprintf fmt " - x%d" i
+        else Format.fprintf fmt " - %d·x%d" (-c) i
+      end)
+    a;
+  if !first then Format.pp_print_string fmt "0"
+
+let rec pp fmt = function
+  | Const b -> Format.pp_print_bool fmt b
+  | Threshold (a, c) -> Format.fprintf fmt "%a ≥ %d" pp_sum a c
+  | Modulo (a, r, m) -> Format.fprintf fmt "%a ≡ %d (mod %d)" pp_sum a r m
+  | Not p -> Format.fprintf fmt "¬(%a)" pp p
+  | And (p1, p2) -> Format.fprintf fmt "(%a ∧ %a)" pp p1 pp p2
+  | Or (p1, p2) -> Format.fprintf fmt "(%a ∨ %a)" pp p1 pp p2

@@ -1,0 +1,32 @@
+(** Predicates over inputs [N^X], in the threshold/modulo fragment that
+    population protocols compute (Presburger predicates, [8]).
+
+    Used to state what a protocol is supposed to compute and to check
+    constructions against their specification. *)
+
+type t =
+  | Const of bool
+  | Threshold of int array * int
+      (** [Threshold (a, c)] holds iff [Σ a_i·x_i >= c]. *)
+  | Modulo of int array * int * int
+      (** [Modulo (a, r, m)] holds iff [Σ a_i·x_i ≡ r (mod m)], [m >= 1]. *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val threshold_single : int -> t
+(** [threshold_single eta] is the paper's counting predicate [x >= eta]
+    over a single variable. *)
+
+val majority : unit -> t
+(** [x_A > x_B] over two variables (A first). *)
+
+val eval : t -> int array -> bool
+(** @raise Invalid_argument on arity mismatch with the coefficient
+    arrays appearing in the predicate. *)
+
+val arity : t -> int
+(** Largest coefficient-array length appearing in the predicate
+    (0 for [Const]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type config = {
+  num_states : int;
+  num_input_vars : int;
+  deterministic : bool;
+  extra_transitions : int;
+  leaders : int;
+}
+
+let default =
+  {
+    num_states = 4;
+    num_input_vars = 1;
+    deterministic = true;
+    extra_transitions = 0;
+    leaders = 0;
+  }
+
+(* A tiny self-contained LCG so the generator does not perturb (or
+   depend on) any other random stream. *)
+let make_stream seed =
+  let state = ref ((seed * 2654435761) + 1) in
+  fun bound ->
+    (* Java-style 48-bit LCG constants, comfortably inside 63-bit ints. *)
+    state := ((!state * 0x5DEECE66D) + 0xB) land ((1 lsl 48) - 1);
+    (!state lsr 17) mod bound
+
+let generate ?(config = default) ~seed () =
+  let { num_states = d; num_input_vars; deterministic; extra_transitions; leaders } =
+    config
+  in
+  if d < 1 then invalid_arg "Protocol_gen.generate: num_states >= 1";
+  if num_input_vars < 1 then invalid_arg "Protocol_gen.generate: inputs >= 1";
+  let next = make_stream seed in
+  let pairs =
+    List.concat_map
+      (fun i -> List.map (fun j -> (i, j)) (List.init (d - i) (fun k -> i + k)))
+      (List.init d Fun.id)
+  in
+  let parr = Array.of_list pairs in
+  let random_pair () = parr.(next (Array.length parr)) in
+  let base =
+    List.map
+      (fun (a, b) ->
+        let a', b' = random_pair () in
+        (a, b, a', b'))
+      pairs
+  in
+  let extra =
+    if deterministic then []
+    else
+      List.init extra_transitions (fun _ ->
+          let a, b = random_pair () and a', b' = random_pair () in
+          (a, b, a', b'))
+  in
+  let inputs =
+    List.init num_input_vars (fun i -> (Printf.sprintf "x%d" i, next d))
+  in
+  let leaders = List.init leaders (fun _ -> (next d, 1)) in
+  let output = Array.init d (fun _ -> next 2 = 0) in
+  Population.make
+    ~name:(Printf.sprintf "random-%d-%d" d seed)
+    ~states:(Array.init d (Printf.sprintf "q%d"))
+    ~transitions:(base @ extra) ~leaders ~inputs ~output ()

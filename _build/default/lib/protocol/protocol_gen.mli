@@ -1,0 +1,20 @@
+(** Seeded random protocol generation, for property-based testing and
+    fuzzing the analysis engines against each other.
+
+    Determinism: the same parameters and seed always yield the same
+    protocol (the generator uses its own linear congruential stream, so
+    it does not depend on any global random state). *)
+
+type config = {
+  num_states : int;
+  num_input_vars : int;      (** input variables [x0, …], mapped to random states *)
+  deterministic : bool;      (** at most one transition per state pair *)
+  extra_transitions : int;   (** additional random transitions when not deterministic *)
+  leaders : int;             (** leader agents placed on random states *)
+}
+
+val default : config
+(** 4 states, 1 input variable, deterministic, complete, leaderless. *)
+
+val generate : ?config:config -> seed:int -> unit -> Population.t
+(** A complete protocol: every state pair has at least one transition. *)

@@ -1,0 +1,126 @@
+type partial = {
+  mutable name : string option;
+  mutable states : string array option;
+  mutable inputs : (string * string) list; (* var, state name; reversed *)
+  mutable leaders : (int * string) list;
+  mutable accept : string list;
+  mutable trans : (string * string * string * string) list; (* reversed *)
+}
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let tokens_of_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let process_line p lineno line =
+  match tokens_of_line line with
+  | [] -> ()
+  | "protocol" :: rest ->
+    (match rest with
+     | [ n ] -> p.name <- Some n
+     | _ -> fail lineno "expected: protocol <name>")
+  | "states" :: rest ->
+    if rest = [] then fail lineno "expected at least one state";
+    if p.states <> None then fail lineno "duplicate states directive";
+    p.states <- Some (Array.of_list rest)
+  | "input" :: rest ->
+    (match rest with
+     | [ var; "->"; st ] -> p.inputs <- (var, st) :: p.inputs
+     | _ -> fail lineno "expected: input <var> -> <state>")
+  | "leader" :: rest ->
+    (match rest with
+     | [ count; st ] ->
+       (match int_of_string_opt count with
+        | Some k when k >= 0 -> p.leaders <- (k, st) :: p.leaders
+        | _ -> fail lineno "expected a non-negative leader count")
+     | _ -> fail lineno "expected: leader <count> <state>")
+  | "accept" :: rest -> p.accept <- p.accept @ rest
+  | "trans" :: rest ->
+    (match rest with
+     | [ a; b; "->"; a'; b' ] -> p.trans <- (a, b, a', b') :: p.trans
+     | _ -> fail lineno "expected: trans <p> <q> -> <p'> <q'>")
+  | tok :: _ -> fail lineno (Printf.sprintf "unknown directive %S" tok)
+
+let build p =
+  let states =
+    match p.states with
+    | Some s -> s
+    | None -> fail 0 "missing states directive"
+  in
+  let index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem index s then fail 0 (Printf.sprintf "duplicate state %S" s);
+      Hashtbl.add index s i)
+    states;
+  let lookup what s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None -> fail 0 (Printf.sprintf "%s refers to unknown state %S" what s)
+  in
+  let name = Option.value p.name ~default:"unnamed" in
+  let inputs =
+    List.rev_map (fun (v, s) -> (v, lookup "input" s)) p.inputs
+  in
+  if inputs = [] then fail 0 "missing input directive";
+  let leaders = List.rev_map (fun (k, s) -> (lookup "leader" s, k)) p.leaders in
+  let output = Array.make (Array.length states) false in
+  List.iter (fun s -> output.(lookup "accept" s) <- true) p.accept;
+  let transitions =
+    List.rev_map
+      (fun (a, b, a', b') ->
+        (lookup "trans" a, lookup "trans" b, lookup "trans" a', lookup "trans" b'))
+      p.trans
+  in
+  Population.make ~name ~states ~transitions ~leaders ~inputs ~output ()
+
+let parse_string text =
+  let p =
+    { name = None; states = None; inputs = []; leaders = []; accept = []; trans = [] }
+  in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line -> process_line p (i + 1) line);
+    Ok (build p)
+  with
+  | Parse_error (0, msg) -> Error msg
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error msg -> Error msg
+
+let to_string (p : Population.t) =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "protocol %s" p.name;
+  line "states %s" (String.concat " " (Array.to_list p.states));
+  Array.iteri
+    (fun x st -> line "input %s -> %s" p.input_vars.(x) p.states.(st))
+    p.input_map;
+  Array.iteri
+    (fun st count -> if count > 0 then line "leader %d %s" count p.states.(st))
+    (Mset.to_intvec p.leaders);
+  let accepting =
+    List.filter_map
+      (fun i -> if p.output.(i) then Some p.states.(i) else None)
+      (List.init (Array.length p.states) Fun.id)
+  in
+  if accepting <> [] then line "accept %s" (String.concat " " accepting);
+  Array.iter
+    (fun { Population.pre = a, b; post = a', b' } ->
+      line "trans %s %s -> %s %s" p.states.(a) p.states.(b) p.states.(a')
+        p.states.(b'))
+    p.transitions;
+  Buffer.contents buf

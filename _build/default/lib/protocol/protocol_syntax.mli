@@ -1,0 +1,21 @@
+(** A small line-oriented concrete syntax for population protocols, so
+    that the CLI tools can load protocols from files and the catalog can
+    be exported.
+
+    Format (one directive per line, [#] starts a comment):
+    {v
+    protocol <name>
+    states <s0> <s1> ...
+    input <var> -> <state>          (repeatable; at least one)
+    leader <count> <state>          (optional, repeatable)
+    accept <state> ...              (states with output 1; repeatable)
+    trans <p> <q> -> <p'> <q'>      (repeatable)
+    v} *)
+
+val parse_string : string -> (Population.t, string) result
+(** Errors carry a line number and a description. *)
+
+val parse_file : string -> (Population.t, string) result
+
+val to_string : Population.t -> string
+(** Round-trips through {!parse_string}. *)

@@ -1,0 +1,1 @@
+lib/sim/gillespie.ml: Array Fun Intvec List Mset Population Splitmix64

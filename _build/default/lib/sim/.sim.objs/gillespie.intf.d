@@ -1,0 +1,1 @@
+lib/sim/gillespie.mli: Mset Population Splitmix64

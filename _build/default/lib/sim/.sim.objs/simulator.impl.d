@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Hashtbl List Mset Option Population Splitmix64 Stdlib

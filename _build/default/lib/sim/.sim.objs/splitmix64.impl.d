@@ -1,0 +1,1 @@
+lib/sim/splitmix64.ml: Int64

@@ -1,0 +1,84 @@
+type run_result = {
+  time : float;
+  steps : int;
+  last_change : float;
+  output : bool option;
+  final : Mset.t;
+  converged : bool;
+}
+
+let is_identity p t = Intvec.norm1 (Population.displacement p t) = 0
+
+let propensity p counts t =
+  let { Population.pre = a, b; _ } = p.Population.transitions.(t) in
+  if a = b then float_of_int (counts.(a) * (counts.(a) - 1)) /. 2.0
+  else float_of_int (counts.(a) * counts.(b))
+
+let status_of ones total : bool option =
+  if ones = total then Some true else if ones = 0 then Some false else None
+
+let run ?(max_steps = 5_000_000) ?(quiet_time = 64.0) ?(rate = 1.0) ~rng p c0 =
+  let d = Population.num_states p in
+  let counts = Array.init d (Mset.get c0) in
+  let total = Mset.size c0 in
+  if total < 2 then invalid_arg "Gillespie.run: population size >= 2 required";
+  let productive =
+    List.filter
+      (fun t -> not (is_identity p t))
+      (List.init (Population.num_transitions p) Fun.id)
+  in
+  let scale = rate /. float_of_int total in
+  let ones = ref 0 in
+  Array.iteri (fun s c -> if p.Population.output.(s) then ones := !ones + c) counts;
+  let time = ref 0.0 in
+  let last_change = ref 0.0 in
+  let status = ref (status_of !ones total) in
+  let steps = ref 0 in
+  let inert = ref false in
+  let quiet () = !status <> None && !time -. !last_change >= quiet_time in
+  while (not !inert) && (not (quiet ())) && !steps < max_steps do
+    let props = List.map (fun t -> (t, propensity p counts t *. scale)) productive in
+    let total_rate = List.fold_left (fun acc (_, h) -> acc +. h) 0.0 props in
+    if total_rate <= 0.0 then inert := true
+    else begin
+      let u = Splitmix64.float_unit rng in
+      let dt = -.log (1.0 -. u) /. total_rate in
+      time := !time +. dt;
+      if quiet () then ()
+      else begin
+        (* select a reaction proportionally to its propensity *)
+        let target = Splitmix64.float_unit rng *. total_rate in
+        let rec pick acc = function
+          | [] -> List.hd (List.rev productive)
+          | (t, h) :: rest -> if acc +. h >= target then t else pick (acc +. h) rest
+        in
+        let t = pick 0.0 props in
+        incr steps;
+        let { Population.pre = a, b; post = a', b' } = p.Population.transitions.(t) in
+        let adjust s delta =
+          counts.(s) <- counts.(s) + delta;
+          if p.Population.output.(s) then ones := !ones + delta
+        in
+        adjust a (-1);
+        adjust b (-1);
+        adjust a' 1;
+        adjust b' 1;
+        let status' = status_of !ones total in
+        if status' <> !status then begin
+          status := status';
+          last_change := !time
+        end
+      end
+    end
+  done;
+  {
+    time = !time;
+    steps = !steps;
+    last_change = !last_change;
+    output = !status;
+    final = Mset.of_array counts;
+    converged = !inert || quiet ();
+  }
+
+let run_input ?max_steps ?quiet_time ?rate ~rng p v =
+  run ?max_steps ?quiet_time ?rate ~rng p (Population.initial_config p v)

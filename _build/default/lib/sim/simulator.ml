@@ -1,0 +1,105 @@
+type run_result = {
+  steps : int;
+  last_change : int;
+  output : bool option;
+  final : Mset.t;
+  converged : bool;
+}
+
+(* Lookup from a canonical state pair to the indices of the transitions
+   it enables. *)
+let pair_table p =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (tr : Population.transition) ->
+      let prev = Option.value (Hashtbl.find_opt tbl tr.pre) ~default:[] in
+      Hashtbl.replace tbl tr.pre (i :: prev))
+    p.Population.transitions;
+  Hashtbl.fold (fun k v acc -> (k, Array.of_list v) :: acc) tbl []
+  |> List.to_seq |> Hashtbl.of_seq
+
+(* Sample the states of two distinct agents drawn uniformly from the
+   population described by [counts]. *)
+let sample_pair rng counts total =
+  let pick_index k =
+    (* k is a position in 0..total-1 over agents grouped by state *)
+    let rec go s acc =
+      let acc' = acc + counts.(s) in
+      if k < acc' then s else go (s + 1) acc'
+    in
+    go 0 0
+  in
+  let k1 = Splitmix64.int_below rng total in
+  let s1 = pick_index k1 in
+  (* remove agent 1, draw agent 2 from the remaining total-1 *)
+  counts.(s1) <- counts.(s1) - 1;
+  let k2 = Splitmix64.int_below rng (total - 1) in
+  let s2 = pick_index k2 in
+  counts.(s1) <- counts.(s1) + 1;
+  (s1, s2)
+
+let status_of ones total : bool option =
+  if ones = total then Some true else if ones = 0 then Some false else None
+
+let run ?(max_steps = 50_000_000) ?(quiet_window = 64.0) ~rng p c0 =
+  let d = Population.num_states p in
+  let counts = Array.init d (Mset.get c0) in
+  let total = Mset.size c0 in
+  if total < 2 then invalid_arg "Simulator.run: population size >= 2 required";
+  let table = pair_table p in
+  let ones = ref 0 in
+  Array.iteri (fun s c -> if p.Population.output.(s) then ones := !ones + c) counts;
+  let quiet_steps =
+    int_of_float (quiet_window *. float_of_int total) |> Stdlib.max 1
+  in
+  let last_change = ref 0 in
+  let status = ref (status_of !ones total) in
+  let step = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !step < max_steps do
+    incr step;
+    let s1, s2 = sample_pair rng counts total in
+    let pre = if s1 <= s2 then (s1, s2) else (s2, s1) in
+    (match Hashtbl.find_opt table pre with
+     | None -> ()
+     | Some trs ->
+       let i =
+         if Array.length trs = 1 then trs.(0)
+         else trs.(Splitmix64.int_below rng (Array.length trs))
+       in
+       let { Population.post = p1, p2; _ } = p.Population.transitions.(i) in
+       let adjust s delta =
+         counts.(s) <- counts.(s) + delta;
+         if p.Population.output.(s) then ones := !ones + delta
+       in
+       adjust s1 (-1);
+       adjust s2 (-1);
+       adjust p1 1;
+       adjust p2 1);
+    let status' = status_of !ones total in
+    if status' <> !status then begin
+      status := status';
+      last_change := !step
+    end;
+    if !step - !last_change >= quiet_steps && !status <> None then finished := true
+  done;
+  {
+    steps = !step;
+    last_change = !last_change;
+    output = !status;
+    final = Mset.of_array counts;
+    converged = !finished;
+  }
+
+let run_input ?max_steps ?quiet_window ~rng p v =
+  run ?max_steps ?quiet_window ~rng p (Population.initial_config p v)
+
+let parallel_time r ~population =
+  float_of_int r.last_change /. float_of_int population
+
+let sample_parallel_times ?(runs = 10) ?max_steps ?quiet_window ~rng p v =
+  let c0 = Population.initial_config p v in
+  let population = Mset.size c0 in
+  List.init runs (fun _ -> run ?max_steps ?quiet_window ~rng p c0)
+  |> List.filter (fun r -> r.converged)
+  |> List.map (fun r -> parallel_time r ~population)

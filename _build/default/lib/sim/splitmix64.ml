@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next g) 2)
+
+let int_below g n =
+  if n <= 0 then invalid_arg "Splitmix64.int_below: n >= 1 required";
+  (* Rejection sampling over the largest multiple of n below 2^62. *)
+  let bound = (max_int / n) * n in
+  let rec draw () =
+    let v = next_nonneg g in
+    if v < bound then v mod n else draw ()
+  in
+  draw ()
+
+let float_unit g =
+  let v = Int64.to_int (Int64.shift_right_logical (next g) 11) in
+  float_of_int v *. (1.0 /. 9007199254740992.0)
+
+let split g =
+  let seed = Int64.to_int (next g) in
+  create seed

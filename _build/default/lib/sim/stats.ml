@@ -1,0 +1,32 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let quantile q = function
+  | [] -> invalid_arg "Stats.quantile: empty"
+  | xs ->
+    if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+    let a = Array.of_list xs in
+    Array.sort Stdlib.compare a;
+    let n = Array.length a in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+    let frac = pos -. floor pos in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+
+let median xs = quantile 0.5 xs
+
+let summary = function
+  | [] -> "n=0"
+  | xs ->
+    Printf.sprintf "mean=%.2f sd=%.2f med=%.2f n=%d" (mean xs) (stddev xs)
+      (median xs) (List.length xs)

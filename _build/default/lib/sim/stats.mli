@@ -1,0 +1,17 @@
+(** Small descriptive-statistics helpers for simulation experiments. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons.
+    @raise Invalid_argument on an empty list. *)
+
+val quantile : float -> float list -> float
+(** [quantile q xs] for [0 <= q <= 1], by linear interpolation.
+    @raise Invalid_argument on an empty list or out-of-range [q]. *)
+
+val median : float list -> float
+
+val summary : float list -> string
+(** ["mean=… sd=… med=… n=…"], or ["n=0"] when empty. *)

@@ -1,0 +1,1 @@
+lib/verify/configgraph.ml: Array Hashtbl List Mset Population Stdlib

@@ -1,0 +1,1 @@
+lib/verify/configgraph.mli: Mset Population

@@ -1,0 +1,1 @@
+lib/verify/eta_search.ml: Array Fair_semantics Format List Population String

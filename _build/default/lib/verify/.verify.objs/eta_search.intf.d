@@ -1,0 +1,1 @@
+lib/verify/eta_search.mli: Fair_semantics Format Population

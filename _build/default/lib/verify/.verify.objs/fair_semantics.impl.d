@@ -1,0 +1,1 @@
+lib/verify/fair_semantics.ml: Array Bool Configgraph Format List Mset Population Predicate Scc Stdlib

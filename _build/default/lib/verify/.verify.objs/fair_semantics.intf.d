@@ -1,0 +1,1 @@
+lib/verify/fair_semantics.mli: Format Mset Population Predicate

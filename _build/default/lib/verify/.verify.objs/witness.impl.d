@@ -1,0 +1,1 @@
+lib/verify/witness.ml: Array Configgraph Format Hashtbl List Mset Option Population Queue

@@ -1,0 +1,1 @@
+lib/verify/witness.mli: Format Mset Population

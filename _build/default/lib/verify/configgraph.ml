@@ -1,0 +1,111 @@
+module H = Hashtbl.Make (struct
+  type t = Mset.t
+
+  let equal = Mset.equal
+  let hash = Mset.hash
+end)
+
+type t = {
+  protocol : Population.t;
+  configs : Mset.t array;
+  succ : int array array;
+  root : int;
+}
+
+exception Too_many_configs of int
+
+(* A minimal growable array (OCaml 5.1 predates Stdlib.Dynarray). *)
+module Grow = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 64 dummy; len = 0; dummy }
+
+  let push g x =
+    if g.len = Array.length g.data then begin
+      let data = Array.make (2 * g.len) g.dummy in
+      Array.blit g.data 0 data 0 g.len;
+      g.data <- data
+    end;
+    g.data.(g.len) <- x;
+    g.len <- g.len + 1
+
+  let get g i = g.data.(i)
+  let to_array g = Array.sub g.data 0 g.len
+end
+
+let explore ?(max_configs = 2_000_000) p c0 =
+  let index = H.create 1024 in
+  let configs = Grow.create (Mset.zero 0) in
+  let succs = Grow.create [||] in
+  let intern c =
+    match H.find_opt index c with
+    | Some i -> i
+    | None ->
+      if configs.Grow.len >= max_configs then
+        raise (Too_many_configs max_configs);
+      let i = configs.Grow.len in
+      H.add index c i;
+      Grow.push configs c;
+      i
+  in
+  let root = intern c0 in
+  let i = ref 0 in
+  while !i < configs.Grow.len do
+    let c = Grow.get configs !i in
+    let next = Population.distinct_successors p c in
+    let idxs =
+      List.sort_uniq Stdlib.compare (List.map intern next)
+      |> List.filter (fun j -> j <> !i)
+    in
+    Grow.push succs (Array.of_list idxs);
+    incr i
+  done;
+  {
+    protocol = p;
+    configs = Grow.to_array configs;
+    succ = Grow.to_array succs;
+    root;
+  }
+
+let num_configs g = Array.length g.configs
+
+let find g c =
+  let n = num_configs g in
+  let rec go i =
+    if i >= n then None
+    else if Mset.equal g.configs.(i) c then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let reachable_from g src =
+  let n = num_configs g in
+  let seen = Array.make n false in
+  let stack = ref [ src ] in
+  seen.(src) <- true;
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      Array.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            stack := w :: !stack
+          end)
+        g.succ.(v);
+      loop ()
+  in
+  loop ();
+  seen
+
+let can_reach g ~src pred =
+  let seen = reachable_from g src in
+  let n = num_configs g in
+  let rec go i =
+    if i >= n then false
+    else if seen.(i) && pred g.configs.(i) then true
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** Explicit-state exploration of the configuration space.
+
+    For a fixed input, the set of configurations reachable from [IC(v)]
+    is finite (interactions preserve the number of agents), so the
+    reachability graph can be built exhaustively. This graph is the
+    ground truth for the semantics of Section 2.2: reachability
+    ([C →* C']), fair-execution outcomes, and stability are all decided
+    on it. *)
+
+type t = private {
+  protocol : Population.t;
+  configs : Mset.t array;     (** node index -> configuration *)
+  succ : int array array;     (** distinct successor node indices *)
+  root : int;                  (** index of the initial configuration *)
+}
+
+exception Too_many_configs of int
+(** Raised by {!explore} when the exploration exceeds its node budget. *)
+
+val explore : ?max_configs:int -> Population.t -> Mset.t -> t
+(** [explore p c0] builds the graph of configurations reachable from
+    [c0]. Default budget: 2_000_000 nodes.
+    @raise Too_many_configs if the budget is exceeded. *)
+
+val num_configs : t -> int
+
+val find : t -> Mset.t -> int option
+(** Index of a configuration in the graph, if reachable. *)
+
+val reachable_from : t -> int -> bool array
+(** Forward closure of a node, as a membership array. *)
+
+val can_reach : t -> src:int -> (Mset.t -> bool) -> bool
+(** Does some configuration satisfying the predicate lie in the forward
+    closure of [src]? *)

@@ -1,0 +1,42 @@
+type result =
+  | Eta of int
+  | Always_accepts
+  | Always_rejects
+  | Not_threshold of int array * Fair_semantics.verdict
+
+let pp_result fmt = function
+  | Eta eta -> Format.fprintf fmt "eta = %d" eta
+  | Always_accepts -> Format.pp_print_string fmt "accepts all checked inputs"
+  | Always_rejects -> Format.pp_print_string fmt "rejects all checked inputs"
+  | Not_threshold (v, verdict) ->
+    Format.fprintf fmt "not a threshold protocol (input %s: %a)"
+      (String.concat "," (Array.to_list (Array.map string_of_int v)))
+      Fair_semantics.pp_verdict verdict
+
+let find ?max_configs p ~max_input =
+  if Array.length p.Population.input_vars <> 1 then
+    invalid_arg "Eta_search.find: single-input protocols only";
+  let inputs = Fair_semantics.valid_inputs_single p ~max:max_input in
+  (* Scan upwards; record where the output flips to 1 and insist it
+     never flips back. *)
+  let rec go flipped = function
+    | [] ->
+      (match flipped with
+       | Some eta ->
+         let first = List.hd inputs in
+         if eta = first then Always_accepts else Eta eta
+       | None -> Always_rejects)
+    | i :: rest ->
+      (match Fair_semantics.decide ?max_configs p [| i |] with
+       | Fair_semantics.Decides true ->
+         let flipped = match flipped with Some _ -> flipped | None -> Some i in
+         go flipped rest
+       | Fair_semantics.Decides false ->
+         (match flipped with
+          | Some _ -> Not_threshold ([| i |], Fair_semantics.Decides false)
+          | None -> go None rest)
+       | verdict -> Not_threshold ([| i |], verdict))
+  in
+  match inputs with
+  | [] -> invalid_arg "Eta_search.find: no valid inputs below the cutoff"
+  | _ -> go None inputs

@@ -1,0 +1,23 @@
+(** Exact determination of the threshold of a busy-beaver protocol.
+
+    A protocol computing some [x >= eta] (Section 2.3) rejects all
+    inputs below [eta] and accepts all inputs from [eta] on. This
+    module finds [eta] by deciding each input exactly (up to a cutoff —
+    the configuration graphs grow quickly, so cutoffs are inherent;
+    Section 4.1 of the paper explains why certifying thresholds in
+    general is as hard as VAS reachability). *)
+
+type result =
+  | Eta of int
+      (** rejects below, accepts from this input up to the cutoff *)
+  | Always_accepts       (** accepts every checked input *)
+  | Always_rejects       (** rejects every checked input (eta beyond cutoff, if any) *)
+  | Not_threshold of int array * Fair_semantics.verdict
+      (** some input breaks the 0*1* threshold pattern, or is undecided *)
+
+val find : ?max_configs:int -> Population.t -> max_input:int -> result
+(** [find p ~max_input] decides every valid input [<= max_input] of a
+    single-input-variable protocol.
+    @raise Invalid_argument if the protocol has several input variables. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,69 @@
+type verdict =
+  | Decides of bool
+  | No_consensus
+  | Conflicting
+
+let pp_verdict fmt = function
+  | Decides b -> Format.fprintf fmt "decides %d" (Bool.to_int b)
+  | No_consensus -> Format.pp_print_string fmt "no consensus in some bottom SCC"
+  | Conflicting -> Format.pp_print_string fmt "conflicting bottom SCCs"
+
+(* Consensus output of a whole component: Some b if every member
+   configuration has output b. *)
+let component_output p (g : Configgraph.t) members =
+  let rec go members acc =
+    match members with
+    | [] -> acc
+    | v :: rest ->
+      (match Population.output_of_config p g.Configgraph.configs.(v) with
+       | None -> None
+       | Some b ->
+         (match acc with
+          | None -> go rest (Some b)
+          | Some b' -> if b = b' then go rest acc else None))
+  in
+  go members None
+
+let decide_config ?max_configs p c0 =
+  let g = Configgraph.explore ?max_configs p c0 in
+  let scc = Scc.compute g.Configgraph.succ in
+  (* Every node of the graph is reachable from the root by construction,
+     so every bottom SCC is relevant; a finite non-empty graph has at
+     least one. *)
+  let rec go seen = function
+    | [] ->
+      (match seen with
+       | Some b -> Decides b
+       | None -> assert false)
+    | comp :: rest ->
+      (match component_output p g scc.Scc.members.(comp) with
+       | None -> No_consensus
+       | Some b ->
+         (match seen with
+          | None -> go (Some b) rest
+          | Some b' -> if b = b' then go seen rest else Conflicting))
+  in
+  go None (Scc.bottom_components scc)
+
+let decide ?max_configs p v =
+  decide_config ?max_configs p (Population.initial_config p v)
+
+type check_result =
+  | Ok_all of int
+  | Mismatch of int array * verdict * bool
+
+let check_predicate ?max_configs p spec ~inputs =
+  let rec go n = function
+    | [] -> Ok_all n
+    | v :: rest ->
+      let expected = Predicate.eval spec v in
+      (match decide ?max_configs p v with
+       | Decides b when b = expected -> go (n + 1) rest
+       | verdict -> Mismatch (v, verdict, expected))
+  in
+  go 0 inputs
+
+let valid_inputs_single p ~max =
+  let leaders = Mset.size p.Population.leaders in
+  let lo = Stdlib.max 0 (2 - leaders) in
+  List.init (Stdlib.max 0 (max - lo + 1)) (fun i -> i + lo)

@@ -1,0 +1,88 @@
+type t = {
+  component : int array;
+  num_components : int;
+  is_bottom : bool array;
+  members : int list array;
+}
+
+(* Iterative Tarjan; the recursion is unrolled with an explicit frame
+   stack because configuration graphs can have very long paths. *)
+let compute (succ : int array array) =
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Each frame is (node, next child position). *)
+  let frames = ref [] in
+  let push_node v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    frames := (v, ref 0) :: !frames
+  in
+  let pop_component v =
+    let comp = !next_comp in
+    incr next_comp;
+    let rec pop () =
+      match !stack with
+      | [] -> assert false
+      | w :: rest ->
+        stack := rest;
+        on_stack.(w) <- false;
+        component.(w) <- comp;
+        if w <> v then pop ()
+    in
+    pop ()
+  in
+  let run root =
+    push_node root;
+    let rec loop () =
+      match !frames with
+      | [] -> ()
+      | (v, child) :: rest ->
+        if !child < Array.length succ.(v) then begin
+          let w = succ.(v).(!child) in
+          incr child;
+          if index.(w) = -1 then push_node w
+          else if on_stack.(w) then
+            lowlink.(v) <- Stdlib.min lowlink.(v) index.(w)
+        end
+        else begin
+          frames := rest;
+          (match rest with
+           | (parent, _) :: _ ->
+             lowlink.(parent) <- Stdlib.min lowlink.(parent) lowlink.(v)
+           | [] -> ());
+          if lowlink.(v) = index.(v) then pop_component v
+        end;
+        loop ()
+    in
+    loop ()
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then run v
+  done;
+  let num_components = !next_comp in
+  let is_bottom = Array.make num_components true in
+  let members = Array.make num_components [] in
+  for v = 0 to n - 1 do
+    members.(component.(v)) <- v :: members.(component.(v));
+    Array.iter
+      (fun w ->
+        if component.(w) <> component.(v) then is_bottom.(component.(v)) <- false)
+      succ.(v)
+  done;
+  { component; num_components; is_bottom; members }
+
+let bottom_components t =
+  let acc = ref [] in
+  for c = t.num_components - 1 downto 0 do
+    if t.is_bottom.(c) then acc := c :: !acc
+  done;
+  !acc

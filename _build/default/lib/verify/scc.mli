@@ -1,0 +1,21 @@
+(** Strongly connected components of a configuration graph (iterative
+    Tarjan), and identification of the {e bottom} components — those
+    with no edge leaving them.
+
+    Fair executions (Section 2.2) almost surely end inside a bottom SCC
+    and then visit each of its configurations infinitely often, so the
+    possible limiting behaviours of a protocol on a given input are
+    exactly the bottom SCCs reachable from the initial configuration. *)
+
+type t = private {
+  component : int array;      (** node -> component id *)
+  num_components : int;
+  is_bottom : bool array;     (** component id -> bottomness *)
+  members : int list array;   (** component id -> member nodes *)
+}
+
+val compute : int array array -> t
+(** [compute succ] for a graph given by successor adjacency. *)
+
+val bottom_components : t -> int list
+(** Ids of the bottom components. *)

@@ -1,0 +1,1 @@
+lib/wqo/bad_sequences.ml: Array Dickson Intvec List

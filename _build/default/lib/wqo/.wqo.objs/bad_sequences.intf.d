@@ -1,0 +1,1 @@
+lib/wqo/bad_sequences.mli: Intvec

@@ -1,0 +1,1 @@
+lib/wqo/dickson.ml: Array Intvec List Seq

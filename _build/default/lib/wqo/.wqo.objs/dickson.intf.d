@@ -1,0 +1,1 @@
+lib/wqo/dickson.mli: Intvec Seq

@@ -1,0 +1,77 @@
+(* All vectors of N^dim with ‖v‖₁ <= budget, in descending lexicographic
+   order (largest first coordinate first) — the order in which both the
+   exact search and the greedy strategy prefer to try them. *)
+let vectors_up_to ~dim ~budget =
+  let rec go d budget =
+    if d = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun first -> List.map (fun rest -> first :: rest) (go (d - 1) (budget - first)))
+        (List.init (budget + 1) (fun i -> budget - i))
+  in
+  List.map Array.of_list (go dim budget)
+
+let allowed chosen v =
+  (* appending v keeps the sequence bad iff no earlier vector is <= v *)
+  not (List.exists (fun u -> Intvec.leq u v) chosen)
+
+let max_length_exact ~dim ~delta ~budget =
+  if dim < 1 then invalid_arg "Bad_sequences.max_length_exact: dim >= 1";
+  let nodes = ref 0 in
+  let best = ref 0 in
+  let exception Out_of_budget in
+  (* chosen is kept in reverse order; position i = List.length chosen *)
+  let rec dfs chosen i =
+    incr nodes;
+    if !nodes > budget then raise Out_of_budget;
+    if i > !best then best := i;
+    let options =
+      List.filter (allowed chosen) (vectors_up_to ~dim ~budget:(i + delta))
+    in
+    List.iter (fun v -> dfs (v :: chosen) (i + 1)) options
+  in
+  match dfs [] 0 with
+  | () -> Some !best
+  | exception Out_of_budget -> None
+
+let greedy_sequence ~dim ~delta ~max_len =
+  if dim < 1 then invalid_arg "Bad_sequences.greedy_sequence: dim >= 1";
+  let rec go chosen i =
+    if i >= max_len then List.rev chosen
+    else begin
+      match
+        List.find_opt (allowed chosen) (vectors_up_to ~dim ~budget:(i + delta))
+      with
+      | Some v -> go (v :: chosen) (i + 1)
+      | None -> List.rev chosen
+    end
+  in
+  go [] 0
+
+let descending_staircase ~delta ~max_len =
+  (* First coordinate walks delta, delta-1, …, 0; at each level the
+     second coordinate spins down from its control bound. *)
+  let out = ref [] in
+  let len = ref 0 in
+  (try
+     let i = ref 0 in
+     for a = delta downto 0 do
+       let start = !i + delta - a in
+       for c = start downto 0 do
+         if !len >= max_len then raise Exit;
+         out := [| a; c |] :: !out;
+         incr len;
+         incr i
+       done
+     done
+   with Exit -> ());
+  List.rev !out
+
+let is_controlled_bad ~delta vs =
+  let arr = Array.of_list vs in
+  let controlled =
+    List.for_all
+      (fun (i, v) -> Intvec.norm1 v <= i + delta)
+      (List.mapi (fun i v -> (i, v)) vs)
+  in
+  controlled && Dickson.is_bad arr

@@ -1,0 +1,46 @@
+let first_ascending_pair seq =
+  (* Keep all previous vectors; for each new one scan for a dominated
+     predecessor. *)
+  let rec go prev j seq =
+    match Seq.uncons seq with
+    | None -> None
+    | Some (v, rest) ->
+      let rec scan = function
+        | [] -> go ((j, v) :: prev) (j + 1) rest
+        | (i, u) :: others ->
+          if Intvec.leq u v then Some (i, j) else scan others
+      in
+      scan (List.rev prev)
+  in
+  go [] 0 seq
+
+let ascending_chain vs k =
+  if k <= 0 then invalid_arg "Dickson.ascending_chain: k >= 1 required";
+  let n = Array.length vs in
+  (* best.(j) = length of the longest ascending chain ending at j;
+     pred.(j) = previous index on such a chain. *)
+  let best = Array.make n 1 in
+  let pred = Array.make n (-1) in
+  let found = ref None in
+  (try
+     for j = 0 to n - 1 do
+       for i = 0 to j - 1 do
+         if Intvec.leq vs.(i) vs.(j) && best.(i) + 1 > best.(j) then begin
+           best.(j) <- best.(i) + 1;
+           pred.(j) <- i
+         end
+       done;
+       if best.(j) >= k then begin
+         found := Some j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !found with
+  | None -> None
+  | Some j ->
+    let rec collect j acc = if j < 0 then acc else collect pred.(j) (j :: acc) in
+    Some (collect j [])
+
+let is_bad vs =
+  first_ascending_pair (Array.to_seq vs) = None

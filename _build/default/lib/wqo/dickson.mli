@@ -1,0 +1,20 @@
+(** Dickson's lemma (Lemma 4.3) made effective: witnesses for the
+    well-quasi-ordering of [(N^d, <=)].
+
+    Every infinite sequence of vectors contains an ascending pair —
+    indeed an infinite ascending subsequence; these functions find the
+    first such witnesses in a given finite or lazy sequence. *)
+
+val first_ascending_pair : Intvec.t Seq.t -> (int * int) option
+(** First (in lexicographic (j, i) order of discovery) pair of indices
+    [i < j] with [v_i <= v_j]. Consumes the sequence until a witness
+    appears; diverges on an infinite bad sequence (which, by Dickson's
+    lemma, does not exist — but a lazy caller may bound the input). *)
+
+val ascending_chain : Intvec.t array -> int -> int list option
+(** [ascending_chain vs k]: indices [i_1 < … < i_k] with
+    [v_{i_1} <= … <= v_{i_k}], if the array contains such a chain
+    (dynamic programming over the dominance order); [None] otherwise. *)
+
+val is_bad : Intvec.t array -> bool
+(** No ascending pair — a {e bad} sequence in wqo terminology. *)

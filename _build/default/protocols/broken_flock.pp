@@ -1,0 +1,12 @@
+# A deliberately broken variant of flock8 (the v4 merge is missing), kept
+# as a regression input: verification must NOT report threshold 8.
+protocol broken-flock8
+states v0 v1 v2 v4 v8
+input x -> v1
+accept v8
+trans v1 v1 -> v0 v2
+trans v2 v2 -> v0 v4
+trans v0 v8 -> v8 v8
+trans v1 v8 -> v8 v8
+trans v2 v8 -> v8 v8
+trans v4 v8 -> v8 v8

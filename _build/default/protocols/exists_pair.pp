@@ -1,0 +1,9 @@
+# Are there at least two agents observing the event E? (x_E >= 2)
+protocol exists-pair
+states idle seen T
+input N -> idle
+input E -> seen
+accept T
+trans seen seen -> T T
+trans T idle -> T T
+trans T seen -> T T

@@ -1,0 +1,13 @@
+# Example 2.1 (succinct form): do at least 8 birds report a high temperature?
+# Agents hold 0 or a power of two; equal powers merge; reaching 8 floods accept.
+protocol flock8
+states v0 v1 v2 v4 v8
+input x -> v1
+accept v8
+trans v1 v1 -> v0 v2
+trans v2 v2 -> v0 v4
+trans v4 v4 -> v0 v8
+trans v0 v8 -> v8 v8
+trans v1 v8 -> v8 v8
+trans v2 v8 -> v8 v8
+trans v4 v8 -> v8 v8

@@ -1,0 +1,10 @@
+# 4-state exact majority: is A strictly ahead of B? (ties reject)
+protocol majority
+states A B a b
+input A -> A
+input B -> B
+accept A a
+trans A B -> a b
+trans A b -> A a
+trans B a -> B b
+trans a b -> b b

@@ -1,0 +1,13 @@
+# Is the number of agents odd? One accumulator keeps the running parity;
+# everyone else copies its verdict.
+protocol parity
+states acc0 acc1 no yes
+input x -> acc1
+accept acc1 yes
+trans acc0 acc0 -> acc0 no
+trans acc0 acc1 -> acc1 yes
+trans acc1 acc1 -> acc0 no
+trans acc0 no -> acc0 no
+trans acc0 yes -> acc0 no
+trans acc1 no -> acc1 yes
+trans acc1 yes -> acc1 yes

@@ -1,0 +1,1 @@
+test/test_bigarith.ml: Alcotest Bigint Bignat List Magnitude Option Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Bignat Factorial_bounds Fgh Flock List Magnitude Option Population Printf QCheck QCheck_alcotest Rackoff

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Eta_search Fair_semantics Filename List Population Predicate Protocol_syntax Sys

@@ -1,0 +1,1 @@
+test/test_hilbert.ml: Alcotest Array Bignat Diophantine Hilbert_basis List Option Printf QCheck QCheck_alcotest Stdlib String

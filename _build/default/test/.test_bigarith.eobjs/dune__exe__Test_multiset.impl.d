@@ -1,0 +1,1 @@
+test/test_multiset.ml: Alcotest Array Intvec Mset QCheck QCheck_alcotest String

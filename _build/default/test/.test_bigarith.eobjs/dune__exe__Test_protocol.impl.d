@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Intvec List Mset Population Predicate Printf Protocol_gen Protocol_syntax QCheck QCheck_alcotest String

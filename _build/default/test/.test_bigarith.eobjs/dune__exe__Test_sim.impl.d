@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fair_semantics Flock Gillespie Leader_counter List Mset Population QCheck QCheck_alcotest Simulator Splitmix64 Stats Stdlib Threshold

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Configgraph Eta_search Fair_semantics Flock Leader_counter List Modulo_protocol Mset Population Predicate QCheck QCheck_alcotest Scc Threshold Witness

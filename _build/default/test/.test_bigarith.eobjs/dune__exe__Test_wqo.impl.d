@@ -1,0 +1,1 @@
+test/test_wqo.ml: Alcotest Array Bad_sequences Dickson Intvec List Printf QCheck QCheck_alcotest

@@ -1,0 +1,158 @@
+(* Tests for the paper's explicit constants (β, ϑ, ξ, Theorem 5.9),
+   the Rackoff recurrence, and the fast-growing hierarchy. *)
+
+let bn = Bignat.of_string
+
+(* -- Factorial_bounds -------------------------------------------------------- *)
+
+let test_beta_log () =
+  (* beta(n) = 2^(2(2n+1)!+1): for n=1, 2·3!+1 = 13 *)
+  Alcotest.(check string) "beta_log2(1)" "13" (Bignat.to_string (Factorial_bounds.beta_log2 1));
+  Alcotest.(check string) "beta_log2(2)" "241" (Bignat.to_string (Factorial_bounds.beta_log2 2));
+  (* beta(1) collapses to a concrete bignat: 2^13 = 8192 *)
+  Alcotest.(check (option string)) "beta(1) concrete" (Some "8192")
+    (Option.map Bignat.to_string (Magnitude.to_bignat_opt (Factorial_bounds.beta 1)))
+
+let test_theta () =
+  (* theta(1) = 2^(4!) = 2^24 *)
+  Alcotest.(check (option string)) "theta(1)" (Some "16777216")
+    (Option.map Bignat.to_string (Magnitude.to_bignat_opt (Factorial_bounds.theta 1)))
+
+let test_xi () =
+  (* xi = 2(2|T|+1)^|Q| *)
+  Alcotest.check Alcotest.string "xi(2 states, 3 transitions)" "98"
+    (Bignat.to_string (Factorial_bounds.xi ~num_states:2 ~num_transitions:3));
+  Alcotest.check Alcotest.string "xi deterministic" "32"
+    (Bignat.to_string (Factorial_bounds.xi_deterministic ~num_states:2));
+  let p = Flock.succinct 2 in
+  let expected =
+    Factorial_bounds.xi ~num_states:(Population.num_states p)
+      ~num_transitions:(Population.num_transitions p)
+  in
+  Alcotest.(check string) "xi_of_protocol" (Bignat.to_string expected)
+    (Bignat.to_string (Factorial_bounds.xi_of_protocol p))
+
+let test_ordering_of_bounds () =
+  (* beta(n) < theta(n) and theorem bound <= 2^((2n+2)!) for small n,
+     mirroring the paper's final computation in Theorem 5.9 *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "beta(%d) < theta(%d)" n n)
+        true
+        (Magnitude.compare (Factorial_bounds.beta n) (Factorial_bounds.theta n) < 0);
+      let t = Factorial_bounds.max_transitions n in
+      Alcotest.(check bool)
+        (Printf.sprintf "thm 5.9 explicit <= simple for n=%d" n)
+        true
+        (Magnitude.compare
+           (Factorial_bounds.theorem_5_9 ~num_states:n ~num_transitions:t)
+           (Factorial_bounds.theorem_5_9_simple n)
+         <= 0))
+    [ 3; 4; 5; 8 ]
+
+let test_three_pow () =
+  Alcotest.(check string) "3^10" "59049" (Bignat.to_string (Factorial_bounds.three_pow 10));
+  Alcotest.(check string) "3^0" "1" (Bignat.to_string (Factorial_bounds.three_pow 0))
+
+let test_bound_grows () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "simple bound increases at %d" n)
+        true
+        (Magnitude.compare
+           (Factorial_bounds.theorem_5_9_simple n)
+           (Factorial_bounds.theorem_5_9_simple (n + 1))
+         < 0))
+    [ 1; 2; 3; 5; 10; 20 ]
+
+(* -- Rackoff ------------------------------------------------------------------ *)
+
+let test_rackoff_monotone () =
+  let lb d = Rackoff.log2_bound ~dim:d ~weight:2 in
+  Alcotest.(check bool) "grows with dimension" true
+    (Bignat.compare (lb 2) (lb 3) < 0 && Bignat.compare (lb 3) (lb 6) < 0);
+  Alcotest.(check bool) "grows with weight" true
+    (Bignat.compare
+       (Rackoff.log2_bound ~dim:4 ~weight:2)
+       (Rackoff.log2_bound ~dim:4 ~weight:100)
+     < 0)
+
+let test_rackoff_below_beta () =
+  (* the protocol-specific Rackoff bound is far below the uniform beta *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rackoff(%d) <= beta(%d)" n n)
+        true
+        (Magnitude.compare (Rackoff.magnitude ~dim:n ~weight:2) (Rackoff.paper_beta n) <= 0))
+    [ 2; 3; 4; 6 ]
+
+(* -- Fgh ----------------------------------------------------------------------- *)
+
+let test_fgh_base () =
+  Alcotest.(check (option int)) "F_0" (Some 6) (Fgh.f 0 5);
+  (* F_1(x) = 2x+1 *)
+  Alcotest.(check (option int)) "F_1" (Some 11) (Fgh.f 1 5);
+  (* F_2(x) = 2^(x+1)(x+1) - 1 *)
+  Alcotest.(check (option int)) "F_2(3)" (Some 63) (Fgh.f 2 3);
+  Alcotest.(check (option int)) "F_3 overflows fast" None (Fgh.f 3 10)
+
+let test_fgh_omega () =
+  Alcotest.(check (option int)) "F_omega(1) = F_1(1)" (Some 3) (Fgh.f_omega 1);
+  Alcotest.(check (option int)) "F_omega(2) = F_2(2)" (Some 23) (Fgh.f_omega 2);
+  Alcotest.(check (option int)) "F_omega(4) overflows" None (Fgh.f_omega 4)
+
+let test_ackermann () =
+  Alcotest.(check (option int)) "A(1,1)" (Some 3) (Fgh.ackermann 1 1);
+  Alcotest.(check (option int)) "A(2,3)" (Some 9) (Fgh.ackermann 2 3);
+  Alcotest.(check (option int)) "A(3,3)" (Some 61) (Fgh.ackermann 3 3);
+  Alcotest.(check (option int)) "A(3,5)" (Some 253) (Fgh.ackermann 3 5);
+  Alcotest.(check (option int)) "A(4,2) out of reach" None (Fgh.ackermann 4 2)
+
+let test_inverse_ackermann () =
+  Alcotest.(check int) "alpha(3)" 1 (Fgh.inverse_ackermann 3);
+  Alcotest.(check int) "alpha(61)" 3 (Fgh.inverse_ackermann 61);
+  Alcotest.(check int) "alpha(10^9) tiny" 4 (Fgh.inverse_ackermann 1_000_000_000)
+
+let fgh_monotone_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"F_k monotone in x where defined" ~count:50
+       QCheck.(pair (int_range 0 2) (int_range 0 6))
+       (fun (k, x) ->
+         match (Fgh.f k x, Fgh.f k (x + 1)) with
+         | Some a, Some b -> a < b
+         | _, None | None, _ -> true))
+
+let test_parse_helper () =
+  (* keep the local helper honest *)
+  Alcotest.(check string) "bn" "12345" (Bignat.to_string (bn "12345"))
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "factorial-bounds",
+        [
+          Alcotest.test_case "beta" `Quick test_beta_log;
+          Alcotest.test_case "theta" `Quick test_theta;
+          Alcotest.test_case "xi" `Quick test_xi;
+          Alcotest.test_case "ordering" `Quick test_ordering_of_bounds;
+          Alcotest.test_case "3^n" `Quick test_three_pow;
+          Alcotest.test_case "growth" `Quick test_bound_grows;
+        ] );
+      ( "rackoff",
+        [
+          Alcotest.test_case "monotone" `Quick test_rackoff_monotone;
+          Alcotest.test_case "below beta" `Quick test_rackoff_below_beta;
+        ] );
+      ( "fgh",
+        [
+          Alcotest.test_case "base levels" `Quick test_fgh_base;
+          Alcotest.test_case "F_omega" `Quick test_fgh_omega;
+          Alcotest.test_case "ackermann" `Quick test_ackermann;
+          Alcotest.test_case "inverse ackermann" `Quick test_inverse_ackermann;
+          Alcotest.test_case "helper" `Quick test_parse_helper;
+          fgh_monotone_prop;
+        ] );
+    ]

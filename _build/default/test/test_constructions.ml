@@ -1,0 +1,218 @@
+(* Tests for the protocol constructions: state counts, structural
+   properties, and (crucially) that each protocol computes exactly its
+   specification predicate under the exact fairness semantics. *)
+
+let decides p v = Fair_semantics.decide p v
+
+let check_spec ?(max_configs = 300_000) p spec inputs =
+  List.iter
+    (fun v ->
+      let expected = Predicate.eval spec v in
+      match Fair_semantics.decide ~max_configs p v with
+      | Fair_semantics.Decides b ->
+        if b <> expected then
+          Alcotest.failf "%s: input %s decided %b, spec says %b"
+            p.Population.name
+            (String.concat "," (List.map string_of_int (Array.to_list v)))
+            b expected
+      | verdict ->
+        Alcotest.failf "%s: input %s: %a" p.Population.name
+          (String.concat "," (List.map string_of_int (Array.to_list v)))
+          Fair_semantics.pp_verdict verdict)
+    inputs
+
+let single_inputs lo hi = List.init (hi - lo + 1) (fun i -> [| lo + i |])
+
+(* -- Example 2.1 --------------------------------------------------------- *)
+
+let test_flock_naive_states () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "P_%d has 2^%d+1 states" k k)
+        ((1 lsl k) + 1)
+        (Population.num_states (Flock.naive k)))
+    [ 1; 2; 3; 4 ]
+
+let test_flock_succinct_states () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "P'_%d has k+2 states" k)
+        (k + 2)
+        (Population.num_states (Flock.succinct k)))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_flock_compute () =
+  check_spec (Flock.naive 2) (Predicate.threshold_single 4) (single_inputs 2 9);
+  check_spec (Flock.succinct 2) (Predicate.threshold_single 4) (single_inputs 2 9);
+  check_spec (Flock.succinct 3) (Predicate.threshold_single 8) (single_inputs 2 17)
+
+let test_flock_equivalent () =
+  (* P_k and P'_k are equivalent protocols (compute the same predicate) *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun i ->
+          let d1 = decides (Flock.naive k) [| i |] in
+          let d2 = decides (Flock.succinct k) [| i |] in
+          if d1 <> d2 then Alcotest.failf "P_%d and P'_%d differ on %d" k k i)
+        [ 2; 3; 5; 8 ])
+    [ 1; 2 ]
+
+(* -- general thresholds --------------------------------------------------- *)
+
+let test_threshold_unary () =
+  check_spec (Threshold.unary 5) (Predicate.threshold_single 5) (single_inputs 2 11);
+  Alcotest.(check int) "states" 6 (Population.num_states (Threshold.unary 5))
+
+let test_threshold_binary_many () =
+  (* every eta in 2..16, verified exactly on inputs up to eta + 4 *)
+  List.iter
+    (fun eta ->
+      check_spec (Threshold.binary eta) (Predicate.threshold_single eta)
+        (single_inputs 2 (eta + 4)))
+    (List.init 15 (fun i -> i + 2))
+
+let test_threshold_binary_trivial () =
+  check_spec (Threshold.binary 1) (Predicate.Const true) (single_inputs 2 5);
+  Alcotest.(check int) "one state" 1 (Population.num_states (Threshold.binary 1))
+
+let test_threshold_binary_succinctness () =
+  List.iter
+    (fun eta ->
+      let n = Population.num_states (Threshold.binary eta) in
+      Alcotest.(check bool)
+        (Printf.sprintf "eta=%d: %d states <= 2·log2(eta) + 4" eta n)
+        true
+        (let log2 = int_of_float (Float.log2 (float_of_int eta)) in
+         n <= (2 * log2) + 4);
+      Alcotest.(check int)
+        (Printf.sprintf "binary_num_states agrees for %d" eta)
+        n
+        (Threshold.binary_num_states eta))
+    [ 2; 3; 7; 11; 13; 100; 1000; 12345 ]
+
+(* -- majority ------------------------------------------------------------ *)
+
+let test_majority () =
+  let p = Majority.protocol () in
+  Alcotest.(check int) "4 states" 4 (Population.num_states p);
+  let inputs =
+    [ [| 1; 1 |]; [| 2; 1 |]; [| 1; 2 |]; [| 3; 3 |]; [| 4; 2 |]; [| 2; 4 |];
+      [| 5; 4 |]; [| 4; 5 |]; [| 6; 1 |]; [| 1; 6 |]; [| 0; 3 |]; [| 3; 0 |] ]
+  in
+  check_spec p (Predicate.majority ()) inputs
+
+(* -- modulo --------------------------------------------------------------- *)
+
+let test_modulo () =
+  List.iter
+    (fun (m, r) ->
+      check_spec
+        (Modulo_protocol.protocol ~m ~r)
+        (Predicate.Modulo ([| 1 |], r, m))
+        (single_inputs 2 ((2 * m) + 3)))
+    [ (2, 0); (2, 1); (3, 0); (3, 1); (3, 2); (5, 2) ]
+
+let test_modulo_states () =
+  Alcotest.(check int) "m+2 states" 7
+    (Population.num_states (Modulo_protocol.protocol ~m:5 ~r:0))
+
+(* -- leader counter ------------------------------------------------------- *)
+
+let test_leader_counter () =
+  List.iter
+    (fun k ->
+      check_spec
+        (Leader_counter.protocol k)
+        (Predicate.threshold_single (1 lsl k))
+        (single_inputs 1 ((1 lsl k) + 3)))
+    [ 1; 2; 3 ]
+
+let test_leader_counter_structure () =
+  let p = Leader_counter.protocol 3 in
+  Alcotest.(check int) "3k+2 states" 11 (Population.num_states p);
+  Alcotest.(check int) "k leaders" 3 (Mset.size p.Population.leaders);
+  Alcotest.(check bool) "not leaderless" false (Population.is_leaderless p)
+
+(* -- completeness of catalog protocols ------------------------------------ *)
+
+let test_all_complete () =
+  List.iter
+    (fun e ->
+      let p = e.Catalog.build () in
+      Alcotest.(check (list (pair int int)))
+        (e.Catalog.name ^ " has no missing pairs")
+        [] (Population.missing_pairs p))
+    (Catalog.default_entries ())
+
+let test_catalog_lookup () =
+  List.iter
+    (fun (name, expect) ->
+      match Catalog.build name with
+      | Some e ->
+        Alcotest.(check int) name expect (Population.num_states (e.Catalog.build ()))
+      | None -> Alcotest.failf "catalog missed %s" name)
+    [
+      ("flock-naive-2", 5);
+      ("flock-succinct-5", 7);
+      ("threshold-binary-13", Threshold.binary_num_states 13);
+      ("threshold-unary-4", 5);
+      ("majority", 4);
+      ("mod-4-1", 6);
+      ("leader-counter-2", 8);
+    ];
+  Alcotest.(check bool) "unknown name" true (Catalog.build "frobnicate" = None);
+  Alcotest.(check bool) "bad mod" true (Catalog.build "mod-3-7" = None)
+
+(* -- property: random thresholds are correct near the boundary ------------ *)
+
+let threshold_boundary_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"binary threshold exact at boundary" ~count:12
+       QCheck.(int_range 2 24)
+       (fun eta ->
+         let p = Threshold.binary eta in
+         let ok i expected =
+           match Fair_semantics.decide ~max_configs:400_000 p [| i |] with
+           | Fair_semantics.Decides b -> b = expected
+           | _ -> false
+         in
+         ok (Stdlib.max 2 (eta - 1)) (Stdlib.max 2 (eta - 1) >= eta) && ok eta true))
+
+let () =
+  Alcotest.run "constructions"
+    [
+      ( "flock",
+        [
+          Alcotest.test_case "naive states" `Quick test_flock_naive_states;
+          Alcotest.test_case "succinct states" `Quick test_flock_succinct_states;
+          Alcotest.test_case "both compute x>=2^k" `Quick test_flock_compute;
+          Alcotest.test_case "equivalent" `Quick test_flock_equivalent;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "unary" `Quick test_threshold_unary;
+          Alcotest.test_case "binary eta=2..16" `Quick test_threshold_binary_many;
+          Alcotest.test_case "binary trivial" `Quick test_threshold_binary_trivial;
+          Alcotest.test_case "binary succinctness" `Quick test_threshold_binary_succinctness;
+          threshold_boundary_prop;
+        ] );
+      ("majority", [ Alcotest.test_case "exact" `Quick test_majority ]);
+      ( "modulo",
+        [
+          Alcotest.test_case "exact" `Quick test_modulo;
+          Alcotest.test_case "states" `Quick test_modulo_states;
+        ] );
+      ( "leader-counter",
+        [
+          Alcotest.test_case "exact" `Quick test_leader_counter;
+          Alcotest.test_case "structure" `Quick test_leader_counter_structure;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "complete" `Quick test_all_complete;
+          Alcotest.test_case "lookup" `Quick test_catalog_lookup;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the Diophantine-system layer and the Contejean–Devie
+   Hilbert-basis solver, including brute-force completeness checks and
+   the Pottier norm bound (Theorem 5.6). *)
+
+let prop name ?(count = 50) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let sys rows ~num_vars = Diophantine.make (Array.of_list (List.map Array.of_list rows)) ~num_vars
+
+(* -- Diophantine ---------------------------------------------------------- *)
+
+let test_eval () =
+  let s = sys [ [ 1; -2; 0 ]; [ 0; 1; 1 ] ] ~num_vars:3 in
+  Alcotest.(check (array int)) "A·y" [| -3; 3 |] (Diophantine.eval s [| 1; 2; 1 |]);
+  Alcotest.(check bool) "solution geq" false (Diophantine.is_solution_geq s [| 1; 2; 1 |]);
+  Alcotest.(check bool) "solution eq" true
+    (Diophantine.is_solution_eq s [| 0; 0; 0 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Diophantine.eval: arity mismatch")
+    (fun () -> ignore (Diophantine.eval s [| 1 |]))
+
+let test_pottier_bound_value () =
+  let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
+  (* (1 + 2)^1 = 3 *)
+  Alcotest.(check string) "bound" "3" (Bignat.to_string (Diophantine.pottier_bound s))
+
+(* -- solve_eq ------------------------------------------------------------- *)
+
+let test_eq_simple () =
+  let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
+  Alcotest.(check (list (array int))) "x=y basis" [ [| 1; 1 |] ]
+    (Hilbert_basis.solve_eq s)
+
+let test_eq_ratio () =
+  let s = sys [ [ 2; -3 ] ] ~num_vars:2 in
+  Alcotest.(check (list (array int))) "2x=3y" [ [| 3; 2 |] ] (Hilbert_basis.solve_eq s)
+
+let test_eq_two_constraints () =
+  (* x1 = x2 and x2 = x3: basis {(1,1,1)} *)
+  let s = sys [ [ 1; -1; 0 ]; [ 0; 1; -1 ] ] ~num_vars:3 in
+  Alcotest.(check (list (array int))) "chain" [ [| 1; 1; 1 |] ] (Hilbert_basis.solve_eq s)
+
+let test_eq_classic () =
+  (* x + y = z + w: four minimal solutions *)
+  let s = sys [ [ 1; 1; -1; -1 ] ] ~num_vars:4 in
+  let basis = Hilbert_basis.solve_eq s in
+  Alcotest.(check int) "four elements" 4 (List.length basis);
+  Alcotest.(check bool) "verified minimal" true
+    (Hilbert_basis.verify_minimal s ~eq:true basis)
+
+let test_eq_infeasible_positive () =
+  (* x1 + x2 = -x3 - ... no: take x + 1y with all positive coefficients:
+     only the zero solution exists, so the basis is empty *)
+  let s = sys [ [ 1; 2 ] ] ~num_vars:2 in
+  Alcotest.(check (list (array int))) "empty basis" [] (Hilbert_basis.solve_eq s)
+
+let test_scalar_criterion_ablation () =
+  (* with the criterion the search terminates instantly; without it the
+     frontier keeps growing along non-decreasing directions and the
+     budget must stop it *)
+  let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
+  Alcotest.(check (list (array int))) "criterion finds the basis" [ [| 1; 1 |] ]
+    (Hilbert_basis.solve_eq s);
+  Alcotest.(check bool) "no criterion diverges into the budget" true
+    (match Hilbert_basis.solve_eq ~scalar_criterion:false ~max_candidates:2000 s with
+     | _ -> false
+     | exception Failure _ -> true)
+
+let test_eq_budget () =
+  let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
+  Alcotest.(check bool) "budget respected" true
+    (match Hilbert_basis.solve_eq ~max_candidates:1 s with
+     | _ -> true
+     | exception Failure _ -> true)
+
+(* brute-force minimal solutions for small systems *)
+let brute_minimal_eq s ~bound =
+  let v = s.Diophantine.num_vars in
+  let sols = ref [] in
+  let y = Array.make v 0 in
+  let rec go i =
+    if i = v then begin
+      if Array.exists (fun x -> x > 0) y && Diophantine.is_solution_eq s y then
+        sols := Array.copy y :: !sols
+    end
+    else
+      for x = 0 to bound do
+        y.(i) <- x;
+        go (i + 1)
+      done
+  in
+  go 0;
+  let leq a b = Array.for_all2 (fun x y -> x <= y) a b in
+  List.filter
+    (fun a -> not (List.exists (fun b -> b <> a && leq b a) !sols))
+    !sols
+  |> List.sort_uniq Stdlib.compare
+
+let arb_small_system =
+  QCheck.make
+    ~print:(fun (rows, v) ->
+      Printf.sprintf "%d vars: %s" v
+        (String.concat " | "
+           (List.map
+              (fun r -> String.concat "," (List.map string_of_int (Array.to_list r)))
+              rows)))
+    QCheck.Gen.(
+      int_range 2 3 >>= fun v ->
+      list_size (int_range 1 2) (array_size (return v) (int_range (-2) 2)) >|= fun rows ->
+      (rows, v))
+
+let eq_completeness_prop =
+  prop "solve_eq complete vs brute force" ~count:60 arb_small_system
+    (fun (rows, v) ->
+      let s = Diophantine.make (Array.of_list rows) ~num_vars:v in
+      let computed = List.sort_uniq Stdlib.compare (Hilbert_basis.solve_eq s) in
+      (* brute-force bound: Pottier's norm bound caps minimal solutions *)
+      let bound =
+        Stdlib.min 12 (Option.value (Bignat.to_int_opt (Diophantine.pottier_bound s)) ~default:12)
+      in
+      let brute =
+        List.filter
+          (fun a -> Array.for_all (fun x -> x <= bound) a)
+          (brute_minimal_eq s ~bound)
+      in
+      (* every brute-force minimal solution within the bound must appear *)
+      List.for_all (fun b -> List.mem b computed) brute
+      && Hilbert_basis.verify_minimal s ~eq:true computed)
+
+(* -- solve_geq ------------------------------------------------------------- *)
+
+let test_geq_simple () =
+  let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
+  Alcotest.(check (list (array int))) "x>=y" [ [| 1; 0 |]; [| 1; 1 |] ]
+    (List.sort Stdlib.compare (Hilbert_basis.solve_geq s))
+
+let test_geq_generation () =
+  let s = sys [ [ 2; -3 ]; [ -1; 1 ] ] ~num_vars:2 in
+  let basis = Hilbert_basis.solve_geq s in
+  (* pick a few solutions and decompose them over the basis *)
+  List.iter
+    (fun y ->
+      if Diophantine.is_solution_geq s y then begin
+        match Hilbert_basis.decompose_geq s ~basis y with
+        | Some parts ->
+          let total = Array.make 2 0 in
+          List.iter (Array.iteri (fun i x -> total.(i) <- total.(i) + x)) parts;
+          Alcotest.(check (array int)) "decomposition sums" y total
+        | None -> Alcotest.failf "no decomposition for a solution"
+      end)
+    [ [| 3; 2 |]; [| 6; 4 |]; [| 9; 8 |]; [| 30; 20 |] ]
+
+let test_decompose_eq () =
+  let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
+  let basis = Hilbert_basis.solve_eq s in
+  (match Hilbert_basis.decompose_eq s ~basis [| 4; 4 |] with
+   | Some parts -> Alcotest.(check int) "four parts" 4 (List.length parts)
+   | None -> Alcotest.fail "decomposition failed");
+  Alcotest.(check bool) "non-solution rejected" true
+    (Hilbert_basis.decompose_eq s ~basis [| 2; 1 |] = None)
+
+let geq_soundness_prop =
+  prop "solve_geq returns solutions within Pottier's bound" ~count:40
+    arb_small_system (fun (rows, v) ->
+      let s = Diophantine.make (Array.of_list rows) ~num_vars:v in
+      let basis = Hilbert_basis.solve_geq s in
+      let bound = Diophantine.pottier_bound s in
+      List.for_all
+        (fun y ->
+          Diophantine.is_solution_geq s y
+          && Bignat.compare
+               (Bignat.of_int (Array.fold_left ( + ) 0 y))
+               bound
+             <= 0)
+        basis)
+
+let geq_generation_prop =
+  prop "every small geq solution decomposes over the basis" ~count:40
+    arb_small_system (fun (rows, v) ->
+      let s = Diophantine.make (Array.of_list rows) ~num_vars:v in
+      let basis = Hilbert_basis.solve_geq s in
+      (* enumerate solutions with coordinates <= 4 and decompose them *)
+      let y = Array.make v 0 in
+      let ok = ref true in
+      let rec go i =
+        if i = v then begin
+          if Diophantine.is_solution_geq s y then
+            match Hilbert_basis.decompose_geq s ~basis (Array.copy y) with
+            | Some _ -> ()
+            | None -> ok := false
+        end
+        else
+          for x = 0 to 4 do
+            y.(i) <- x;
+            go (i + 1)
+          done
+      in
+      go 0;
+      !ok)
+
+let () =
+  Alcotest.run "hilbert"
+    [
+      ( "diophantine",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "pottier bound" `Quick test_pottier_bound_value;
+        ] );
+      ( "solve-eq",
+        [
+          Alcotest.test_case "simple" `Quick test_eq_simple;
+          Alcotest.test_case "ratio" `Quick test_eq_ratio;
+          Alcotest.test_case "two constraints" `Quick test_eq_two_constraints;
+          Alcotest.test_case "classic 4-var" `Quick test_eq_classic;
+          Alcotest.test_case "positive-only" `Quick test_eq_infeasible_positive;
+          Alcotest.test_case "budget" `Quick test_eq_budget;
+          Alcotest.test_case "scalar criterion ablation" `Quick test_scalar_criterion_ablation;
+          eq_completeness_prop;
+        ] );
+      ( "solve-geq",
+        [
+          Alcotest.test_case "simple" `Quick test_geq_simple;
+          Alcotest.test_case "generation" `Quick test_geq_generation;
+          Alcotest.test_case "decompose eq" `Quick test_decompose_eq;
+          geq_soundness_prop;
+          geq_generation_prop;
+        ] );
+    ]

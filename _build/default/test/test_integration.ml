@@ -1,0 +1,251 @@
+(* End-to-end integration tests: the full Lemma 5.2 certificate
+   pipeline, consistency between the paper's bounds and exact values,
+   and agreement between the independent semantic engines (stochastic
+   simulation, explicit graphs, coverability). *)
+
+(* -- certificates (Theorem 5.9 pipeline) ------------------------------------ *)
+
+let exact_eta p ~max_input =
+  match Eta_search.find p ~max_input with
+  | Eta_search.Eta eta -> Some eta
+  | Eta_search.Always_accepts -> Some 2
+  | _ -> None
+
+let test_certificates_flock () =
+  List.iter
+    (fun k ->
+      let p = Flock.succinct k in
+      match Certificate.construct ~seed:11 p with
+      | Error e -> Alcotest.failf "succinct-%d: %s" k e
+      | Ok cert ->
+        Alcotest.(check bool)
+          (Printf.sprintf "succinct-%d: certificate validates" k)
+          true (Certificate.check cert);
+        let eta = 1 lsl k in
+        Alcotest.(check bool)
+          (Printf.sprintf "succinct-%d: eta=%d <= certified a=%d" k eta cert.Certificate.a)
+          true (eta <= cert.Certificate.a))
+    [ 1; 2; 3 ]
+
+let test_certificates_catalog () =
+  List.iter
+    (fun (name, eta) ->
+      match Catalog.build name with
+      | None -> Alcotest.failf "catalog: %s" name
+      | Some e ->
+        let p = e.Catalog.build () in
+        (match Certificate.construct ~seed:3 p with
+         | Error err -> Alcotest.failf "%s: %s" name err
+         | Ok cert ->
+           Alcotest.(check bool) (name ^ ": validates") true (Certificate.check cert);
+           Alcotest.(check bool)
+             (Printf.sprintf "%s: eta=%d <= a=%d" name eta cert.Certificate.a)
+             true
+             (eta <= cert.Certificate.a)))
+    [ ("threshold-binary-3", 3); ("threshold-binary-5", 5); ("threshold-unary-3", 3) ]
+
+let test_certificate_theta_constraints () =
+  let p = Flock.succinct 2 in
+  match Certificate.construct p with
+  | Error e -> Alcotest.fail e
+  | Ok cert ->
+    (* Lemma 5.2 (ii): D must be 2|θ|-saturated; we scaled by m >= 2|θ| *)
+    Alcotest.(check bool) "m >= 2|theta|" true
+      (cert.Certificate.m >= 2 * Potential.size cert.Certificate.theta);
+    Alcotest.(check bool) "b >= 1" true (cert.Certificate.b >= 1);
+    (* D_b lives inside the omega coordinates *)
+    let s =
+      List.filter
+        (fun q ->
+          match Omega_vec.get cert.Certificate.omega q with
+          | Omega_vec.Omega -> true
+          | Omega_vec.Fin _ -> false)
+        (List.init (Population.num_states p) Fun.id)
+    in
+    Alcotest.(check bool) "D_b in N^S" true
+      (List.for_all (fun q -> List.mem q s) (Mset.support cert.Certificate.d_b))
+
+(* tampering with a certificate must be caught *)
+let test_certificate_tamper_detection () =
+  let p = Flock.succinct 2 in
+  match Certificate.construct p with
+  | Error e -> Alcotest.fail e
+  | Ok cert ->
+    let tampered = { cert with Certificate.a = cert.Certificate.a - 1 } in
+    Alcotest.(check bool) "tampered a rejected" false (Certificate.check tampered);
+    let tampered2 = { cert with Certificate.b = cert.Certificate.b + 1 } in
+    Alcotest.(check bool) "tampered b rejected" false (Certificate.check tampered2)
+
+(* -- pumping vs exact eta ----------------------------------------------------- *)
+
+let test_pumping_bounds_exact_eta () =
+  List.iter
+    (fun (name, max_input) ->
+      match Catalog.build name with
+      | None -> Alcotest.failf "catalog: %s" name
+      | Some e ->
+        let p = e.Catalog.build () in
+        (match exact_eta p ~max_input with
+         | None -> Alcotest.failf "%s: no exact eta" name
+         | Some eta ->
+           (match Pumping.find_witness p ~max_input with
+            | Error err -> Alcotest.failf "%s: %s" name err
+            | Ok w ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: exact eta=%d <= pumping a=%d" name eta w.Pumping.a)
+                true (eta <= w.Pumping.a))))
+    [
+      ("flock-succinct-1", 10);
+      ("flock-succinct-2", 12);
+      ("threshold-binary-3", 10);
+      ("threshold-binary-5", 12);
+      ("threshold-unary-3", 10);
+      ("leader-counter-1", 8);
+    ]
+
+(* -- Lemma 5.1: ⇒ vs → -------------------------------------------------------- *)
+
+let test_lemma_5_1 () =
+  let p = Flock.succinct 2 in
+  let nt = Population.num_transitions p in
+  (* (i) if C -σ-> C' then C ==π=> C' for the Parikh image π *)
+  let rng = Splitmix64.create 99 in
+  for _ = 1 to 50 do
+    let c0 = Population.initial_single p (2 + Splitmix64.int_below rng 8) in
+    let pi = Array.make nt 0 in
+    let rec walk c steps =
+      if steps = 0 then c
+      else begin
+        let enabled = List.filter (Population.enabled p c) (List.init nt Fun.id) in
+        match enabled with
+        | [] -> c
+        | _ ->
+          let t = List.nth enabled (Splitmix64.int_below rng (List.length enabled)) in
+          pi.(t) <- pi.(t) + 1;
+          walk (Population.fire p c t) (steps - 1)
+      end
+    in
+    let c' = walk c0 10 in
+    let predicted = Intvec.add (Mset.to_intvec c0) (Population.displacement_of_multiset p pi) in
+    if not (Intvec.equal predicted (Mset.to_intvec c')) then
+      Alcotest.fail "Lemma 5.1(i) violated"
+  done;
+  (* (ii) if C ==π=> C' and C is 2|π|-saturated then C -σ-> C' for any
+     σ with Parikh image π: check on a saturated configuration *)
+  match Saturation.find p with
+  | Error e -> Alcotest.fail e
+  | Ok w ->
+    let pi = Array.make nt 0 in
+    (* take a small potentially realisable multiset *)
+    let basis = Potential.basis p in
+    let theta = List.hd (List.sort (fun a b -> Stdlib.compare (Potential.size a) (Potential.size b)) basis) in
+    Array.blit theta 0 pi 0 nt;
+    let m = 2 * Potential.size pi in
+    let c = Mset.scale (Stdlib.max 1 m) w.Saturation.result in
+    (* fire the transitions of pi in an arbitrary order *)
+    let rec fire_all c remaining =
+      let next =
+        List.find_opt (fun t -> remaining.(t) > 0) (List.init nt Fun.id)
+      in
+      match next with
+      | None -> Some c
+      | Some t ->
+        (match Population.fire_opt p c t with
+         | None -> None
+         | Some c' ->
+           remaining.(t) <- remaining.(t) - 1;
+           fire_all c' remaining)
+    in
+    (match fire_all c (Array.copy pi) with
+     | Some c' ->
+       let predicted = Intvec.add (Mset.to_intvec c) (Population.displacement_of_multiset p pi) in
+       Alcotest.(check bool) "Lemma 5.1(ii): execution realises pi" true
+         (Intvec.equal predicted (Mset.to_intvec c'))
+     | None -> Alcotest.fail "Lemma 5.1(ii): saturated configuration blocked")
+
+(* -- Theorem 5.9 sanity -------------------------------------------------------- *)
+
+let test_theorem_5_9_consistency () =
+  (* for each catalog busy beaver: exact eta <= the paper's bound for
+     its state count (the bound is astronomically larger; the check is
+     that nothing is inconsistent, via exact Magnitude comparison) *)
+  List.iter
+    (fun (name, max_input) ->
+      match Catalog.build name with
+      | None -> Alcotest.failf "catalog %s" name
+      | Some e ->
+        let p = e.Catalog.build () in
+        (match exact_eta p ~max_input with
+         | None -> Alcotest.failf "%s eta" name
+         | Some eta ->
+           let bound =
+             Factorial_bounds.theorem_5_9
+               ~num_states:(Population.num_states p)
+               ~num_transitions:(Population.num_transitions p)
+           in
+           Alcotest.(check bool)
+             (Printf.sprintf "%s: eta within Theorem 5.9" name)
+             true
+             (Magnitude.compare (Magnitude.of_int eta) bound <= 0)))
+    [ ("flock-succinct-2", 10); ("threshold-binary-6", 12) ]
+
+(* -- simulation vs exact over the catalog --------------------------------------- *)
+
+let test_sim_exact_agreement () =
+  let rng = Splitmix64.create 123 in
+  List.iter
+    (fun e ->
+      let p = e.Catalog.build () in
+      if
+        Array.length p.Population.input_vars = 1
+        && Population.num_states p <= 7
+        && p.Population.name <> "majority"
+      then begin
+        List.iter
+          (fun i ->
+            match Fair_semantics.decide ~max_configs:150_000 p [| i |] with
+            | Fair_semantics.Decides expected ->
+              let r = Simulator.run_input ~rng p [| i |] in
+              if r.Simulator.converged && r.Simulator.output <> Some expected then
+                Alcotest.failf "%s: input %d sim=%s exact=%b" e.Catalog.name i
+                  (match r.Simulator.output with
+                   | Some b -> string_of_bool b
+                   | None -> "?")
+                  expected
+            | _ -> ())
+          [ 3; 6; 11 ]
+      end)
+    (Catalog.default_entries ())
+
+(* -- parser round-trip through the whole pipeline -------------------------------- *)
+
+let test_parse_analyse_roundtrip () =
+  let p = Flock.succinct 2 in
+  match Protocol_syntax.parse_string (Protocol_syntax.to_string p) with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+    (match (Eta_search.find p ~max_input:10, Eta_search.find p' ~max_input:10) with
+     | Eta_search.Eta a, Eta_search.Eta b -> Alcotest.(check int) "same eta" a b
+     | _ -> Alcotest.fail "eta search failed after round-trip")
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "certificates",
+        [
+          Alcotest.test_case "flock family" `Quick test_certificates_flock;
+          Alcotest.test_case "catalog" `Quick test_certificates_catalog;
+          Alcotest.test_case "theta constraints" `Quick test_certificate_theta_constraints;
+          Alcotest.test_case "tamper detection" `Quick test_certificate_tamper_detection;
+        ] );
+      ( "pumping-vs-exact",
+        [ Alcotest.test_case "bounds exact eta" `Quick test_pumping_bounds_exact_eta ] );
+      ("lemma-5-1", [ Alcotest.test_case "both directions" `Quick test_lemma_5_1 ]);
+      ( "theorem-5-9",
+        [ Alcotest.test_case "consistency" `Quick test_theorem_5_9_consistency ] );
+      ( "engines-agree",
+        [
+          Alcotest.test_case "simulation vs exact" `Quick test_sim_exact_agreement;
+          Alcotest.test_case "parse round-trip" `Quick test_parse_analyse_roundtrip;
+        ] );
+    ]

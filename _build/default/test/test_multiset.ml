@@ -1,0 +1,125 @@
+(* Tests for Intvec and Mset: lattice/order laws of the multiset algebra
+   underlying configurations (Section 2.1 of the paper). *)
+
+let prop name ?(count = 300) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let pp_vec v =
+  "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int v)) ^ "]"
+
+let gen_vec ~dim ~lo ~hi =
+  QCheck.Gen.(array_size (return dim) (int_range lo hi))
+
+let arb_zvec = QCheck.make ~print:pp_vec (gen_vec ~dim:5 ~lo:(-10) ~hi:10)
+
+let arb_mset =
+  QCheck.make
+    ~print:(fun m -> pp_vec (Mset.to_intvec m))
+    QCheck.Gen.(gen_vec ~dim:5 ~lo:0 ~hi:10 >|= Mset.of_array)
+
+(* -- Intvec -------------------------------------------------------------- *)
+
+let test_intvec_basic () =
+  let v = Intvec.init 4 (fun i -> i - 1) in
+  Alcotest.(check int) "dim" 4 (Intvec.dim v);
+  Alcotest.(check int) "get" 2 (Intvec.get v 3);
+  Alcotest.(check int) "norm1" 4 (Intvec.norm1 v);
+  Alcotest.(check int) "norm_inf" 2 (Intvec.norm_inf v);
+  Alcotest.(check int) "sum" 2 (Intvec.sum_coords v);
+  Alcotest.(check (list int)) "support" [ 0; 2; 3 ] (Intvec.support v);
+  Alcotest.(check bool) "nonneg" false (Intvec.is_nonnegative v)
+
+let test_intvec_set_functional () =
+  let v = Intvec.zero 3 in
+  let v' = Intvec.set v 1 7 in
+  Alcotest.(check int) "updated" 7 (Intvec.get v' 1);
+  Alcotest.(check int) "original untouched" 0 (Intvec.get v 1)
+
+let intvec_props =
+  [
+    prop "add commutative" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        Intvec.equal (Intvec.add u v) (Intvec.add v u));
+    prop "sub inverts add" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        Intvec.equal (Intvec.sub (Intvec.add u v) v) u);
+    prop "neg involutive" arb_zvec (fun v -> Intvec.equal v (Intvec.neg (Intvec.neg v)));
+    prop "leq partial order antisym" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        (not (Intvec.leq u v && Intvec.leq v u)) || Intvec.equal u v);
+    prop "min is lower bound" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        let m = Intvec.pointwise_min u v in
+        Intvec.leq m u && Intvec.leq m v);
+    prop "max is upper bound" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        let m = Intvec.pointwise_max u v in
+        Intvec.leq u m && Intvec.leq v m);
+    prop "norm1 triangle" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        Intvec.norm1 (Intvec.add u v) <= Intvec.norm1 u + Intvec.norm1 v);
+    prop "scale additive" QCheck.(pair arb_zvec (int_range 0 5)) (fun (v, k) ->
+        Intvec.equal (Intvec.scale (k + 1) v) (Intvec.add v (Intvec.scale k v)));
+    prop "hash respects equality" arb_zvec (fun v ->
+        Intvec.hash v = Intvec.hash (Array.copy v));
+    prop "compare_lex total" QCheck.(pair arb_zvec arb_zvec) (fun (u, v) ->
+        let c = Intvec.compare_lex u v in
+        (c = 0) = Intvec.equal u v);
+  ]
+
+(* -- Mset ---------------------------------------------------------------- *)
+
+let test_mset_construction () =
+  let m = Mset.of_list 4 [ (0, 2); (2, 1); (0, 1) ] in
+  Alcotest.(check int) "accumulates" 3 (Mset.get m 0);
+  Alcotest.(check int) "size" 4 (Mset.size m);
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Mset.support m);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Mset.of_array: negative coordinate") (fun () ->
+      ignore (Mset.of_array [| 1; -1 |]))
+
+let test_mset_singleton () =
+  let s = Mset.singleton 3 1 in
+  Alcotest.(check int) "size 1" 1 (Mset.size s);
+  Alcotest.(check int) "count" 1 (Mset.get s 1);
+  Alcotest.(check int) "count_on" 1 (Mset.count_on s [ 0; 1 ])
+
+let test_mset_add_delta () =
+  let m = Mset.of_list 3 [ (0, 2) ] in
+  Alcotest.(check bool) "feasible" true (Mset.add_delta m [| -1; 1; 0 |] <> None);
+  Alcotest.(check bool) "infeasible" true (Mset.add_delta m [| -3; 1; 0 |] = None)
+
+let mset_props =
+  [
+    prop "size additive" QCheck.(pair arb_mset arb_mset) (fun (a, b) ->
+        Mset.size (Mset.add a b) = Mset.size a + Mset.size b);
+    prop "sub_opt defined iff leq" QCheck.(pair arb_mset arb_mset) (fun (a, b) ->
+        (Mset.sub_opt a b <> None) = Mset.leq b a);
+    prop "sub recomposes" QCheck.(pair arb_mset arb_mset) (fun (a, b) ->
+        match Mset.sub_opt (Mset.add a b) b with
+        | Some d -> Mset.equal d a
+        | None -> false);
+    prop "leq monotone under add" QCheck.(triple arb_mset arb_mset arb_mset)
+      (fun (a, b, c) ->
+        (not (Mset.leq a b)) || Mset.leq (Mset.add a c) (Mset.add b c));
+    prop "min/max lattice absorption" QCheck.(pair arb_mset arb_mset) (fun (a, b) ->
+        Mset.equal
+          (Mset.pointwise_max a (Mset.pointwise_min a b))
+          a);
+    prop "scale multiplies size" QCheck.(pair arb_mset (int_range 0 6)) (fun (a, k) ->
+        Mset.size (Mset.scale k a) = k * Mset.size a);
+    prop "compare is total order" QCheck.(pair arb_mset arb_mset) (fun (a, b) ->
+        (Mset.compare a b = 0) = Mset.equal a b);
+  ]
+
+let () =
+  Alcotest.run "multiset"
+    [
+      ( "intvec",
+        [
+          Alcotest.test_case "basics" `Quick test_intvec_basic;
+          Alcotest.test_case "functional set" `Quick test_intvec_set_functional;
+        ]
+        @ intvec_props );
+      ( "mset",
+        [
+          Alcotest.test_case "construction" `Quick test_mset_construction;
+          Alcotest.test_case "singleton" `Quick test_mset_singleton;
+          Alcotest.test_case "add_delta" `Quick test_mset_add_delta;
+        ]
+        @ mset_props );
+    ]

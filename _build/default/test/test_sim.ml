@@ -1,0 +1,223 @@
+(* Tests for the deterministic PRNG, the stochastic simulator, and the
+   statistics helpers. The simulator's verdicts are cross-checked
+   against the exact semantics. *)
+
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* -- Splitmix64 ----------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Splitmix64.create 7 and b = Splitmix64.create 7 in
+  let xs = List.init 16 (fun _ -> Splitmix64.next a) in
+  let ys = List.init 16 (fun _ -> Splitmix64.next b) in
+  Alcotest.(check (list int64)) "same seed, same stream" xs ys
+
+let test_prng_seed_matters () =
+  let a = Splitmix64.create 1 and b = Splitmix64.create 2 in
+  Alcotest.(check bool) "different streams" true
+    (Splitmix64.next a <> Splitmix64.next b)
+
+let test_prng_copy () =
+  let a = Splitmix64.create 3 in
+  ignore (Splitmix64.next a);
+  let b = Splitmix64.copy a in
+  Alcotest.(check int64) "copy preserves state" (Splitmix64.next a) (Splitmix64.next b)
+
+let prng_props =
+  [
+    prop "int_below in range" QCheck.(pair (int_range 1 1000) int) (fun (n, seed) ->
+        let g = Splitmix64.create seed in
+        let v = Splitmix64.int_below g n in
+        0 <= v && v < n);
+    prop "float_unit in range" QCheck.int (fun seed ->
+        let g = Splitmix64.create seed in
+        let v = Splitmix64.float_unit g in
+        0.0 <= v && v < 1.0);
+    prop "int_below roughly uniform" QCheck.(int_range 0 10_000) (fun seed ->
+        (* over 3000 draws from {0,1,2}, each bucket within generous bounds *)
+        let g = Splitmix64.create seed in
+        let counts = Array.make 3 0 in
+        for _ = 1 to 3000 do
+          let v = Splitmix64.int_below g 3 in
+          counts.(v) <- counts.(v) + 1
+        done;
+        Array.for_all (fun c -> c > 800 && c < 1200) counts);
+  ]
+
+(* -- Simulator ------------------------------------------------------------ *)
+
+let test_sim_flock_accepts () =
+  let rng = Splitmix64.create 42 in
+  let p = Flock.succinct 3 in
+  let r = Simulator.run_input ~rng p [| 20 |] in
+  Alcotest.(check bool) "converged" true r.Simulator.converged;
+  Alcotest.(check (option bool)) "accepts (20 >= 8)" (Some true) r.Simulator.output;
+  Alcotest.(check int) "population preserved" 20 (Mset.size r.Simulator.final)
+
+let test_sim_flock_rejects () =
+  let rng = Splitmix64.create 42 in
+  let p = Flock.succinct 3 in
+  let r = Simulator.run_input ~rng p [| 5 |] in
+  Alcotest.(check bool) "converged" true r.Simulator.converged;
+  Alcotest.(check (option bool)) "rejects (5 < 8)" (Some false) r.Simulator.output
+
+let test_sim_reproducible () =
+  let p = Flock.succinct 2 in
+  let r1 = Simulator.run_input ~rng:(Splitmix64.create 5) p [| 13 |] in
+  let r2 = Simulator.run_input ~rng:(Splitmix64.create 5) p [| 13 |] in
+  Alcotest.(check int) "same steps" r1.Simulator.steps r2.Simulator.steps;
+  Alcotest.(check bool) "same final" true (Mset.equal r1.Simulator.final r2.Simulator.final)
+
+let test_sim_small_population_rejected () =
+  let p = Flock.succinct 2 in
+  Alcotest.check_raises "size >= 2"
+    (Invalid_argument "Simulator.run: population size >= 2 required") (fun () ->
+      ignore
+        (Simulator.run ~rng:(Splitmix64.create 1) p
+           (Mset.of_list (Population.num_states p) [ (1, 1) ])))
+
+let test_sim_parallel_time () =
+  let r =
+    Simulator.run_input ~rng:(Splitmix64.create 9) (Flock.succinct 2) [| 50 |]
+  in
+  let pt = Simulator.parallel_time r ~population:50 in
+  Alcotest.(check bool) "positive and finite" true (pt >= 0.0 && pt < 1e6)
+
+(* simulation agrees with the exact semantics on decided inputs *)
+let sim_vs_exact_prop =
+  prop "simulator verdict matches exact semantics" ~count:15
+    QCheck.(pair (int_range 2 14) (int_range 0 1000))
+    (fun (i, seed) ->
+      let p = Threshold.binary 6 in
+      match Fair_semantics.decide p [| i |] with
+      | Fair_semantics.Decides expected ->
+        let r = Simulator.run_input ~rng:(Splitmix64.create seed) p [| i |] in
+        r.Simulator.converged && r.Simulator.output = Some expected
+      | _ -> false)
+
+let test_sample_parallel_times () =
+  let rng = Splitmix64.create 2 in
+  let ts = Simulator.sample_parallel_times ~runs:5 ~rng (Flock.succinct 3) [| 40 |] in
+  Alcotest.(check int) "five runs" 5 (List.length ts);
+  Alcotest.(check bool) "all nonnegative" true (List.for_all (fun t -> t >= 0.0) ts)
+
+(* with leaders *)
+let test_sim_with_leaders () =
+  let p = Leader_counter.protocol 2 in
+  let r = Simulator.run_input ~rng:(Splitmix64.create 11) p [| 10 |] in
+  Alcotest.(check (option bool)) "10 >= 4 accepted" (Some true) r.Simulator.output
+
+(* -- Gillespie ------------------------------------------------------------- *)
+
+let test_gillespie_verdicts () =
+  let rng = Splitmix64.create 17 in
+  let p = Flock.succinct 3 in
+  let accept = Gillespie.run_input ~rng p [| 20 |] in
+  Alcotest.(check (option bool)) "accepts 20 >= 8" (Some true) accept.Gillespie.output;
+  Alcotest.(check bool) "converged" true accept.Gillespie.converged;
+  Alcotest.(check bool) "time advanced" true (accept.Gillespie.time > 0.0);
+  let reject = Gillespie.run_input ~rng p [| 5 |] in
+  Alcotest.(check (option bool)) "rejects 5 < 8" (Some false) reject.Gillespie.output
+
+let test_gillespie_deterministic () =
+  let p = Flock.succinct 2 in
+  let r1 = Gillespie.run_input ~rng:(Splitmix64.create 4) p [| 15 |] in
+  let r2 = Gillespie.run_input ~rng:(Splitmix64.create 4) p [| 15 |] in
+  Alcotest.(check int) "same steps" r1.Gillespie.steps r2.Gillespie.steps;
+  Alcotest.(check (float 1e-12)) "same time" r1.Gillespie.time r2.Gillespie.time
+
+let test_gillespie_inert () =
+  (* a protocol whose completed transitions are all identities is inert *)
+  let p =
+    Population.complete
+      (Population.make ~name:"inert" ~states:[| "x" |] ~transitions:[]
+         ~inputs:[ ("x", 0) ]
+         ~output:[| true |] ())
+  in
+  let r = Gillespie.run_input ~rng:(Splitmix64.create 1) p [| 5 |] in
+  Alcotest.(check int) "no reactions" 0 r.Gillespie.steps;
+  Alcotest.(check bool) "converged (inert)" true r.Gillespie.converged;
+  Alcotest.(check (option bool)) "consensus" (Some true) r.Gillespie.output
+
+let test_gillespie_population_preserved () =
+  let rng = Splitmix64.create 23 in
+  let p = Threshold.binary 6 in
+  let r = Gillespie.run_input ~rng p [| 17 |] in
+  Alcotest.(check int) "size conserved" 17 (Mset.size r.Gillespie.final)
+
+let gillespie_vs_exact_prop =
+  prop "gillespie verdict matches exact semantics" ~count:12
+    QCheck.(pair (int_range 2 12) (int_range 0 999))
+    (fun (i, seed) ->
+      let p = Threshold.binary 5 in
+      match Fair_semantics.decide p [| i |] with
+      | Fair_semantics.Decides expected ->
+        let r = Gillespie.run_input ~rng:(Splitmix64.create seed) p [| i |] in
+        r.Gillespie.converged && r.Gillespie.output = Some expected
+      | _ -> false)
+
+(* -- Stats ---------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "q0" 1.0 (Stats.quantile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "q1" 4.0 (Stats.quantile 1.0 xs)
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean []));
+  Alcotest.(check string) "summary of empty" "n=0" (Stats.summary [])
+
+let stats_props =
+  [
+    prop "mean within min..max" QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_bound_inclusive 100.0))
+      (fun xs ->
+        let m = Stats.mean xs in
+        m >= List.fold_left Stdlib.min infinity xs -. 1e-9
+        && m <= List.fold_left Stdlib.max neg_infinity xs +. 1e-9);
+    prop "quantiles monotone" QCheck.(list_of_size (QCheck.Gen.int_range 2 20) (float_bound_inclusive 100.0))
+      (fun xs -> Stats.quantile 0.25 xs <= Stats.quantile 0.75 xs +. 1e-9);
+    prop "stddev nonnegative" QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_bound_inclusive 100.0))
+      (fun xs -> Stats.stddev xs >= 0.0);
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_prng_seed_matters;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+        ]
+        @ prng_props );
+      ( "simulator",
+        [
+          Alcotest.test_case "accepts" `Quick test_sim_flock_accepts;
+          Alcotest.test_case "rejects" `Quick test_sim_flock_rejects;
+          Alcotest.test_case "reproducible" `Quick test_sim_reproducible;
+          Alcotest.test_case "small population" `Quick test_sim_small_population_rejected;
+          Alcotest.test_case "parallel time" `Quick test_sim_parallel_time;
+          Alcotest.test_case "samples" `Quick test_sample_parallel_times;
+          Alcotest.test_case "leaders" `Quick test_sim_with_leaders;
+          sim_vs_exact_prop;
+        ] );
+      ( "gillespie",
+        [
+          Alcotest.test_case "verdicts" `Quick test_gillespie_verdicts;
+          Alcotest.test_case "deterministic" `Quick test_gillespie_deterministic;
+          Alcotest.test_case "inert" `Quick test_gillespie_inert;
+          Alcotest.test_case "population preserved" `Quick test_gillespie_population_preserved;
+          gillespie_vs_exact_prop;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basic;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+        ]
+        @ stats_props );
+    ]

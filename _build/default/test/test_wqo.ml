@@ -1,0 +1,152 @@
+(* Tests for the Dickson-witness search and controlled bad sequences
+   (the combinatorial engine of Lemma 4.4 / Theorem 4.5). *)
+
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let vecs l = List.map Array.of_list l
+
+(* -- Dickson --------------------------------------------------------------- *)
+
+let test_first_pair () =
+  Alcotest.(check (option (pair int int))) "finds first pair"
+    (Some (1, 3))
+    (Dickson.first_ascending_pair
+       (List.to_seq (vecs [ [ 2; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 0; 2 ] ])));
+  Alcotest.(check (option (pair int int))) "bad sequence has none" None
+    (Dickson.first_ascending_pair (List.to_seq (vecs [ [ 2; 0 ]; [ 1; 1 ]; [ 0; 2 ] ])))
+
+let test_first_pair_equal_vectors () =
+  Alcotest.(check (option (pair int int))) "equal counts as ascending"
+    (Some (0, 1))
+    (Dickson.first_ascending_pair (List.to_seq (vecs [ [ 1; 1 ]; [ 1; 1 ] ])))
+
+let test_ascending_chain () =
+  let arr = Array.of_list (vecs [ [ 0; 3 ]; [ 1; 0 ]; [ 1; 1 ]; [ 0; 4 ]; [ 2; 2 ] ]) in
+  (match Dickson.ascending_chain arr 3 with
+   | Some ([ _; _; _ ] as chain) ->
+     let rec ascending = function
+       | a :: (b :: _ as rest) -> Intvec.leq arr.(a) arr.(b) && ascending rest
+       | _ -> true
+     in
+     Alcotest.(check bool) "chain ascending" true (ascending chain)
+   | Some _ -> Alcotest.fail "wrong chain length"
+   | None -> Alcotest.fail "chain exists");
+  Alcotest.(check (option (list int))) "no chain of 4" None (Dickson.ascending_chain arr 4)
+
+let test_is_bad () =
+  Alcotest.(check bool) "strictly descending is bad" true
+    (Dickson.is_bad (Array.of_list (vecs [ [ 3 ]; [ 2 ]; [ 1 ] ])));
+  Alcotest.(check bool) "ascending pair detected" false
+    (Dickson.is_bad (Array.of_list (vecs [ [ 1; 2 ]; [ 2; 2 ] ])))
+
+(* Dickson's lemma itself, empirically: random sequences over a bounded
+   grid must contain an ascending pair once longer than the largest
+   antichain through the grid. *)
+let dickson_lemma_prop =
+  prop "bounded sequences of length > antichain bound have witnesses"
+    QCheck.(list_of_size (QCheck.Gen.return 10) (pair (int_bound 2) (int_bound 2)))
+    (fun pts ->
+      (* 10 points in {0,1,2}^2: longest antichain has <= 3 elements + ...
+         certainly < 10, so a witness must exist *)
+      let arr = Array.of_list (List.map (fun (a, b) -> [| a; b |]) pts) in
+      not (Dickson.is_bad arr))
+
+let witness_correct_prop =
+  prop "returned witness is actually ascending"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 12) (pair (int_bound 4) (int_bound 4)))
+    (fun pts ->
+      let arr = Array.of_list (List.map (fun (a, b) -> [| a; b |]) pts) in
+      match Dickson.first_ascending_pair (Array.to_seq arr) with
+      | None -> Dickson.is_bad arr
+      | Some (i, j) -> i < j && Intvec.leq arr.(i) arr.(j))
+
+(* -- Bad_sequences ---------------------------------------------------------- *)
+
+let test_dim1_exact () =
+  (* dimension 1: the longest (i+delta)-controlled bad sequence is
+     delta, delta-1, …, 0 — length delta + 1 *)
+  List.iter
+    (fun delta ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "L(1, %d)" delta)
+        (Some (delta + 1))
+        (Bad_sequences.max_length_exact ~dim:1 ~delta ~budget:2_000_000))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_dim2_growth () =
+  (* dimension 2 grows much faster; known small values via exhaustive
+     search. L(2,0) counts sequences controlled by ‖v_i‖₁ <= i. *)
+  let l delta = Bad_sequences.max_length_exact ~dim:2 ~delta ~budget:6_000_000 in
+  match (l 0, l 1) with
+  | Some l0, Some l1 ->
+    Alcotest.(check bool) "monotone in delta" true (l1 > l0);
+    Alcotest.(check bool) "superlinear already" true (l1 >= 2 * 1 + 2)
+  | _ -> Alcotest.fail "search budget exceeded"
+
+let test_staircase_valid () =
+  List.iter
+    (fun delta ->
+      let seq = Bad_sequences.descending_staircase ~delta ~max_len:4000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "staircase delta=%d is controlled bad" delta)
+        true
+        (Bad_sequences.is_controlled_bad ~delta seq))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_staircase_explodes () =
+  let len d = List.length (Bad_sequences.descending_staircase ~delta:d ~max_len:100_000) in
+  Alcotest.(check bool) "roughly doubling" true (len 6 > (3 * len 5) / 2);
+  Alcotest.(check bool) "exceeds linear control" true (len 8 > 100)
+
+let test_greedy_valid () =
+  List.iter
+    (fun (dim, delta) ->
+      let seq = Bad_sequences.greedy_sequence ~dim ~delta ~max_len:60 in
+      Alcotest.(check bool)
+        (Printf.sprintf "greedy (%d,%d) is controlled bad" dim delta)
+        true
+        (Bad_sequences.is_controlled_bad ~delta seq);
+      Alcotest.(check bool) "nonempty" true (List.length seq > 0))
+    [ (1, 2); (2, 1); (2, 2); (3, 1) ]
+
+let test_greedy_matches_exact_dim1 () =
+  let seq = Bad_sequences.greedy_sequence ~dim:1 ~delta:3 ~max_len:100 in
+  Alcotest.(check int) "greedy optimal in dim 1" 4 (List.length seq)
+
+let test_exact_budget_exhaustion () =
+  Alcotest.(check (option int)) "tiny budget returns None" None
+    (Bad_sequences.max_length_exact ~dim:2 ~delta:2 ~budget:5)
+
+let greedy_at_least_staircase =
+  prop "greedy in dim 2 at least as long as the staircase" ~count:4
+    QCheck.(int_range 0 3)
+    (fun delta ->
+      let g = List.length (Bad_sequences.greedy_sequence ~dim:2 ~delta ~max_len:120) in
+      let s = List.length (Bad_sequences.descending_staircase ~delta ~max_len:120) in
+      g >= s)
+
+let () =
+  Alcotest.run "wqo"
+    [
+      ( "dickson",
+        [
+          Alcotest.test_case "first pair" `Quick test_first_pair;
+          Alcotest.test_case "equal vectors" `Quick test_first_pair_equal_vectors;
+          Alcotest.test_case "ascending chain" `Quick test_ascending_chain;
+          Alcotest.test_case "is_bad" `Quick test_is_bad;
+          dickson_lemma_prop;
+          witness_correct_prop;
+        ] );
+      ( "bad-sequences",
+        [
+          Alcotest.test_case "dim 1 exact" `Quick test_dim1_exact;
+          Alcotest.test_case "dim 2 growth" `Quick test_dim2_growth;
+          Alcotest.test_case "staircase valid" `Quick test_staircase_valid;
+          Alcotest.test_case "staircase explodes" `Quick test_staircase_explodes;
+          Alcotest.test_case "greedy valid" `Quick test_greedy_valid;
+          Alcotest.test_case "greedy dim 1 optimal" `Quick test_greedy_matches_exact_dim1;
+          Alcotest.test_case "budget" `Quick test_exact_budget_exhaustion;
+          greedy_at_least_staircase;
+        ] );
+    ]
