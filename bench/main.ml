@@ -184,9 +184,33 @@ let e7 () =
 (* ------------------------------------------------------------------ E8 *)
 
 let e8 () =
-  section "E8" "Convergence under the uniform scheduler (parallel time, 10 runs each)";
-  row "%-22s %-8s %-12s %-12s %-12s\n" "protocol" "pop" "mean" "stddev" "median";
-  let rng = Splitmix64.create 20260705 in
+  let jobs_hi = Stdlib.max 2 (Stdlib.min 4 (Domain.recommended_domain_count ())) in
+  section "E8"
+    (Printf.sprintf
+       "Convergence under the uniform scheduler (ensemble, 10 trials; \
+        wall-clock on 1 vs %d domains)" jobs_hi);
+  row "%-22s %-8s %-10s %-10s %-10s %-10s %-10s %-9s %s\n" "protocol" "pop" "mean"
+    "stddev" "median" "wall(1j)" (Printf.sprintf "wall(%dj)" jobs_hi) "speedup"
+    "det-ok";
+  let measure ?(trials = 10) ~backend name p input =
+    let e1 = Ensemble.run_input ~jobs:1 ~backend ~seed:20260705 ~trials p input in
+    let eN =
+      Ensemble.run_input ~jobs:jobs_hi ~backend ~seed:20260705 ~trials p input
+    in
+    (* the acceptance check of the seeding model: aggregates agree
+       byte-for-byte whatever the domain count *)
+    let det_ok = Ensemble.summary e1 = Ensemble.summary eN in
+    let ts = Ensemble.parallel_times e1 in
+    let pop =
+      String.concat "+" (List.map string_of_int (Array.to_list input))
+    in
+    if ts = [] then row "%-22s %-8s (no convergence within budget)\n" name pop
+    else
+      row "%-22s %-8s %-10.2f %-10.2f %-10.2f %-10.3f %-10.3f %-9.2f %b\n" name
+        pop (Stats.mean ts) (Stats.stddev ts) (Stats.median ts)
+        e1.Ensemble.wall eN.Ensemble.wall
+        (e1.Ensemble.wall /. eN.Ensemble.wall) det_ok
+  in
   List.iter
     (fun (name, pops) ->
       match Catalog.build name with
@@ -194,12 +218,7 @@ let e8 () =
       | Some e ->
         let p = e.Catalog.build () in
         List.iter
-          (fun pop ->
-            let ts = Simulator.sample_parallel_times ~runs:10 ~rng p [| pop |] in
-            if ts = [] then row "%-22s %-8d (no convergence)\n" name pop
-            else
-              row "%-22s %-8d %-12.2f %-12.2f %-12.2f\n" name pop (Stats.mean ts)
-                (Stats.stddev ts) (Stats.median ts))
+          (fun pop -> measure ~backend:(Ensemble.uniform ()) name p [| pop |])
           pops)
     [
       ("flock-succinct-4", [ 25; 50; 100; 200; 400 ]);
@@ -211,14 +230,9 @@ let e8 () =
   let maj = Majority.protocol () in
   List.iter
     (fun (a, b) ->
-      let ts =
-        Simulator.sample_parallel_times ~runs:5 ~max_steps:5_000_000 ~rng maj
-          [| a; b |]
-      in
-      if ts = [] then row "%-22s %d+%-5d (no convergence within budget)\n" "majority" a b
-      else
-        row "%-22s %d+%-5d %-12.2f %-12.2f %-12.2f\n" "majority" a b (Stats.mean ts)
-          (Stats.stddev ts) (Stats.median ts))
+      measure ~trials:5
+        ~backend:(Ensemble.uniform ~max_steps:5_000_000 ())
+        "majority" maj [| a; b |])
     [ (15, 10); (30, 20); (60, 40) ]
 
 (* ------------------------------------------------------------------ E9 *)
@@ -388,9 +402,10 @@ let e13 () =
 (* ------------------------------------------------------------------ E14 *)
 
 let e14 () =
-  section "E14" "Continuous-time (Gillespie SSA) vs discrete parallel time";
-  row "%-22s %-8s %-16s %-16s\n" "protocol" "pop" "SSA time (mean)" "discrete pt (mean)";
-  let rng = Splitmix64.create 7 in
+  let jobs = Stdlib.max 2 (Stdlib.min 4 (Domain.recommended_domain_count ())) in
+  section "E14" "Continuous-time (Gillespie SSA) vs discrete parallel time (8-trial ensembles)";
+  row "%-22s %-8s %-16s %-16s %-12s\n" "protocol" "pop" "SSA time (mean)"
+    "discrete pt (mean)" "wall (s)";
   List.iter
     (fun (name, pops) ->
       match Catalog.build name with
@@ -399,15 +414,20 @@ let e14 () =
         let p = e.Catalog.build () in
         List.iter
           (fun pop ->
-            let cont =
-              List.init 8 (fun _ -> Gillespie.run_input ~rng p [| pop |])
-              |> List.filter (fun r -> r.Gillespie.converged)
-              |> List.map (fun r -> r.Gillespie.last_change)
+            let ssa =
+              Ensemble.run_input ~jobs ~backend:(Ensemble.gillespie ()) ~seed:7
+                ~trials:8 p [| pop |]
             in
-            let disc = Simulator.sample_parallel_times ~runs:8 ~rng p [| pop |] in
-            row "%-22s %-8d %-16.2f %-16.2f\n" name pop
+            let disc =
+              Ensemble.run_input ~jobs ~backend:(Ensemble.uniform ()) ~seed:7
+                ~trials:8 p [| pop |]
+            in
+            let cont = Ensemble.parallel_times ssa in
+            let dts = Ensemble.parallel_times disc in
+            row "%-22s %-8d %-16.2f %-16.2f %-12.3f\n" name pop
               (if cont = [] then nan else Stats.mean cont)
-              (if disc = [] then nan else Stats.mean disc))
+              (if dts = [] then nan else Stats.mean dts)
+              (ssa.Ensemble.wall +. disc.Ensemble.wall))
           pops)
     [ ("flock-succinct-4", [ 50; 100; 200 ]); ("threshold-binary-13", [ 50; 100; 200 ]) ]
 

@@ -1,0 +1,141 @@
+type backend =
+  | Uniform of { max_steps : int; quiet_window : float }
+  | Gillespie of { max_steps : int; quiet_time : float; rate : float }
+
+let uniform ?(max_steps = 50_000_000) ?(quiet_window = 64.0) () =
+  Uniform { max_steps; quiet_window }
+
+let gillespie ?(max_steps = 5_000_000) ?(quiet_time = 64.0) ?(rate = 1.0) () =
+  Gillespie { max_steps; quiet_time; rate }
+
+type trial = {
+  index : int;
+  steps : int;
+  parallel_time : float;
+  output : bool option;
+  converged : bool;
+}
+
+type t = {
+  backend : backend;
+  population : int;
+  jobs : int;
+  trials : trial array;
+  wall : float;
+}
+
+(* Trial [i] runs on the [i]-th split of the master generator. The
+   master is advanced sequentially up front, so the stream of trial [i]
+   depends only on [seed] and [i] — not on the number of trials, the
+   number of domains, or scheduling order. *)
+let trial_rngs ~seed n =
+  let master = Splitmix64.create seed in
+  let a = Array.make n master in
+  for i = 0 to n - 1 do
+    a.(i) <- Splitmix64.split master
+  done;
+  a
+
+let rng_for_trial ~seed i =
+  if i < 0 then invalid_arg "Ensemble.rng_for_trial: i >= 0 required";
+  let master = Splitmix64.create seed in
+  let rec go k = if k = 0 then Splitmix64.split master
+    else (ignore (Splitmix64.split master); go (k - 1))
+  in
+  go i
+
+let run_trial backend p c0 ~population index rng =
+  match backend with
+  | Uniform { max_steps; quiet_window } ->
+    let r = Simulator.run ~max_steps ~quiet_window ~rng p c0 in
+    {
+      index;
+      steps = r.Simulator.steps;
+      parallel_time = Simulator.parallel_time r ~population;
+      output = r.Simulator.output;
+      converged = r.Simulator.converged;
+    }
+  | Gillespie { max_steps; quiet_time; rate } ->
+    let r = Gillespie.run ~max_steps ~quiet_time ~rate ~rng p c0 in
+    {
+      index;
+      steps = r.Gillespie.steps;
+      parallel_time = r.Gillespie.last_change;
+      output = r.Gillespie.output;
+      converged = r.Gillespie.converged;
+    }
+
+let run ?(jobs = 1) ?(chunk = 1) ?(backend = uniform ()) ~seed ~trials p c0 =
+  if trials < 0 then invalid_arg "Ensemble.run: trials >= 0 required";
+  let population = Mset.size c0 in
+  if trials > 0 && population < 2 then
+    invalid_arg "Ensemble.run: population size >= 2 required";
+  let jobs = Stdlib.max 1 (Stdlib.min jobs trials) in
+  let chunk = Stdlib.max 1 chunk in
+  let rngs = trial_rngs ~seed trials in
+  let results = Array.make trials None in
+  let next = Atomic.make 0 in
+  (* Dynamic self-scheduling off a shared counter: each domain claims
+     [chunk] consecutive trial indices at a time, so long trials don't
+     leave the other domains idle. Slot [i] of [results] is written by
+     exactly one domain; [Domain.join] publishes the writes. *)
+  let worker () =
+    let rec loop () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo < trials then begin
+        let hi = Stdlib.min trials (lo + chunk) in
+        for i = lo to hi - 1 do
+          results.(i) <- Some (run_trial backend p c0 ~population i rngs.(i))
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let pool = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join pool;
+  let wall = Unix.gettimeofday () -. t0 in
+  let trials =
+    Array.map (function Some t -> t | None -> assert false) results
+  in
+  { backend; population; jobs; trials; wall }
+
+let run_input ?jobs ?chunk ?backend ~seed ~trials p v =
+  run ?jobs ?chunk ?backend ~seed ~trials p (Population.initial_config p v)
+
+let parallel_times e =
+  Array.to_list e.trials
+  |> List.filter_map (fun t -> if t.converged then Some t.parallel_time else None)
+
+let outputs e =
+  Array.fold_left
+    (fun (acc, rej, und) t ->
+      match t.output with
+      | Some true -> (acc + 1, rej, und)
+      | Some false -> (acc, rej + 1, und)
+      | None -> (acc, rej, und + 1))
+    (0, 0, 0) e.trials
+
+let majority_output e =
+  let acc, rej, _ = outputs e in
+  if acc > rej then Some true else if rej > acc then Some false else None
+
+let summary e =
+  let n = Array.length e.trials in
+  let converged =
+    Array.fold_left (fun c t -> if t.converged then c + 1 else c) 0 e.trials
+  in
+  let acc, rej, und = outputs e in
+  let ts = parallel_times e in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "trials=%d converged=%d accept=%d reject=%d undecided=%d\n"
+    n converged acc rej und;
+  Printf.bprintf buf "parallel time: %s\n" (Stats.summary ts);
+  List.iter
+    (fun (lo, hi, count) ->
+      let bar = String.make (Stdlib.min 50 count) '#' in
+      Printf.bprintf buf "  [%10.2f, %10.2f) %4d %s\n" lo hi count bar)
+    (Stats.histogram ~bins:8 ts);
+  Buffer.contents buf

@@ -9,10 +9,80 @@ type run_result = {
 
 let is_identity p t = Intvec.norm1 (Population.displacement p t) = 0
 
-let propensity p counts t =
+(* Unscaled mass-action propensity of transition [t]: #a·#b, or
+   #a·(#a-1)/2 when the pre-states coincide. The uniform [rate /
+   population] factor is applied to the total only — it cancels out of
+   reaction selection. *)
+let raw_propensity p counts t =
   let { Population.pre = a, b; _ } = p.Population.transitions.(t) in
   if a = b then float_of_int (counts.(a) * (counts.(a) - 1)) /. 2.0
   else float_of_int (counts.(a) * counts.(b))
+
+module Propensity = struct
+  type tracker = {
+    p : Population.t;
+    productive : int array;
+    by_state : int array array;
+    props : float array;
+    mutable total : float;
+    mutable updates : int;
+  }
+
+  let naive_total p counts =
+    let acc = ref 0.0 in
+    for t = 0 to Population.num_transitions p - 1 do
+      if not (is_identity p t) then acc := !acc +. raw_propensity p counts t
+    done;
+    !acc
+
+  let create p counts =
+    let d = Population.num_states p in
+    let productive =
+      List.filter
+        (fun t -> not (is_identity p t))
+        (List.init (Population.num_transitions p) Fun.id)
+      |> Array.of_list
+    in
+    let by = Array.make d [] in
+    Array.iter
+      (fun t ->
+        let { Population.pre = a, b; _ } = p.Population.transitions.(t) in
+        by.(a) <- t :: by.(a);
+        if b <> a then by.(b) <- t :: by.(b))
+      productive;
+    let by_state = Array.map (fun l -> Array.of_list (List.rev l)) by in
+    let props = Array.make (Population.num_transitions p) 0.0 in
+    Array.iter (fun t -> props.(t) <- raw_propensity p counts t) productive;
+    let total = Array.fold_left ( +. ) 0.0 props in
+    { p; productive; by_state; props; total; updates = 0 }
+
+  let total tr = tr.total
+  let get tr t = tr.props.(t)
+
+  (* [counts] must already reflect the firing of [fired]. Only
+     transitions whose precondition mentions one of the (at most 4)
+     states touched by [fired] can change propensity; recomputation is
+     idempotent, so a transition reached via two touched states just
+     contributes a zero delta the second time. *)
+  let update tr counts ~fired =
+    let { Population.pre = a, b; post = a', b' } = tr.p.Population.transitions.(fired) in
+    let touch s =
+      Array.iter
+        (fun t ->
+          let v = raw_propensity tr.p counts t in
+          tr.total <- tr.total +. (v -. tr.props.(t));
+          tr.props.(t) <- v)
+        tr.by_state.(s)
+    in
+    touch a;
+    if b <> a then touch b;
+    if a' <> a && a' <> b then touch a';
+    if b' <> a && b' <> b && b' <> a' then touch b';
+    tr.updates <- tr.updates + 1;
+    (* periodically resum to keep float drift of the running total bounded *)
+    if tr.updates land 2047 = 0 then
+      tr.total <- Array.fold_left ( +. ) 0.0 tr.props
+end
 
 let status_of ones total : bool option =
   if ones = total then Some true else if ones = 0 then Some false else None
@@ -22,11 +92,7 @@ let run ?(max_steps = 5_000_000) ?(quiet_time = 64.0) ?(rate = 1.0) ~rng p c0 =
   let counts = Array.init d (Mset.get c0) in
   let total = Mset.size c0 in
   if total < 2 then invalid_arg "Gillespie.run: population size >= 2 required";
-  let productive =
-    List.filter
-      (fun t -> not (is_identity p t))
-      (List.init (Population.num_transitions p) Fun.id)
-  in
+  let tracker = Propensity.create p counts in
   let scale = rate /. float_of_int total in
   let ones = ref 0 in
   Array.iteri (fun s c -> if p.Population.output.(s) then ones := !ones + c) counts;
@@ -36,23 +102,38 @@ let run ?(max_steps = 5_000_000) ?(quiet_time = 64.0) ?(rate = 1.0) ~rng p c0 =
   let steps = ref 0 in
   let inert = ref false in
   let quiet () = !status <> None && !time -. !last_change >= quiet_time in
+  (* select a reaction proportionally to its propensity; the guard
+     [h > 0.0] also protects against the running total drifting above
+     the true sum, in which case the last enabled reaction wins *)
+  let pick target =
+    let chosen = ref (-1) in
+    let last_enabled = ref (-1) in
+    let acc = ref 0.0 in
+    let n = Array.length tracker.Propensity.productive in
+    let i = ref 0 in
+    while !chosen < 0 && !i < n do
+      let t = tracker.Propensity.productive.(!i) in
+      let h = Propensity.get tracker t in
+      if h > 0.0 then begin
+        last_enabled := t;
+        acc := !acc +. h;
+        if !acc >= target then chosen := t
+      end;
+      incr i
+    done;
+    if !chosen >= 0 then !chosen else !last_enabled
+  in
   while (not !inert) && (not (quiet ())) && !steps < max_steps do
-    let props = List.map (fun t -> (t, propensity p counts t *. scale)) productive in
-    let total_rate = List.fold_left (fun acc (_, h) -> acc +. h) 0.0 props in
-    if total_rate <= 0.0 then inert := true
+    let raw_total = Propensity.total tracker in
+    if raw_total <= 0.0 then inert := true
     else begin
       let u = Splitmix64.float_unit rng in
-      let dt = -.log (1.0 -. u) /. total_rate in
+      let dt = -.log (1.0 -. u) /. (raw_total *. scale) in
       time := !time +. dt;
       if quiet () then ()
       else begin
-        (* select a reaction proportionally to its propensity *)
-        let target = Splitmix64.float_unit rng *. total_rate in
-        let rec pick acc = function
-          | [] -> List.hd (List.rev productive)
-          | (t, h) :: rest -> if acc +. h >= target then t else pick (acc +. h) rest
-        in
-        let t = pick 0.0 props in
+        let target = Splitmix64.float_unit rng *. raw_total in
+        let t = pick target in
         incr steps;
         let { Population.pre = a, b; post = a', b' } = p.Population.transitions.(t) in
         let adjust s delta =
@@ -63,6 +144,7 @@ let run ?(max_steps = 5_000_000) ?(quiet_time = 64.0) ?(rate = 1.0) ~rng p c0 =
         adjust b (-1);
         adjust a' 1;
         adjust b' 1;
+        Propensity.update tracker counts ~fired:t;
         let status' = status_of !ones total in
         if status' <> !status then begin
           status := status';

@@ -6,17 +6,22 @@ type run_result = {
   converged : bool;
 }
 
-(* Lookup from a canonical state pair to the indices of the transitions
-   it enables. *)
+(* Dense lookup from a canonical state pair [(s1, s2)] with [s1 <= s2]
+   to the indices of the transitions it enables: slot [s1 * d + s2].
+   Direct indexing keeps the hot loop free of hashing and of the [Some]
+   allocations a [Hashtbl.find_opt] per interaction would cost — minor
+   allocations also force cross-domain GC synchronisation, which is what
+   an ensemble's domains contend on. *)
 let pair_table p =
-  let tbl = Hashtbl.create 64 in
+  let d = Population.num_states p in
+  let table = Array.make (d * d) [] in
   Array.iteri
     (fun i (tr : Population.transition) ->
-      let prev = Option.value (Hashtbl.find_opt tbl tr.pre) ~default:[] in
-      Hashtbl.replace tbl tr.pre (i :: prev))
+      let s1, s2 = tr.pre in
+      let slot = (s1 * d) + s2 in
+      table.(slot) <- i :: table.(slot))
     p.Population.transitions;
-  Hashtbl.fold (fun k v acc -> (k, Array.of_list v) :: acc) tbl []
-  |> List.to_seq |> Hashtbl.of_seq
+  Array.map (fun l -> Array.of_list (List.rev l)) table
 
 (* Sample the states of two distinct agents drawn uniformly from the
    population described by [counts]. *)
@@ -56,22 +61,33 @@ let run ?(max_steps = 50_000_000) ?(quiet_window = 64.0) ~rng p c0 =
   let status = ref (status_of !ones total) in
   let step = ref 0 in
   let finished = ref false in
+  (* [sample_pair], inlined to avoid boxing a tuple per interaction;
+     the RNG draw sequence is identical *)
+  let pick_index k =
+    let rec go s acc =
+      let acc' = acc + counts.(s) in
+      if k < acc' then s else go (s + 1) acc'
+    in
+    go 0 0
+  in
+  let adjust s delta =
+    counts.(s) <- counts.(s) + delta;
+    if p.Population.output.(s) then ones := !ones + delta
+  in
   while (not !finished) && !step < max_steps do
     incr step;
-    let s1, s2 = sample_pair rng counts total in
-    let pre = if s1 <= s2 then (s1, s2) else (s2, s1) in
-    (match Hashtbl.find_opt table pre with
-     | None -> ()
-     | Some trs ->
+    let s1 = pick_index (Splitmix64.int_below rng total) in
+    counts.(s1) <- counts.(s1) - 1;
+    let s2 = pick_index (Splitmix64.int_below rng (total - 1)) in
+    counts.(s1) <- counts.(s1) + 1;
+    let slot = if s1 <= s2 then (s1 * d) + s2 else (s2 * d) + s1 in
+    let trs = table.(slot) in
+    (if Array.length trs > 0 then
        let i =
          if Array.length trs = 1 then trs.(0)
          else trs.(Splitmix64.int_below rng (Array.length trs))
        in
        let { Population.post = p1, p2; _ } = p.Population.transitions.(i) in
-       let adjust s delta =
-         counts.(s) <- counts.(s) + delta;
-         if p.Population.output.(s) then ones := !ones + delta
-       in
        adjust s1 (-1);
        adjust s2 (-1);
        adjust p1 1;
@@ -97,9 +113,14 @@ let run_input ?max_steps ?quiet_window ~rng p v =
 let parallel_time r ~population =
   float_of_int r.last_change /. float_of_int population
 
+(* A 1-domain ensemble: trial [i] runs on the [i]-th split of [rng], the
+   same per-trial stream assignment Ensemble uses, so that this function
+   agrees exactly with [Ensemble.parallel_times (Ensemble.run ~jobs:1 ...)]
+   when [rng = Splitmix64.create seed]. *)
 let sample_parallel_times ?(runs = 10) ?max_steps ?quiet_window ~rng p v =
   let c0 = Population.initial_config p v in
   let population = Mset.size c0 in
-  List.init runs (fun _ -> run ?max_steps ?quiet_window ~rng p c0)
+  List.init runs (fun _ -> Splitmix64.split rng)
+  |> List.map (fun rng -> run ?max_steps ?quiet_window ~rng p c0)
   |> List.filter (fun r -> r.converged)
   |> List.map (fun r -> parallel_time r ~population)

@@ -20,6 +20,13 @@ type run_result = {
   converged : bool;       (** false iff the step budget ran out while unstable *)
 }
 
+val sample_pair : Splitmix64.t -> int array -> int -> int * int
+(** [sample_pair rng counts total] draws the states of two distinct
+    agents chosen uniformly from the population whose per-state counts
+    are [counts] (with [total = sum counts >= 2]). [counts] is mutated
+    transiently but restored before returning. Exposed for statistical
+    tests of the scheduler's uniformity. *)
+
 val run :
   ?max_steps:int ->
   ?quiet_window:float ->
@@ -54,4 +61,10 @@ val sample_parallel_times :
   int array ->
   float list
 (** Convergence estimates over several independent runs (default 10)
-    from [IC(v)]; runs that fail to converge are dropped. *)
+    from [IC(v)]; runs that fail to converge are dropped.
+
+    A thin sequential wrapper over a 1-domain ensemble: trial [i] runs
+    on the [i]-th {!Splitmix64.split} of [rng], the same per-trial
+    stream assignment {!Ensemble} uses, so with [rng = Splitmix64.create
+    seed] the result equals
+    [Ensemble.parallel_times (Ensemble.run ~jobs:1 ~seed ...)]. *)

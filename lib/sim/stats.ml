@@ -25,6 +25,29 @@ let quantile q = function
 
 let median xs = quantile 0.5 xs
 
+let histogram ?(bins = 8) = function
+  | [] -> []
+  | xs ->
+    if bins < 1 then invalid_arg "Stats.histogram: bins >= 1 required";
+    let lo = List.fold_left Stdlib.min infinity xs in
+    let hi = List.fold_left Stdlib.max neg_infinity xs in
+    if lo = hi then [ (lo, hi, List.length xs) ]
+    else begin
+      let counts = Array.make bins 0 in
+      let w = (hi -. lo) /. float_of_int bins in
+      List.iter
+        (fun x ->
+          let b = int_of_float ((x -. lo) /. w) in
+          let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+          counts.(b) <- counts.(b) + 1)
+        xs;
+      List.init bins (fun b ->
+          (* pin the last edge to the exact maximum: [lo + w*bins] can
+             undershoot it by an ulp *)
+          let top = if b = bins - 1 then hi else lo +. (w *. float_of_int (b + 1)) in
+          (lo +. (w *. float_of_int b), top, counts.(b)))
+    end
+
 let summary = function
   | [] -> "n=0"
   | xs ->

@@ -13,5 +13,12 @@ val quantile : float -> float list -> float
 
 val median : float list -> float
 
+val histogram : ?bins:int -> float list -> (float * float * int) list
+(** [histogram ~bins xs] buckets [xs] into [bins] (default 8) equal-width
+    intervals [(lo, hi, count)] spanning [min xs .. max xs]; the last
+    interval is closed on the right. Returns [[]] on an empty list and a
+    single degenerate bucket when all values coincide.
+    @raise Invalid_argument when [bins < 1]. *)
+
 val summary : float list -> string
 (** ["mean=… sd=… med=… n=…"], or ["n=0"] when empty. *)

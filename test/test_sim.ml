@@ -24,6 +24,38 @@ let test_prng_copy () =
   let b = Splitmix64.copy a in
   Alcotest.(check int64) "copy preserves state" (Splitmix64.next a) (Splitmix64.next b)
 
+(* fixed-vector regression: the exact first outputs of seed 42, pinned
+   so the deterministic-seeding contract (and hence every recorded
+   experiment) can never drift silently *)
+let test_prng_pinned_vectors () =
+  let expected =
+    [
+      0xbdd732262feb6e95L; 0x28efe333b266f103L; 0x47526757130f9f52L;
+      0x581ce1ff0e4ae394L; 0x09bc585a244823f2L; 0xde4431fa3c80db06L;
+      0x37e9671c45376d5dL; 0xccf635ee9e9e2fa4L;
+    ]
+  in
+  let g = Splitmix64.create 42 in
+  let got = List.init 8 (fun _ -> Splitmix64.next g) in
+  Alcotest.(check (list int64)) "first 8 outputs of seed 42" expected got
+
+let test_prng_split_independence () =
+  let m = Splitmix64.create 42 in
+  let s1 = Splitmix64.split m in
+  let s2 = Splitmix64.split m in
+  (* the two derived streams and the master's continuation are pinned
+     and pairwise distinct *)
+  Alcotest.(check int64) "first split" 0xf54abb1228262896L (Splitmix64.next s1);
+  Alcotest.(check int64) "second split" 0xfc991bca1a1aa1aeL (Splitmix64.next s2);
+  Alcotest.(check int64) "master continues its own stream" 0x47526757130f9f52L
+    (Splitmix64.next m);
+  (* advancing one stream must not disturb another *)
+  let s3 = Splitmix64.split m in
+  let probe = Splitmix64.copy s3 in
+  for _ = 1 to 100 do ignore (Splitmix64.next s1) done;
+  Alcotest.(check int64) "streams are isolated" (Splitmix64.next probe)
+    (Splitmix64.next s3)
+
 let prng_props =
   [
     prop "int_below in range" QCheck.(pair (int_range 1 1000) int) (fun (n, seed) ->
@@ -83,6 +115,37 @@ let test_sim_parallel_time () =
   in
   let pt = Simulator.parallel_time r ~population:50 in
   Alcotest.(check bool) "positive and finite" true (pt >= 0.0 && pt < 1e6)
+
+(* chi-square sanity: the scheduler draws unordered agent pairs
+   uniformly. On counts [2; 2; 2] (6 agents, 30 ordered pairs) each
+   same-state pair {i,i} has probability 2/30 and each cross pair {i,j}
+   8/30; with 30000 draws the chi-square statistic over the 6 categories
+   (5 degrees of freedom) stays below the p = 0.001 critical value 20.5
+   unless the sampler is biased. Deterministic via the fixed seed. *)
+let test_sample_pair_chi_square () =
+  let rng = Splitmix64.create 2026 in
+  let counts = [| 2; 2; 2 |] in
+  let draws = 30_000 in
+  let observed = Hashtbl.create 6 in
+  for _ = 1 to draws do
+    let s1, s2 = Simulator.sample_pair rng counts 6 in
+    let key = if s1 <= s2 then (s1, s2) else (s2, s1) in
+    Hashtbl.replace observed key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt observed key))
+  done;
+  Alcotest.(check bool) "counts untouched" true (counts = [| 2; 2; 2 |]);
+  let chi2 = ref 0.0 in
+  List.iter
+    (fun (key, p) ->
+      let expected = p *. float_of_int draws in
+      let o = float_of_int (Option.value ~default:0 (Hashtbl.find_opt observed key)) in
+      chi2 := !chi2 +. (((o -. expected) ** 2.0) /. expected))
+    [
+      ((0, 0), 2.0 /. 30.0); ((1, 1), 2.0 /. 30.0); ((2, 2), 2.0 /. 30.0);
+      ((0, 1), 8.0 /. 30.0); ((0, 2), 8.0 /. 30.0); ((1, 2), 8.0 /. 30.0);
+    ];
+  if !chi2 > 20.5 then
+    Alcotest.failf "pair sampling not uniform: chi-square %.2f > 20.5" !chi2
 
 (* simulation agrees with the exact semantics on decided inputs *)
 let sim_vs_exact_prop =
@@ -157,6 +220,50 @@ let gillespie_vs_exact_prop =
         r.Gillespie.converged && r.Gillespie.output = Some expected
       | _ -> false)
 
+(* the incremental propensity tracker agrees with a from-scratch
+   recomputation along random traces *)
+let propensity_incremental_prop =
+  prop "incremental = naive propensity totals on random traces" ~count:25
+    QCheck.(pair (int_range 4 20) (int_range 0 10_000))
+    (fun (input, seed) ->
+      let p = Threshold.binary 5 in
+      let rng = Splitmix64.create seed in
+      let c0 = Population.initial_config p [| input |] in
+      let counts = Array.init (Population.num_states p) (Mset.get c0) in
+      let tracker = Gillespie.Propensity.create p counts in
+      let agree () =
+        let naive = Gillespie.Propensity.naive_total p counts in
+        let drift = Float.abs (Gillespie.Propensity.total tracker -. naive) in
+        drift <= 1e-6 *. Stdlib.max 1.0 naive
+      in
+      let ok = ref (agree ()) in
+      (try
+         for _ = 1 to 200 do
+           (* fire a uniformly random enabled transition *)
+           let enabled =
+             List.filter
+               (fun t ->
+                 let a, b = p.Population.transitions.(t).Population.pre in
+                 if a = b then counts.(a) >= 2 else counts.(a) >= 1 && counts.(b) >= 1)
+               (List.init (Population.num_transitions p) Fun.id)
+           in
+           match enabled with
+           | [] -> raise Exit
+           | ts ->
+             let t = List.nth ts (Splitmix64.int_below rng (List.length ts)) in
+             let { Population.pre = a, b; post = a', b' } =
+               p.Population.transitions.(t)
+             in
+             counts.(a) <- counts.(a) - 1;
+             counts.(b) <- counts.(b) - 1;
+             counts.(a') <- counts.(a') + 1;
+             counts.(b') <- counts.(b') + 1;
+             Gillespie.Propensity.update tracker counts ~fired:t;
+             if not (agree ()) then ok := false
+         done
+       with Exit -> ());
+      !ok)
+
 (* -- Stats ---------------------------------------------------------------- *)
 
 let test_stats_basic () =
@@ -193,6 +300,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seed matters" `Quick test_prng_seed_matters;
           Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "pinned vectors" `Quick test_prng_pinned_vectors;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independence;
         ]
         @ prng_props );
       ( "simulator",
@@ -204,6 +313,8 @@ let () =
           Alcotest.test_case "parallel time" `Quick test_sim_parallel_time;
           Alcotest.test_case "samples" `Quick test_sample_parallel_times;
           Alcotest.test_case "leaders" `Quick test_sim_with_leaders;
+          Alcotest.test_case "pair sampling chi-square" `Quick
+            test_sample_pair_chi_square;
           sim_vs_exact_prop;
         ] );
       ( "gillespie",
@@ -213,6 +324,7 @@ let () =
           Alcotest.test_case "inert" `Quick test_gillespie_inert;
           Alcotest.test_case "population preserved" `Quick test_gillespie_population_preserved;
           gillespie_vs_exact_prop;
+          propensity_incremental_prop;
         ] );
       ( "stats",
         [
