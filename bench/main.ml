@@ -458,10 +458,13 @@ let ablations () =
 
   row "\nA. Contejean–Devie scalar-product criterion (Hilbert basis search):\n";
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Obs.Clock.elapsed_s t0)
   in
+  (* candidate counts come straight from the engine's own counter — the
+     same cell hilbert_basis.ml publishes, re-registered here by name *)
+  let c_cand = Obs.Metrics.counter "hilbert.candidates" in
   List.iter
     (fun name ->
       match Catalog.build name with
@@ -469,9 +472,12 @@ let ablations () =
       | Some e ->
         let p = e.Catalog.build () in
         let sys = Potential.system p in
+        let cand0 = Obs.Metrics.value c_cand in
         let with_c, t_with =
           time (fun () -> List.length (Hilbert_basis.solve_geq sys))
         in
+        let cand_with = Obs.Metrics.value c_cand - cand0 in
+        let cand1 = Obs.Metrics.value c_cand in
         let without, t_without =
           time (fun () ->
               match
@@ -481,8 +487,11 @@ let ablations () =
               | basis -> Printf.sprintf "%d elements" (List.length basis)
               | exception Failure _ -> "diverges (400k-candidate budget hit)")
         in
-        row "  %-20s criterion on: %d elements %.3fs   off: %s %.3fs\n" name
-          with_c t_with without t_without)
+        let cand_without = Obs.Metrics.value c_cand - cand1 in
+        row
+          "  %-20s criterion on: %d elements %.3fs (%d candidates)   off: %s \
+           %.3fs (%d candidates)\n"
+          name with_c t_with cand_with without t_without cand_without)
     [ "flock-succinct-1"; "flock-succinct-2" ];
 
   row "\nB. Karatsuba multiplication threshold (Bignat):\n";
@@ -514,6 +523,9 @@ let ablations () =
     [ 1; 7; 13 ]
 
 (* ------------------------------------------------------- timing benches *)
+
+(* ns/run estimates of the last [timings] run, for the --json report *)
+let timing_results : (string * float) list ref = ref []
 
 let timings () =
   section "timings" "bechamel micro-benchmarks";
@@ -563,7 +575,9 @@ let timings () =
               Toolkit.Instance.monotonic_clock raws
           in
           match Analyze.OLS.estimates stats with
-          | Some [ est ] -> row "%-45s %12.1f ns/run\n" name est
+          | Some [ est ] ->
+            timing_results := (name, est) :: !timing_results;
+            row "%-45s %12.1f ns/run\n" name est
           | _ -> row "%-45s (no estimate)\n" name)
         results)
     tests
@@ -579,16 +593,63 @@ let experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let rec split_json acc = function
+    | [] -> (None, List.rev acc)
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | x :: rest -> split_json (x :: acc) rest
   in
+  let json_path, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = if names = [] then List.map fst experiments else names in
+  let records = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        (* every section runs with engine counters recording, except the
+           timings section, which must measure the instrumentation's
+           disabled-by-default cost *)
+        Obs.Metrics.set_enabled (name <> "timings");
+        let before = Obs.Metrics.snapshot () in
+        let t0 = Obs.Clock.now_ns () in
+        f ();
+        let wall = Obs.Clock.elapsed_s t0 in
+        let counters = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+        Obs.Metrics.set_enabled false;
+        records := (name, wall, counters) :: !records
       | None ->
         Printf.eprintf "unknown section %s (have: %s)\n" name
           (String.concat " " (List.map fst experiments)))
-    requested
+    requested;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let sections =
+      List.rev_map
+        (fun (id, wall, counters) ->
+          Obs.Json.Obj
+            [
+              ("id", Obs.Json.String id);
+              ("wall_s", Obs.Json.Float wall);
+              ("metrics", Obs.Metrics.to_json_value counters);
+            ])
+        !records
+    in
+    let timings_tbl =
+      List.rev_map
+        (fun (name, ns) ->
+          Obs.Json.Obj
+            [ ("name", Obs.Json.String name); ("ns_per_run", Obs.Json.Float ns) ])
+        !timing_results
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.String "ppbench/v1");
+          ("sections", Obs.Json.List sections);
+          ("timings", Obs.Json.List timings_tbl);
+        ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string doc);
+        Out_channel.output_char oc '\n');
+    Printf.eprintf "wrote %s\n%!" path

@@ -1,10 +1,10 @@
 (* bbsearch: enumerate (or sample) small deterministic leaderless
    protocols and report apparent busy-beaver values (Definition 1).
 
-     bbsearch --n 2
-     bbsearch --n 3 --sample 50000 --seed 9 *)
+     bbsearch -n 2
+     bbsearch -n 3 --sample 50000 --seed 9 *)
 
-let run n max_input sample seed print_best =
+let run n max_input sample seed print_best () =
   let sample = Option.map (fun count -> (count, seed)) sample in
   let r =
     try Busy_beaver.scan ?sample ~max_input ~n ()
@@ -48,6 +48,8 @@ let best_arg =
 
 let cmd =
   Cmd.v (Cmd.info "bbsearch" ~doc:"Busy-beaver search over small protocols")
-    Term.(const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ best_arg)
+    Term.(
+      const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ best_arg
+      $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -15,7 +15,7 @@ let load ~name ~file =
   | None, Some f -> Protocol_syntax.parse_file f
   | _ -> Error "exactly one of --protocol and --file is required"
 
-let run name file max_input =
+let run name file max_input () =
   match load ~name ~file with
   | Error e ->
     prerr_endline e;
@@ -91,6 +91,6 @@ let max_input_arg =
 let cmd =
   Cmd.v
     (Cmd.info "ppanalyse" ~doc:"State-complexity analysis of a population protocol")
-    Term.(const run $ name_arg $ file_arg $ max_input_arg)
+    Term.(const run $ name_arg $ file_arg $ max_input_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,7 +2,7 @@
 
      ppbounds --max 8 *)
 
-let run max_n =
+let run max_n () =
   Printf.printf "%-4s %-14s %-18s %-24s %-24s\n" "n" "3^n" "xi (deterministic)"
     "log2 beta = 2(2n+1)!+1" "Theorem 5.9: 2^((2n+2)!)";
   for n = 1 to max_n do
@@ -27,6 +27,6 @@ let max_arg = Arg.(value & opt int 8 & info [ "max" ] ~doc:"Largest state count.
 
 let cmd =
   Cmd.v (Cmd.info "ppbounds" ~doc:"Print the paper's explicit constants")
-    Term.(const run $ max_arg)
+    Term.(const run $ max_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,7 +3,7 @@
      ppcompile "x0 + 2*x1 >= 5"
      ppcompile "x0 - x1 >= 1 && x0 + x1 >= 4" -o conj.pp --verify 5 *)
 
-let run formula out verify =
+let run formula out verify () =
   match Predicate_parser.parse formula with
   | Error e ->
     Printf.eprintf "parse error: %s\n" e;
@@ -74,6 +74,6 @@ let verify_arg =
 let cmd =
   Cmd.v
     (Cmd.info "ppcompile" ~doc:"Compile Presburger formulas to population protocols")
-    Term.(const run $ formula_arg $ out_arg $ verify_arg)
+    Term.(const run $ formula_arg $ out_arg $ verify_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

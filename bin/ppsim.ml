@@ -36,7 +36,7 @@ let parse_backend name max_steps quiet rate =
   | "gillespie" -> Ok (Ensemble.gillespie ~max_steps ~quiet_time:quiet ~rate ())
   | s -> Error (Printf.sprintf "unknown backend %S (expected: uniform, gillespie)" s)
 
-let run name file input trials jobs backend_name seed max_steps quiet rate verbose =
+let run name file input trials jobs backend_name seed max_steps quiet rate verbose () =
   match load ~name ~file with
   | Error e ->
     prerr_endline e;
@@ -119,6 +119,7 @@ let cmd =
     (Cmd.info "ppsim" ~doc:"Simulate a population protocol")
     Term.(
       const run $ name_arg $ file_arg $ input_arg $ trials_arg $ jobs_arg
-      $ backend_arg $ seed_arg $ steps_arg $ quiet_arg $ rate_arg $ verbose_arg)
+      $ backend_arg $ seed_arg $ steps_arg $ quiet_arg $ rate_arg $ verbose_arg
+      $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -27,7 +27,7 @@ let print_witness p v =
     Format.printf "reached: %a@." (Population.pp_config p) c
   | None -> Format.printf "no accepting configuration is reachable@."
 
-let run name file input max_input max_configs witness =
+let run name file input max_input max_configs witness () =
   match load ~name ~file with
   | Error e ->
     prerr_endline e;
@@ -96,6 +96,6 @@ let cmd =
     (Cmd.info "ppverify" ~doc:"Exact verification of population protocols")
     Term.(
       const run $ name_arg $ file_arg $ input_arg $ max_input_arg
-      $ max_configs_arg $ witness_arg)
+      $ max_configs_arg $ witness_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

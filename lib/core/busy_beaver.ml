@@ -61,6 +61,10 @@ let iter_protocols ?sample ~n f =
            ~output_bits:(Splitmix64.int_below rng num_outputs))
     done
 
+let m_scanned = Obs.Metrics.counter "bbsearch.protocols_scanned"
+let m_threshold = Obs.Metrics.counter "bbsearch.threshold_protocols"
+let m_aborted = Obs.Metrics.counter "bbsearch.config_budget_aborts"
+
 let scan ?(max_input = 12) ?(max_configs = 60_000) ?sample ~n () =
   if n < 1 || n > 4 then invalid_arg "Busy_beaver.scan: 1 <= n <= 4";
   let pair_list = pairs n in
@@ -68,56 +72,74 @@ let scan ?(max_input = 12) ?(max_configs = 60_000) ?sample ~n () =
   let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
   let num_assignments = pow np np 1 in
   let num_outputs = 1 lsl n in
+  let total =
+    match sample with
+    | None -> num_assignments * num_outputs
+    | Some (count, _) -> count
+  in
   let num_threshold = ref 0 in
   let num_reject_all = ref 0 in
   let best_eta = ref 0 in
   let best = ref None in
   let histogram = Hashtbl.create 16 in
   let scanned = ref 0 in
+  let progress = Obs.Progress.create "bbsearch" in
   let examine assignment output_bits =
     incr scanned;
+    Obs.Metrics.incr m_scanned;
+    Obs.Progress.tick progress (fun () ->
+        Printf.sprintf "%d/%d protocols, %d threshold, best eta %d" !scanned
+          total !num_threshold !best_eta);
     (* all-reject and all-accept output maps short-circuit *)
     if output_bits = 0 then incr num_reject_all
     else begin
       let p = protocol_of_code n ~pair_list ~assignment ~output_bits in
+      let record_best eta =
+        best_eta := eta;
+        best := Some p;
+        Obs.Trace.instant "bbsearch.new_best" ~cat:"bbsearch"
+          ~args:[ ("eta", string_of_int eta); ("protocol", p.Population.name) ]
+      in
       match Eta_search.find ~max_configs p ~max_input with
       | Eta_search.Eta eta ->
         incr num_threshold;
+        Obs.Metrics.incr m_threshold;
         Hashtbl.replace histogram eta
           (1 + Option.value (Hashtbl.find_opt histogram eta) ~default:0);
-        if eta > !best_eta then begin
-          best_eta := eta;
-          best := Some p
-        end
+        if eta > !best_eta then record_best eta
       | Eta_search.Always_accepts ->
         (* computes x >= i for every valid i up to the smallest input:
            record as threshold 2 (all populations have >= 2 agents) *)
         incr num_threshold;
+        Obs.Metrics.incr m_threshold;
         Hashtbl.replace histogram 2
           (1 + Option.value (Hashtbl.find_opt histogram 2) ~default:0);
-        if !best_eta < 2 then begin
-          best_eta := 2;
-          best := Some p
-        end
+        if !best_eta < 2 then record_best 2
       | Eta_search.Always_rejects -> incr num_reject_all
       | Eta_search.Not_threshold _ -> ()
-      | exception Configgraph.Too_many_configs _ -> ()
+      | exception Configgraph.Too_many_configs _ -> Obs.Metrics.incr m_aborted
     end
   in
-  (match sample with
-   | None ->
-     for assignment = 0 to num_assignments - 1 do
-       for output_bits = 0 to num_outputs - 1 do
-         examine assignment output_bits
-       done
-     done
-   | Some (count, seed) ->
-     let rng = Splitmix64.create seed in
-     for _ = 1 to count do
-       examine
-         (Splitmix64.int_below rng num_assignments)
-         (Splitmix64.int_below rng num_outputs)
-     done);
+  Obs.Trace.with_span "bbsearch.scan" ~cat:"bbsearch"
+    ~args:[ ("states", string_of_int n); ("total", string_of_int total) ]
+    (fun () ->
+      match sample with
+      | None ->
+        for assignment = 0 to num_assignments - 1 do
+          for output_bits = 0 to num_outputs - 1 do
+            examine assignment output_bits
+          done
+        done
+      | Some (count, seed) ->
+        let rng = Splitmix64.create seed in
+        for _ = 1 to count do
+          examine
+            (Splitmix64.int_below rng num_assignments)
+            (Splitmix64.int_below rng num_outputs)
+        done);
+  Obs.Progress.finish progress (fun () ->
+      Printf.sprintf "%d protocols scanned, %d threshold, best eta %d" !scanned
+        !num_threshold !best_eta);
   {
     num_protocols = !scanned;
     num_threshold = !num_threshold;

@@ -3,6 +3,11 @@ type stats = {
   added : int;
 }
 
+let m_fixpoints = Obs.Metrics.counter "backward.fixpoints"
+let m_candidates = Obs.Metrics.counter "backward.candidates"
+let m_added = Obs.Metrics.counter "backward.added"
+let m_pruned = Obs.Metrics.counter "backward.pruned"
+
 (* Least configuration that enables transition [t] and whose [t]-successor
    covers [m]: pointwise max of the transition's precondition and
    [m - Δ_t] (clamped at zero). *)
@@ -23,28 +28,45 @@ let pre_star_stats p u =
   let nt = Population.num_transitions p in
   let iterations = ref 0 in
   let added = ref 0 in
-  let rec loop current frontier =
-    match frontier with
-    | [] -> current
-    | m :: rest ->
-      let current, new_frontier =
-        let rec transitions ti acc_set acc_frontier =
-          if ti >= nt then (acc_set, acc_frontier)
-          else begin
-            incr iterations;
-            let cand = pre_element p ti m in
-            match Upset.add cand acc_set with
-            | None -> transitions (ti + 1) acc_set acc_frontier
-            | Some set' ->
-              incr added;
-              transitions (ti + 1) set' (cand :: acc_frontier)
-          end
+  let progress = Obs.Progress.create "backward.pre_star" in
+  let result =
+    Obs.Trace.with_span "backward.pre_star" ~cat:"coverability"
+      ~args:[ ("transitions", string_of_int nt) ]
+      (fun () ->
+        let rec loop current frontier =
+          match frontier with
+          | [] -> current
+          | m :: rest ->
+            Obs.Progress.tick progress (fun () ->
+                Printf.sprintf "%d candidates, %d basis elements, frontier %d"
+                  !iterations !added (List.length frontier));
+            let current, new_frontier =
+              let rec transitions ti acc_set acc_frontier =
+                if ti >= nt then (acc_set, acc_frontier)
+                else begin
+                  incr iterations;
+                  let cand = pre_element p ti m in
+                  match Upset.add cand acc_set with
+                  | None -> transitions (ti + 1) acc_set acc_frontier
+                  | Some set' ->
+                    incr added;
+                    transitions (ti + 1) set' (cand :: acc_frontier)
+                end
+              in
+              transitions 0 current rest
+            in
+            loop current new_frontier
         in
-        transitions 0 current rest
-      in
-      loop current new_frontier
+        loop u (Upset.minimal_elements u))
   in
-  let result = loop u (Upset.minimal_elements u) in
+  Obs.Progress.finish progress (fun () ->
+      Printf.sprintf "fixpoint: %d candidates, %d basis elements" !iterations !added);
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_fixpoints;
+    Obs.Metrics.add m_candidates !iterations;
+    Obs.Metrics.add m_added !added;
+    Obs.Metrics.add m_pruned (!iterations - !added)
+  end;
   (result, { iterations = !iterations; added = !added })
 
 let pre_star p u = fst (pre_star_stats p u)

@@ -17,18 +17,34 @@ let bad_upset p b =
   in
   Upset.of_elements d singles
 
+let m_analyses = Obs.Metrics.counter "stable_sets.analyses"
+let g_basis0 = Obs.Metrics.gauge "stable_sets.basis0_size"
+let g_basis1 = Obs.Metrics.gauge "stable_sets.basis1_size"
+let g_norm0 = Obs.Metrics.gauge "stable_sets.norm0"
+let g_norm1 = Obs.Metrics.gauge "stable_sets.norm1"
+
 let analyse p =
-  let d = Population.num_states p in
-  let unstable b = Backward.pre_star p (bad_upset p b) in
-  let unstable0 = unstable false and unstable1 = unstable true in
-  let stable_of u = Downset.of_max_elements d (Upset.complement u) in
-  {
-    protocol = p;
-    unstable0;
-    unstable1;
-    stable0 = stable_of unstable0;
-    stable1 = stable_of unstable1;
-  }
+  Obs.Trace.with_span "stable_sets.analyse" ~cat:"coverability"
+    ~args:[ ("protocol", p.Population.name) ]
+    (fun () ->
+      let d = Population.num_states p in
+      let unstable b =
+        Obs.Trace.with_span
+          (if b then "stable_sets.unstable1" else "stable_sets.unstable0")
+          ~cat:"coverability"
+          (fun () -> Backward.pre_star p (bad_upset p b))
+      in
+      let unstable0 = unstable false and unstable1 = unstable true in
+      let stable_of u = Downset.of_max_elements d (Upset.complement u) in
+      let stable0 = stable_of unstable0 and stable1 = stable_of unstable1 in
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr m_analyses;
+        Obs.Metrics.set g_basis0 (float_of_int (Downset.size stable0));
+        Obs.Metrics.set g_basis1 (float_of_int (Downset.size stable1));
+        Obs.Metrics.set g_norm0 (float_of_int (Downset.norm stable0));
+        Obs.Metrics.set g_norm1 (float_of_int (Downset.norm stable1))
+      end;
+      { protocol = p; unstable0; unstable1; stable0; stable1 })
 
 let stable a b = if b then a.stable1 else a.stable0
 let unstable a b = if b then a.unstable1 else a.unstable0

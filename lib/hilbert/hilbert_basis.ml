@@ -18,6 +18,13 @@ let minimize vectors =
     vectors
   |> List.sort_uniq Stdlib.compare
 
+let m_solves = Obs.Metrics.counter "hilbert.solves"
+let m_candidates = Obs.Metrics.counter "hilbert.candidates"
+let m_pruned_scalar = Obs.Metrics.counter "hilbert.pruned_scalar"
+let m_pruned_dominated = Obs.Metrics.counter "hilbert.pruned_dominated"
+let m_pruned_duplicate = Obs.Metrics.counter "hilbert.pruned_duplicate"
+let m_basis = Obs.Metrics.counter "hilbert.basis_elements"
+
 let solve_eq ?(max_candidates = 5_000_000) ?(scalar_criterion = true) sys =
   let v = sys.Diophantine.num_vars in
   let columns =
@@ -31,40 +38,82 @@ let solve_eq ?(max_candidates = 5_000_000) ?(scalar_criterion = true) sys =
   in
   let basis = ref [] in
   let candidates = ref 0 in
+  (* Contejean–Devie completion accounting: extensions vetoed by the
+     scalar-product criterion vs. dropped as duplicates of this level
+     vs. dominated by an already-harvested basis element. Local refs;
+     published once at the end. *)
+  let pruned_scalar = ref 0 in
+  let pruned_duplicate = ref 0 in
+  let pruned_dominated = ref 0 in
+  let levels = ref 0 in
+  let progress = Obs.Progress.create "hilbert.solve" in
   let dominated y = List.exists (fun b -> vec_leq b y) !basis in
   let frontier = ref (List.init v (fun j -> (unit j, columns.(j)))) in
-  while !frontier <> [] do
-    (* First harvest this level's solutions, then extend the rest: a
-       solution at the current level must prune its level-mates'
-       extensions. *)
-    let solutions, others =
-      List.partition (fun (_, defect) -> is_zero defect) !frontier
-    in
-    List.iter
-      (fun (y, _) -> if not (dominated y) then basis := y :: !basis)
-      solutions;
-    let seen = Hashtbl.create 256 in
-    let next = ref [] in
-    List.iter
-      (fun (y, defect) ->
-        for j = 0 to v - 1 do
-          if (not scalar_criterion) || dot defect columns.(j) < 0 then begin
-            let y' = Array.copy y in
-            y'.(j) <- y'.(j) + 1;
-            if (not (Hashtbl.mem seen y')) && not (dominated y') then begin
-              Hashtbl.add seen y' ();
-              incr candidates;
-              if !candidates > max_candidates then
-                failwith "Hilbert_basis.solve_eq: candidate budget exceeded";
-              let defect' = Array.mapi (fun i d -> d + columns.(j).(i)) defect in
-              next := (y', defect') :: !next
-            end
-          end
-        done)
-      others;
-    frontier := !next
-  done;
-  minimize !basis
+  (* publish even on the exceptional exit (candidate budget exceeded),
+     so ablations can read how far a diverging search got *)
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr m_solves;
+        Obs.Metrics.add m_candidates !candidates;
+        Obs.Metrics.add m_pruned_scalar !pruned_scalar;
+        Obs.Metrics.add m_pruned_dominated !pruned_dominated;
+        Obs.Metrics.add m_pruned_duplicate !pruned_duplicate
+      end)
+    (fun () ->
+      Obs.Trace.with_span "hilbert.solve_eq" ~cat:"hilbert"
+        ~args:
+          [
+            ("num_vars", string_of_int v);
+            ("scalar_criterion", string_of_bool scalar_criterion);
+          ]
+        (fun () ->
+          while !frontier <> [] do
+            incr levels;
+            Obs.Progress.tick progress (fun () ->
+                Printf.sprintf "level %d: frontier %d, %d candidates, basis %d"
+                  !levels (List.length !frontier) !candidates (List.length !basis));
+            (* First harvest this level's solutions, then extend the rest: a
+               solution at the current level must prune its level-mates'
+               extensions. *)
+            let solutions, others =
+              List.partition (fun (_, defect) -> is_zero defect) !frontier
+            in
+            List.iter
+              (fun (y, _) -> if not (dominated y) then basis := y :: !basis)
+              solutions;
+            let seen = Hashtbl.create 256 in
+            let next = ref [] in
+            List.iter
+              (fun (y, defect) ->
+                for j = 0 to v - 1 do
+                  if (not scalar_criterion) || dot defect columns.(j) < 0 then begin
+                    let y' = Array.copy y in
+                    y'.(j) <- y'.(j) + 1;
+                    if Hashtbl.mem seen y' then incr pruned_duplicate
+                    else if dominated y' then incr pruned_dominated
+                    else begin
+                      Hashtbl.add seen y' ();
+                      incr candidates;
+                      if !candidates > max_candidates then
+                        failwith "Hilbert_basis.solve_eq: candidate budget exceeded";
+                      let defect' =
+                        Array.mapi (fun i d -> d + columns.(j).(i)) defect
+                      in
+                      next := (y', defect') :: !next
+                    end
+                  end
+                  else incr pruned_scalar
+                done)
+              others;
+            frontier := !next
+          done));
+  Obs.Progress.finish progress (fun () ->
+      Printf.sprintf "%d levels, %d candidates, basis %d" !levels !candidates
+        (List.length !basis));
+  let result = minimize !basis in
+  if Obs.Metrics.enabled () then Obs.Metrics.add m_basis (List.length result);
+  result
 
 (* Lift [A·y >= 0] to the equality system [A·y - s = 0]. *)
 let lift sys =

@@ -1,0 +1,3 @@
+let now_ns () : int64 = Monotonic_clock.now ()
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let elapsed_s t0 = ns_to_s (Int64.sub (now_ns ()) t0)

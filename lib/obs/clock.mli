@@ -1,0 +1,17 @@
+(** Monotonic wall-clock, the one timing source of the repository.
+
+    Backed by the same [CLOCK_MONOTONIC] stub bechamel uses for its
+    micro-benchmarks, so wall-clock and speedup numbers cannot go
+    negative or jump under NTP adjustment the way
+    [Unix.gettimeofday]-based intervals can. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. Only differences are
+    meaningful; the origin is unspecified. *)
+
+val ns_to_s : int64 -> float
+(** Convert a nanosecond interval to seconds. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is the seconds elapsed since the earlier
+    [now_ns ()] stamp [t0]. *)

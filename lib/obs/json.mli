@@ -1,0 +1,28 @@
+(** A minimal JSON tree, printer and parser — just enough for metric
+    snapshots, trace events and the bench result file, so the
+    observability layer needs no external JSON dependency.
+
+    Printing and parsing round-trip: [parse (to_string j) = Ok j] for
+    every tree free of non-finite floats (which JSON cannot represent;
+    they are printed as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Floats with integral values keep a
+    [".0"] suffix so the integer/float distinction survives a
+    round-trip; other floats print with 17 significant digits. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset [to_string] emits plus insignificant
+    whitespace. Numbers containing [.], [e] or [E] parse as [Float],
+    all others as [Int]. *)

@@ -1,0 +1,256 @@
+(* The enabled flag is a plain ref: mutations only ever read it, and a
+   racy (stale) read merely records or skips one event around the
+   moment the flag flips. Immediate values make the race benign under
+   the OCaml memory model. *)
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type counter = { cname : string; ccell : int Atomic.t }
+type gauge = { gname : string; gcell : float Atomic.t }
+
+type histogram = {
+  hname : string;
+  bounds : float array;          (* strictly increasing upper bounds *)
+  buckets : int Atomic.t array;  (* length (bounds) + 1; last = +inf *)
+  hsum : float Atomic.t;
+  hcount : int Atomic.t;
+}
+
+type metric =
+  | Counter_m of counter
+  | Gauge_m of gauge
+  | Histogram_m of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S already registered with a different kind" name)
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter_m c) -> c
+      | Some _ -> kind_error name
+      | None ->
+        let c = { cname = name; ccell = Atomic.make 0 } in
+        Hashtbl.add registry name (Counter_m c);
+        c)
+
+let gauge name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge_m g) -> g
+      | Some _ -> kind_error name
+      | None ->
+        let g = { gname = name; gcell = Atomic.make 0.0 } in
+        Hashtbl.add registry name (Gauge_m g);
+        g)
+
+let default_bounds =
+  [| 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let histogram ?(bounds = default_bounds) name =
+  let increasing =
+    Array.for_all Fun.id
+      (Array.init
+         (Stdlib.max 0 (Array.length bounds - 1))
+         (fun i -> bounds.(i) < bounds.(i + 1)))
+  in
+  if not increasing then
+    invalid_arg "Obs.Metrics.histogram: bounds must be strictly increasing";
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram_m h) -> if h.bounds = bounds then h else kind_error name
+      | Some _ -> kind_error name
+      | None ->
+        let h =
+          {
+            hname = name;
+            bounds = Array.copy bounds;
+            buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            hsum = Atomic.make 0.0;
+            hcount = Atomic.make 0;
+          }
+        in
+        Hashtbl.add registry name (Histogram_m h);
+        h)
+
+let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.ccell 1)
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.ccell n)
+let set g x = if !enabled_flag then Atomic.set g.gcell x
+let value c = Atomic.get c.ccell
+let gauge_value g = Atomic.get g.gcell
+
+(* fetch_and_add exists only for int atomics; floats take a CAS loop *)
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_add_float cell x
+
+let observe h x =
+  if !enabled_flag then begin
+    let n = Array.length h.bounds in
+    let rec bucket i = if i >= n || x <= h.bounds.(i) then i else bucket (i + 1) in
+    ignore (Atomic.fetch_and_add h.buckets.(bucket 0) 1);
+    ignore (Atomic.fetch_and_add h.hcount 1);
+    atomic_add_float h.hsum x
+  end
+
+(* ---------------------------------------------------------- snapshots *)
+
+type v =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { bounds : float array; counts : int array; sum : float; count : int }
+
+type snapshot = (string * v) list
+
+let value_of = function
+  | Counter_m c -> Counter (Atomic.get c.ccell)
+  | Gauge_m g -> Gauge (Atomic.get g.gcell)
+  | Histogram_m h ->
+    Histogram
+      {
+        bounds = Array.copy h.bounds;
+        counts = Array.map Atomic.get h.buckets;
+        sum = Atomic.get h.hsum;
+        count = Atomic.get h.hcount;
+      }
+
+let snapshot () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v_after) ->
+      match (List.assoc_opt name before, v_after) with
+      | None, v -> Some (name, v)
+      | Some (Counter b), Counter a ->
+        if a = b then None else Some (name, Counter (a - b))
+      | Some (Gauge b), Gauge a -> if a = b then None else Some (name, Gauge a)
+      | Some (Histogram b), Histogram a when b.bounds = a.bounds ->
+        if a.count = b.count && a.sum = b.sum then None
+        else
+          Some
+            ( name,
+              Histogram
+                {
+                  bounds = a.bounds;
+                  counts = Array.mapi (fun i c -> c - b.counts.(i)) a.counts;
+                  sum = a.sum -. b.sum;
+                  count = a.count - b.count;
+                } )
+      | Some _, v -> Some (name, v))
+    after
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter_m c -> Atomic.set c.ccell 0
+          | Gauge_m g -> Atomic.set g.gcell 0.0
+          | Histogram_m h ->
+            Array.iter (fun b -> Atomic.set b 0) h.buckets;
+            Atomic.set h.hsum 0.0;
+            Atomic.set h.hcount 0)
+        registry)
+
+(* ---------------------------------------------------------- rendering *)
+
+let to_text s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== metrics snapshot ==\n";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Printf.bprintf buf "%-44s counter   %d\n" name n
+      | Gauge f -> Printf.bprintf buf "%-44s gauge     %g\n" name f
+      | Histogram h ->
+        Printf.bprintf buf "%-44s histogram count=%d sum=%g" name h.count h.sum;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length h.bounds then
+                Printf.bprintf buf " le%g=%d" h.bounds.(i) c
+              else Printf.bprintf buf " inf=%d" c)
+          h.counts;
+        Buffer.add_char buf '\n')
+    s;
+  Buffer.contents buf
+
+let json_of_v = function
+  | Counter n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge f -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float f) ]
+  | Histogram h ->
+    Json.Obj
+      [
+        ("type", Json.String "histogram");
+        ("bounds", Json.List (Array.to_list h.bounds |> List.map (fun b -> Json.Float b)));
+        ("counts", Json.List (Array.to_list h.counts |> List.map (fun c -> Json.Int c)));
+        ("sum", Json.Float h.sum);
+        ("count", Json.Int h.count);
+      ]
+
+let to_json_value s = Json.Obj (List.map (fun (n, v) -> (n, json_of_v v)) s)
+let to_json s = Json.to_string (to_json_value s)
+
+let v_of_json = function
+  | Json.Obj fields ->
+    let field k = List.assoc_opt k fields in
+    (match field "type" with
+     | Some (Json.String "counter") ->
+       (match field "value" with Some (Json.Int n) -> Ok (Counter n) | _ -> Error "counter value")
+     | Some (Json.String "gauge") ->
+       (match field "value" with
+        | Some (Json.Float f) -> Ok (Gauge f)
+        | Some (Json.Int n) -> Ok (Gauge (float_of_int n))
+        | _ -> Error "gauge value")
+     | Some (Json.String "histogram") ->
+       (match (field "bounds", field "counts", field "sum", field "count") with
+        | Some (Json.List bs), Some (Json.List cs), Some sum, Some (Json.Int count) ->
+          let float_of = function
+            | Json.Float f -> Some f
+            | Json.Int n -> Some (float_of_int n)
+            | _ -> None
+          in
+          let int_of = function Json.Int n -> Some n | _ -> None in
+          let bounds = List.map float_of bs and counts = List.map int_of cs in
+          if List.for_all Option.is_some bounds
+             && List.for_all Option.is_some counts
+             && Option.is_some (float_of sum)
+          then
+            Ok
+              (Histogram
+                 {
+                   bounds = Array.of_list (List.filter_map Fun.id bounds);
+                   counts = Array.of_list (List.filter_map Fun.id counts);
+                   sum = Option.get (float_of sum);
+                   count;
+                 })
+          else Error "histogram fields"
+        | _ -> Error "histogram fields")
+     | _ -> Error "unknown metric type")
+  | _ -> Error "metric must be an object"
+
+let of_json s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok (Json.Obj fields) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, jv) :: rest ->
+        (match v_of_json jv with
+         | Ok v -> go ((name, v) :: acc) rest
+         | Error e -> Error (Printf.sprintf "%s: %s" name e))
+    in
+    go [] fields
+  | Ok _ -> Error "snapshot must be a JSON object"

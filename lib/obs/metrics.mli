@@ -1,0 +1,83 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    Cells are backed by [Atomic.t] so ensemble domains can increment
+    concurrently without locks; registration (by name, idempotent) takes
+    a mutex but happens off the hot paths, typically at module
+    initialisation.
+
+    {b Off by default, near-free when disabled.} Every mutation is
+    guarded by a single global flag: when recording is disabled (the
+    default) [incr]/[add]/[set]/[observe] are a load and a branch, so
+    instrumented hot loops pay no measurable cost, and instrumentation
+    never perturbs simulation determinism — metrics touch no RNG
+    stream.
+
+    {b Naming scheme:} [<subsystem>.<metric>], lowercase with
+    underscores, e.g. [sim.null_interactions], [backward.pruned],
+    [ensemble.domain0.busy_s]. Durations are suffixed [_s] (seconds). *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (default: off). Flip before spawning
+    worker domains; the flag is a plain word read racily by design. *)
+
+val enabled : unit -> bool
+
+(** {2 Registration}
+
+    Re-registering a name returns the existing cell.
+    @raise Invalid_argument when the name is already registered with a
+    different kind (or, for histograms, different bounds). *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] are strictly increasing bucket upper bounds (an implicit
+    [+inf] bucket is appended). Default: powers of ten from 1 to 1e9. *)
+
+(** {2 Mutation (guarded by the global flag)} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val value : counter -> int
+(** Current count, regardless of the flag. *)
+
+val gauge_value : gauge -> float
+
+(** {2 Snapshots} *)
+
+type v =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { bounds : float array; counts : int array; sum : float; count : int }
+
+type snapshot = (string * v) list
+(** Sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name deltas of counters and histogram counts/sums; gauges keep
+    the [after] value. Entries that did not change between the two
+    snapshots are dropped, so a diff over a quiet subsystem is empty. *)
+
+val reset : unit -> unit
+(** Zero every registered cell (kept registered). Test/bench helper. *)
+
+(** {2 Rendering} *)
+
+val to_text : snapshot -> string
+(** Multi-line human-readable table, one metric per line. *)
+
+val to_json_value : snapshot -> Json.t
+val to_json : snapshot -> string
+
+val of_json : string -> (snapshot, string) result
+(** Inverse of [to_json]: [of_json (to_json s) = Ok s]. *)

@@ -1,0 +1,41 @@
+open Cmdliner
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Record engine counters (steps, prunes, expansions, per-domain \
+                 utilization, ...) and dump the registry snapshot to stderr on \
+                 exit. Stdout is unaffected.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write nested timing spans to $(docv) in the Chrome \
+                 trace-event format (open in chrome://tracing or Perfetto).")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Force throttled progress lines on stderr (at most one per \
+                 second). Default: automatic when stderr is a TTY.")
+
+let no_progress_arg =
+  Arg.(value & flag & info [ "no-progress" ] ~doc:"Suppress progress lines.")
+
+let setup metrics trace progress no_progress =
+  if metrics then begin
+    Obs.Metrics.set_enabled true;
+    at_exit (fun () ->
+        prerr_string (Obs.Metrics.to_text (Obs.Metrics.snapshot ()));
+        flush stderr)
+  end;
+  (match trace with
+   | Some file ->
+     Obs.Trace.start_file file;
+     at_exit (fun () -> ignore (Obs.Trace.stop ()))
+   | None -> ());
+  let tty = try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false in
+  Obs.Progress.set_enabled ((progress || tty) && not no_progress)
+
+let term =
+  Term.(const setup $ metrics_arg $ trace_arg $ progress_arg $ no_progress_arg)

@@ -1,0 +1,14 @@
+(** Cmdliner glue shared by every binary: the [--metrics], [--trace]
+    and [--progress]/[--no-progress] flags and their side effects. *)
+
+val term : unit Cmdliner.Term.t
+(** Splice [$ Obs_cli.term] as the last argument of a command's term
+    (the handler takes a trailing [unit]). Evaluating it:
+
+    - [--metrics]: enables {!Obs.Metrics} recording and registers an
+      [at_exit] dump of the registry snapshot to stderr, so stdout
+      stays byte-identical to an uninstrumented run;
+    - [--trace FILE]: starts a {!Obs.Trace} file sink, finalised at
+      exit into a Chrome-trace-event JSON file;
+    - progress lines ({!Obs.Progress}) are enabled when [--progress]
+      is given or stderr is a TTY, and disabled by [--no-progress]. *)

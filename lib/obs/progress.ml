@@ -1,0 +1,41 @@
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type t = {
+  label : string;
+  out : out_channel;
+  interval_ns : int64;
+  started_ns : int64;
+  mutable last_ns : int64;
+  mutable printed : int;
+}
+
+let create ?(interval_s = 1.0) ?(out = stderr) label =
+  let now = Clock.now_ns () in
+  {
+    label;
+    out;
+    interval_ns = Int64.of_float (interval_s *. 1e9);
+    started_ns = now;
+    last_ns = now;
+    printed = 0;
+  }
+
+let elapsed_s t = Clock.elapsed_s t.started_ns
+let lines t = t.printed
+
+let print t msg =
+  t.printed <- t.printed + 1;
+  Printf.fprintf t.out "[%s %.1fs] %s\n%!" t.label (elapsed_s t) (msg ())
+
+let tick t msg =
+  if !enabled_flag then begin
+    let now = Clock.now_ns () in
+    if Int64.sub now t.last_ns >= t.interval_ns then begin
+      t.last_ns <- now;
+      print t msg
+    end
+  end
+
+let finish t msg = if !enabled_flag && t.printed > 0 then print t msg

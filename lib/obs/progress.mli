@@ -1,0 +1,39 @@
+(** Throttled progress reporting for long-running searches.
+
+    A reporter prints at most one line per [interval_s] (default 1s),
+    so a tick can sit inside a tight search loop: when reporting is
+    disabled (the default) a tick is a load and a branch, and when
+    enabled but not yet due it is one monotonic-clock read. The message
+    is a thunk, evaluated only when a line is actually printed.
+
+    Lines go to stderr (configurable), keeping stdout byte-comparable
+    across runs. A reporter stays silent until its first interval
+    elapses, so fast runs produce no output at all. *)
+
+val set_enabled : bool -> unit
+(** Global switch, default off. The binaries enable it with
+    [--progress] or automatically when stderr is a TTY. *)
+
+val enabled : unit -> bool
+
+type t
+
+val create : ?interval_s:float -> ?out:out_channel -> string -> t
+(** [create label] makes a reporter printing
+    ["[<label> <elapsed>s] <message>"] lines to [out] (default
+    stderr). *)
+
+val tick : t -> (unit -> string) -> unit
+(** Print the message if reporting is enabled and at least
+    [interval_s] has elapsed since the last line (or since
+    {!create}). *)
+
+val finish : t -> (unit -> string) -> unit
+(** Print a final line, but only when at least one [tick] line was
+    printed — runs short enough to have stayed silent remain silent. *)
+
+val lines : t -> int
+(** Lines printed so far (test helper). *)
+
+val elapsed_s : t -> float
+(** Seconds since {!create}, on the monotonic clock. *)

@@ -1,0 +1,124 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  tid : int;
+  args : (string * string) list;
+}
+
+type sink =
+  | Memory of { mutable events : event list (* newest first *) }
+  | File of { oc : out_channel; mutable first : bool }
+
+type state = { sink : sink; t0 : int64; lock : Mutex.t }
+
+(* Like the metrics flag, reads are racy by design: sinks are
+   started/stopped from the main domain around the instrumented work,
+   and a stale read skips or drops a span at the boundary. *)
+let current : state option ref = ref None
+
+let enabled () = match !current with None -> false | Some _ -> true
+
+let json_of_event ev =
+  let us ns = Int64.to_float ns /. 1e3 in
+  let fields =
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String (if ev.cat = "" then "pp" else ev.cat));
+      ("ph", Json.String (if Int64.equal ev.dur_ns (-1L) then "i" else "X"));
+      ("ts", Json.Float (us ev.ts_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.tid);
+    ]
+    @ (if Int64.equal ev.dur_ns (-1L) then [ ("s", Json.String "t") ]
+       else [ ("dur", Json.Float (us ev.dur_ns)) ])
+    @
+    match ev.args with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let emit st ev =
+  Mutex.lock st.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.lock)
+    (fun () ->
+      match st.sink with
+      | Memory m -> m.events <- ev :: m.events
+      | File f ->
+        (try
+           if f.first then f.first <- false else output_string f.oc ",\n";
+           output_string f.oc (json_of_event ev)
+         with Sys_error _ -> ()))
+
+let finalise st =
+  match st.sink with
+  | Memory m -> List.rev m.events
+  | File f ->
+    (try
+       (* a final instant event closes the array with valid JSON *)
+       if f.first then f.first <- false else output_string f.oc ",\n";
+       output_string f.oc
+         (json_of_event
+            { name = "trace.stop"; cat = "obs"; ts_ns = Int64.sub (Clock.now_ns ()) st.t0;
+              dur_ns = -1L; tid = 0; args = [] });
+       output_string f.oc "]\n";
+       close_out f.oc
+     with Sys_error _ -> ());
+    []
+
+let stop () =
+  match !current with
+  | None -> []
+  | Some st ->
+    current := None;
+    finalise st
+
+let start sink =
+  ignore (stop ());
+  current := Some { sink; t0 = Clock.now_ns (); lock = Mutex.create () }
+
+let start_memory () = start (Memory { events = [] })
+
+let start_file path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  start (File { oc; first = true })
+
+let tid () = (Domain.self () :> int)
+
+let with_span ?(cat = "") ?(args = []) name f =
+  match !current with
+  | None -> f ()
+  | Some st ->
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        emit st
+          {
+            name;
+            cat;
+            ts_ns = Int64.sub t0 st.t0;
+            dur_ns = Int64.sub t1 t0;
+            tid = tid ();
+            args;
+          })
+      f
+
+let instant ?(cat = "") ?(args = []) name =
+  match !current with
+  | None -> ()
+  | Some st ->
+    emit st
+      {
+        name;
+        cat;
+        ts_ns = Int64.sub (Clock.now_ns ()) st.t0;
+        dur_ns = -1L;
+        tid = tid ();
+        args;
+      }

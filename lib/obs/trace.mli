@@ -1,0 +1,44 @@
+(** Nested timing spans on the monotonic clock, exported in the Chrome
+    trace-event format (load the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}).
+
+    Tracing is off by default: [with_span] with no active sink runs its
+    thunk directly (one load and a branch). A file sink streams one
+    complete event ([ph = "X"]) per line inside a JSON array — valid
+    JSON once {!stop} writes the footer, and still loadable by Chrome
+    if the process dies mid-trace. Threads of the trace are OCaml
+    domains ([tid] = domain id), so an ensemble run shows per-domain
+    utilization lanes. Writes are mutex-serialised; an in-memory sink
+    is provided for tests. *)
+
+type event = {
+  name : string;
+  cat : string;                     (** subsystem, e.g. ["verify"] *)
+  ts_ns : int64;                    (** start, relative to the sink start *)
+  dur_ns : int64;
+  tid : int;                        (** domain id *)
+  args : (string * string) list;
+}
+
+val enabled : unit -> bool
+
+val start_file : string -> unit
+(** Open [file] and start recording. Replaces any active sink
+    (finalising it first). *)
+
+val start_memory : unit -> unit
+(** Start recording into memory (tests). *)
+
+val stop : unit -> event list
+(** Stop recording. For a file sink: writes the closing footer, closes
+    the channel and returns [[]]. For a memory sink: returns the events
+    in emission (i.e. span-completion) order. No-op, returning [[]],
+    when nothing is active. *)
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] and emits a complete event when a
+    sink is active — also on exceptional exit, so spans stay
+    well-nested when e.g. a search raises on budget exhaustion. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event (e.g. "new best protocol found"). *)

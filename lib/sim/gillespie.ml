@@ -1,3 +1,9 @@
+let m_runs = Obs.Metrics.counter "gillespie.runs"
+let m_steps = Obs.Metrics.counter "gillespie.steps"
+let m_updates = Obs.Metrics.counter "gillespie.propensity_updates"
+let m_resummations = Obs.Metrics.counter "gillespie.resummations"
+let m_inert = Obs.Metrics.counter "gillespie.inert_runs"
+
 type run_result = {
   time : float;
   steps : int;
@@ -153,6 +159,15 @@ let run ?(max_steps = 5_000_000) ?(quiet_time = 64.0) ?(rate = 1.0) ~rng p c0 =
       end
     end
   done;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_steps !steps;
+    Obs.Metrics.add m_updates tracker.Propensity.updates;
+    (* the running total is resummed whenever [updates] hits a multiple
+       of 2048, so the branch was taken [updates / 2048] times *)
+    Obs.Metrics.add m_resummations (tracker.Propensity.updates / 2048);
+    if !inert then Obs.Metrics.incr m_inert
+  end;
   {
     time = !time;
     steps = !steps;

@@ -1,3 +1,11 @@
+(* Engine counters, registered once. Mutations are guarded by the
+   global flag inside Obs.Metrics, and the hot loop only touches plain
+   local refs — totals are published once per run. *)
+let m_runs = Obs.Metrics.counter "sim.runs"
+let m_steps = Obs.Metrics.counter "sim.steps"
+let m_nulls = Obs.Metrics.counter "sim.null_interactions"
+let m_converged = Obs.Metrics.counter "sim.converged_runs"
+
 type run_result = {
   steps : int;
   last_change : int;
@@ -60,6 +68,7 @@ let run ?(max_steps = 50_000_000) ?(quiet_window = 64.0) ~rng p c0 =
   let last_change = ref 0 in
   let status = ref (status_of !ones total) in
   let step = ref 0 in
+  let nulls = ref 0 in
   let finished = ref false in
   (* [sample_pair], inlined to avoid boxing a tuple per interaction;
      the RNG draw sequence is identical *)
@@ -91,7 +100,8 @@ let run ?(max_steps = 50_000_000) ?(quiet_window = 64.0) ~rng p c0 =
        adjust s1 (-1);
        adjust s2 (-1);
        adjust p1 1;
-       adjust p2 1);
+       adjust p2 1
+     else incr nulls);
     let status' = status_of !ones total in
     if status' <> !status then begin
       status := status';
@@ -99,6 +109,12 @@ let run ?(max_steps = 50_000_000) ?(quiet_window = 64.0) ~rng p c0 =
     end;
     if !step - !last_change >= quiet_steps && !status <> None then finished := true
   done;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_steps !step;
+    Obs.Metrics.add m_nulls !nulls;
+    if !finished then Obs.Metrics.incr m_converged
+  end;
   {
     steps = !step;
     last_change = !last_change;

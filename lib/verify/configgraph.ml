@@ -33,10 +33,16 @@ module Grow = struct
   let to_array g = Array.sub g.data 0 g.len
 end
 
+let m_explorations = Obs.Metrics.counter "configgraph.explorations"
+let m_configs = Obs.Metrics.counter "configgraph.configs"
+let m_edges = Obs.Metrics.counter "configgraph.edges"
+
 let explore ?(max_configs = 2_000_000) p c0 =
   let index = H.create 1024 in
   let configs = Grow.create (Mset.zero 0) in
   let succs = Grow.create [||] in
+  let edges = ref 0 in
+  let progress = Obs.Progress.create "configgraph.explore" in
   let intern c =
     match H.find_opt index c with
     | Some i -> i
@@ -48,24 +54,43 @@ let explore ?(max_configs = 2_000_000) p c0 =
       Grow.push configs c;
       i
   in
-  let root = intern c0 in
-  let i = ref 0 in
-  while !i < configs.Grow.len do
-    let c = Grow.get configs !i in
-    let next = Population.distinct_successors p c in
-    let idxs =
-      List.sort_uniq Stdlib.compare (List.map intern next)
-      |> List.filter (fun j -> j <> !i)
-    in
-    Grow.push succs (Array.of_list idxs);
-    incr i
-  done;
-  {
-    protocol = p;
-    configs = Grow.to_array configs;
-    succ = Grow.to_array succs;
-    root;
-  }
+  (* Publish even when [Too_many_configs] aborts the exploration, so an
+     over-budget run still reports how far it got. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr m_explorations;
+        Obs.Metrics.add m_configs configs.Grow.len;
+        Obs.Metrics.add m_edges !edges
+      end)
+    (fun () ->
+      Obs.Trace.with_span "configgraph.explore" ~cat:"verify"
+        ~args:[ ("protocol", p.Population.name) ]
+        (fun () ->
+          let root = intern c0 in
+          let i = ref 0 in
+          while !i < configs.Grow.len do
+            Obs.Progress.tick progress (fun () ->
+                Printf.sprintf "%d configs explored, %d discovered, %d edges"
+                  !i configs.Grow.len !edges);
+            let c = Grow.get configs !i in
+            let next = Population.distinct_successors p c in
+            let idxs =
+              List.sort_uniq Stdlib.compare (List.map intern next)
+              |> List.filter (fun j -> j <> !i)
+            in
+            edges := !edges + List.length idxs;
+            Grow.push succs (Array.of_list idxs);
+            incr i
+          done;
+          Obs.Progress.finish progress (fun () ->
+              Printf.sprintf "%d configs, %d edges" configs.Grow.len !edges);
+          {
+            protocol = p;
+            configs = Grow.to_array configs;
+            succ = Grow.to_array succs;
+            root;
+          }))
 
 let num_configs g = Array.length g.configs
 

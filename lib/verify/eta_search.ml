@@ -13,13 +13,17 @@ let pp_result fmt = function
       (String.concat "," (Array.to_list (Array.map string_of_int v)))
       Fair_semantics.pp_verdict verdict
 
+let m_inputs = Obs.Metrics.counter "eta_search.inputs_checked"
+
 let find ?max_configs p ~max_input =
   if Array.length p.Population.input_vars <> 1 then
     invalid_arg "Eta_search.find: single-input protocols only";
   let inputs = Fair_semantics.valid_inputs_single p ~max:max_input in
+  let total = List.length inputs in
+  let progress = Obs.Progress.create "eta_search.find" in
   (* Scan upwards; record where the output flips to 1 and insist it
      never flips back. *)
-  let rec go flipped = function
+  let rec go checked flipped = function
     | [] ->
       (match flipped with
        | Some eta ->
@@ -27,16 +31,26 @@ let find ?max_configs p ~max_input =
          if eta = first then Always_accepts else Eta eta
        | None -> Always_rejects)
     | i :: rest ->
+      Obs.Progress.tick progress (fun () ->
+          Printf.sprintf "input %d (%d/%d checked)" i checked total);
+      Obs.Metrics.incr m_inputs;
       (match Fair_semantics.decide ?max_configs p [| i |] with
        | Fair_semantics.Decides true ->
          let flipped = match flipped with Some _ -> flipped | None -> Some i in
-         go flipped rest
+         go (checked + 1) flipped rest
        | Fair_semantics.Decides false ->
          (match flipped with
           | Some _ -> Not_threshold ([| i |], Fair_semantics.Decides false)
-          | None -> go None rest)
+          | None -> go (checked + 1) None rest)
        | verdict -> Not_threshold ([| i |], verdict))
   in
   match inputs with
   | [] -> invalid_arg "Eta_search.find: no valid inputs below the cutoff"
-  | _ -> go None inputs
+  | _ ->
+    Obs.Trace.with_span "eta_search.find" ~cat:"verify"
+      ~args:[ ("protocol", p.Population.name); ("max_input", string_of_int max_input) ]
+      (fun () ->
+        let r = go 0 None inputs in
+        Obs.Progress.finish progress (fun () ->
+            Format.asprintf "%a" pp_result r);
+        r)

@@ -24,26 +24,39 @@ let component_output p (g : Configgraph.t) members =
   in
   go members None
 
+let m_decisions = Obs.Metrics.counter "fair.decisions"
+let m_sccs = Obs.Metrics.counter "fair.sccs"
+let m_bottom_sccs = Obs.Metrics.counter "fair.bottom_sccs"
+
 let decide_config ?max_configs p c0 =
-  let g = Configgraph.explore ?max_configs p c0 in
-  let scc = Scc.compute g.Configgraph.succ in
-  (* Every node of the graph is reachable from the root by construction,
-     so every bottom SCC is relevant; a finite non-empty graph has at
-     least one. *)
-  let rec go seen = function
-    | [] ->
-      (match seen with
-       | Some b -> Decides b
-       | None -> assert false)
-    | comp :: rest ->
-      (match component_output p g scc.Scc.members.(comp) with
-       | None -> No_consensus
-       | Some b ->
-         (match seen with
-          | None -> go (Some b) rest
-          | Some b' -> if b = b' then go seen rest else Conflicting))
-  in
-  go None (Scc.bottom_components scc)
+  Obs.Trace.with_span "fair_semantics.decide" ~cat:"verify"
+    ~args:[ ("protocol", p.Population.name) ]
+    (fun () ->
+      let g = Configgraph.explore ?max_configs p c0 in
+      let scc = Scc.compute g.Configgraph.succ in
+      let bottom = Scc.bottom_components scc in
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr m_decisions;
+        Obs.Metrics.add m_sccs scc.Scc.num_components;
+        Obs.Metrics.add m_bottom_sccs (List.length bottom)
+      end;
+      (* Every node of the graph is reachable from the root by construction,
+         so every bottom SCC is relevant; a finite non-empty graph has at
+         least one. *)
+      let rec go seen = function
+        | [] ->
+          (match seen with
+           | Some b -> Decides b
+           | None -> assert false)
+        | comp :: rest ->
+          (match component_output p g scc.Scc.members.(comp) with
+           | None -> No_consensus
+           | Some b ->
+             (match seen with
+              | None -> go (Some b) rest
+              | Some b' -> if b = b' then go seen rest else Conflicting))
+      in
+      go None bottom)
 
 let decide ?max_configs p v =
   decide_config ?max_configs p (Population.initial_config p v)

@@ -1,0 +1,344 @@
+(* The observability layer: atomic counter totals under concurrent
+   domains, well-nestedness of span streams, JSON snapshot round-trips,
+   progress throttling — and the regression that matters most: enabling
+   metrics must not change a single byte of the ensemble's aggregate
+   output. *)
+
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let with_metrics f =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) f
+
+(* fresh names per call so properties don't see earlier counts *)
+let fresh =
+  let k = ref 0 in
+  fun prefix ->
+    incr k;
+    Printf.sprintf "test.%s%d" prefix !k
+
+(* -- metrics -------------------------------------------------------------- *)
+
+let concurrent_counter_prop =
+  prop "counter total under concurrent domain increments" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 1 2000))
+    (fun (domains, per_domain) ->
+      with_metrics (fun () ->
+          let c = Obs.Metrics.counter (fresh "concurrent") in
+          let pool =
+            List.init domains (fun _ ->
+                Domain.spawn (fun () ->
+                    for _ = 1 to per_domain do
+                      Obs.Metrics.incr c
+                    done))
+          in
+          List.iter Domain.join pool;
+          Obs.Metrics.value c = domains * per_domain))
+
+let test_disabled_mutations_are_noops () =
+  Obs.Metrics.set_enabled false;
+  let c = Obs.Metrics.counter (fresh "noop") in
+  let g = Obs.Metrics.gauge (fresh "noop") in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Obs.Metrics.set g 3.0;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.value c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (Obs.Metrics.gauge_value g)
+
+let test_registration_is_idempotent () =
+  let name = fresh "idem" in
+  let c = Obs.Metrics.counter name in
+  with_metrics (fun () -> Obs.Metrics.add c 5);
+  let c' = Obs.Metrics.counter name in
+  Alcotest.(check int) "same cell" 5 (Obs.Metrics.value c');
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument
+       (Printf.sprintf "Obs.Metrics: %S already registered with a different kind"
+          name))
+    (fun () -> ignore (Obs.Metrics.gauge name))
+
+let test_diff_drops_quiet_metrics () =
+  with_metrics (fun () ->
+      let c = Obs.Metrics.counter (fresh "active") in
+      let _quiet = Obs.Metrics.counter (fresh "quiet") in
+      let before = Obs.Metrics.snapshot () in
+      Obs.Metrics.add c 7;
+      let d = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+      match d with
+      | [ (_, Obs.Metrics.Counter 7) ] -> ()
+      | _ -> Alcotest.failf "unexpected diff of %d entries" (List.length d))
+
+let test_histogram_buckets () =
+  with_metrics (fun () ->
+      let name = fresh "hist" in
+      let h = Obs.Metrics.histogram ~bounds:[| 1.0; 10.0 |] name in
+      List.iter (Obs.Metrics.observe h) [ 0.5; 5.0; 50.0; 500.0 ];
+      match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+      | Some (Obs.Metrics.Histogram { counts; sum; count; _ }) ->
+        Alcotest.(check (array int)) "bucket counts" [| 1; 1; 2 |] counts;
+        Alcotest.(check (float 1e-9)) "sum" 555.5 sum;
+        Alcotest.(check int) "count" 4 count
+      | _ -> Alcotest.fail "histogram not in snapshot")
+
+(* -- JSON ----------------------------------------------------------------- *)
+
+let json_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Obs.Json.Null;
+              map (fun b -> Obs.Json.Bool b) bool;
+              map (fun i -> Obs.Json.Int i) int;
+              map (fun f -> Obs.Json.Float f) float;
+              map (fun s -> Obs.Json.String s) (string_size (int_bound 12));
+            ]
+        in
+        if n = 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              ( 1,
+                map (fun l -> Obs.Json.List l)
+                  (list_size (int_bound 4) (self (n / 2))) );
+              ( 1,
+                map (fun l -> Obs.Json.Obj l)
+                  (list_size (int_bound 4)
+                     (pair (string_size (int_bound 8)) (self (n / 2)))) );
+            ]))
+
+let rec json_finite = function
+  | Obs.Json.Float f -> Float.is_finite f
+  | Obs.Json.List l -> List.for_all json_finite l
+  | Obs.Json.Obj l -> List.for_all (fun (_, v) -> json_finite v) l
+  | _ -> true
+
+let json_roundtrip_prop =
+  prop "Json.parse inverts Json.to_string" ~count:500
+    (QCheck.make ~print:(fun j -> Obs.Json.to_string j) json_gen)
+    (fun j ->
+      QCheck.assume (json_finite j);
+      Obs.Json.parse (Obs.Json.to_string j) = Ok j)
+
+let snapshot_roundtrip_prop =
+  prop "metric snapshot survives a JSON round-trip" ~count:50
+    QCheck.(triple (int_range 0 10_000) (float_range 0.0 1e9) (small_list pos_float))
+    (fun (n, g, obs) ->
+      with_metrics (fun () ->
+          let c = Obs.Metrics.counter (fresh "rt_c") in
+          let gg = Obs.Metrics.gauge (fresh "rt_g") in
+          let h = Obs.Metrics.histogram (fresh "rt_h") in
+          Obs.Metrics.add c n;
+          Obs.Metrics.set gg g;
+          List.iter (Obs.Metrics.observe h) obs;
+          let s = Obs.Metrics.snapshot () in
+          Obs.Metrics.of_json (Obs.Metrics.to_json s) = Ok s))
+
+(* -- tracing -------------------------------------------------------------- *)
+
+(* random span trees executed depth-first on the calling domain *)
+type span_tree = Span of span_tree list
+
+let span_tree_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n = 0 then return (Span [])
+        else map (fun kids -> Span kids) (list_size (int_bound 3) (self (n / 2)))))
+
+let run_spans trees =
+  let rec go i (Span kids) =
+    Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun () -> List.iteri go kids)
+  in
+  List.iteri go trees
+
+let well_nested events =
+  (* events arrive in completion order; same-domain spans must be
+     properly nested or disjoint, and completion times nondecreasing *)
+  let ends_monotone =
+    let rec go last = function
+      | [] -> true
+      | e :: rest ->
+        let fin = Int64.add e.Obs.Trace.ts_ns e.Obs.Trace.dur_ns in
+        Int64.compare last fin <= 0 && go fin rest
+    in
+    go Int64.min_int events
+  in
+  let nested_or_disjoint a b =
+    let a0 = a.Obs.Trace.ts_ns
+    and a1 = Int64.add a.Obs.Trace.ts_ns a.Obs.Trace.dur_ns in
+    let b0 = b.Obs.Trace.ts_ns
+    and b1 = Int64.add b.Obs.Trace.ts_ns b.Obs.Trace.dur_ns in
+    let inside x0 x1 y0 y1 = Int64.compare y0 x0 <= 0 && Int64.compare x1 y1 <= 0 in
+    inside a0 a1 b0 b1 || inside b0 b1 a0 a1
+    || Int64.compare a1 b0 <= 0
+    || Int64.compare b1 a0 <= 0
+  in
+  let rec pairs = function
+    | [] -> true
+    | e :: rest ->
+      List.for_all
+        (fun e' -> e.Obs.Trace.tid <> e'.Obs.Trace.tid || nested_or_disjoint e e')
+        rest
+      && pairs rest
+  in
+  ends_monotone && pairs events
+
+let span_nesting_prop =
+  prop "span streams are well-nested with monotone completion times" ~count:50
+    (QCheck.make QCheck.Gen.(list_size (int_bound 4) span_tree_gen))
+    (fun trees ->
+      Obs.Trace.start_memory ();
+      run_spans trees;
+      let events = Obs.Trace.stop () in
+      let rec size (Span kids) = List.fold_left (fun a k -> a + size k) 1 kids in
+      List.length events = List.fold_left (fun a k -> a + size k) 0 trees
+      && well_nested events)
+
+let test_span_emits_on_exception () =
+  Obs.Trace.start_memory ();
+  (try
+     Obs.Trace.with_span "outer" (fun () ->
+         Obs.Trace.with_span "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let events = Obs.Trace.stop () in
+  Alcotest.(check (list string))
+    "both spans emitted, inner first"
+    [ "inner"; "outer" ]
+    (List.map (fun e -> e.Obs.Trace.name) events)
+
+let test_trace_file_is_valid_json () =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.start_file path;
+  Obs.Trace.with_span "a" ~cat:"test" (fun () ->
+      Obs.Trace.with_span "b" ~args:[ ("k", "v") ] (fun () -> ());
+      Obs.Trace.instant "mark");
+  ignore (Obs.Trace.stop ());
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  match Obs.Json.parse contents with
+  | Ok (Obs.Json.List events) ->
+    (* b, mark, a, plus the trace.stop footer *)
+    Alcotest.(check int) "event count" 4 (List.length events);
+    List.iter
+      (function
+        | Obs.Json.Obj fields ->
+          Alcotest.(check bool) "has name" true (List.mem_assoc "name" fields);
+          Alcotest.(check bool) "has ph" true (List.mem_assoc "ph" fields)
+        | _ -> Alcotest.fail "event is not an object")
+      events
+  | Ok _ -> Alcotest.fail "trace is not a JSON array"
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+
+(* -- progress ------------------------------------------------------------- *)
+
+let with_progress_capture f =
+  let path = Filename.temp_file "obs_progress" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let out = Out_channel.open_text path in
+  Obs.Progress.set_enabled true;
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Progress.set_enabled false;
+        Out_channel.close out)
+      (fun () -> f out)
+  in
+  (r, In_channel.with_open_text path In_channel.input_all)
+
+let test_progress_throttles () =
+  let (ticks, lines), output =
+    with_progress_capture (fun out ->
+        (* an hour-long interval: many ticks, no output *)
+        let t = Obs.Progress.create ~interval_s:3600.0 ~out "quiet" in
+        for _ = 1 to 10_000 do
+          Obs.Progress.tick t (fun () -> "should never print")
+        done;
+        Obs.Progress.finish t (fun () -> "nor the final line");
+        (* a zero interval: every tick prints *)
+        let t' = Obs.Progress.create ~interval_s:0.0 ~out "chatty" in
+        for i = 1 to 3 do
+          Obs.Progress.tick t' (fun () -> Printf.sprintf "tick %d" i)
+        done;
+        Obs.Progress.finish t' (fun () -> "done");
+        (Obs.Progress.lines t, Obs.Progress.lines t'))
+  in
+  Alcotest.(check int) "throttled reporter stayed silent" 0 ticks;
+  Alcotest.(check int) "chatty reporter printed 3 ticks + finish" 4 lines;
+  Alcotest.(check bool) "lines carry the label" true
+    (String.length output > 0
+    && List.for_all
+         (fun l -> String.length l = 0 || String.sub l 0 1 = "[")
+         (String.split_on_char '\n' output))
+
+let test_progress_disabled_is_silent () =
+  Obs.Progress.set_enabled false;
+  let t = Obs.Progress.create ~interval_s:0.0 "off" in
+  for _ = 1 to 100 do
+    Obs.Progress.tick t (fun () -> Alcotest.fail "thunk forced while disabled")
+  done;
+  Alcotest.(check int) "no lines" 0 (Obs.Progress.lines t)
+
+(* -- clock ---------------------------------------------------------------- *)
+
+let test_clock_monotone () =
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "now_ns never goes backwards" true (Int64.compare a b <= 0);
+  Alcotest.(check bool) "elapsed_s is nonnegative" true (Obs.Clock.elapsed_s a >= 0.0)
+
+(* -- the determinism regression ------------------------------------------- *)
+
+let test_metrics_do_not_perturb_ensemble () =
+  let run () =
+    let e =
+      Ensemble.run_input ~jobs:3 ~seed:20260805 ~trials:24 (Flock.succinct 2)
+        [| 12 |]
+    in
+    Ensemble.summary e
+  in
+  Obs.Metrics.set_enabled false;
+  let plain = run () in
+  let instrumented = with_metrics run in
+  Obs.Metrics.reset ();
+  Alcotest.(check string)
+    "aggregate summary is byte-identical with metrics enabled" plain instrumented
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          concurrent_counter_prop;
+          Alcotest.test_case "disabled mutations are no-ops" `Quick
+            test_disabled_mutations_are_noops;
+          Alcotest.test_case "registration is idempotent" `Quick
+            test_registration_is_idempotent;
+          Alcotest.test_case "diff drops quiet metrics" `Quick
+            test_diff_drops_quiet_metrics;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        ] );
+      ("json", [ json_roundtrip_prop; snapshot_roundtrip_prop ]);
+      ( "trace",
+        [
+          span_nesting_prop;
+          Alcotest.test_case "spans emit on exceptions" `Quick
+            test_span_emits_on_exception;
+          Alcotest.test_case "trace file is valid JSON" `Quick
+            test_trace_file_is_valid_json;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "throttling" `Quick test_progress_throttles;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_progress_disabled_is_silent;
+        ] );
+      ("clock", [ Alcotest.test_case "monotone" `Quick test_clock_monotone ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "ensemble aggregates unchanged under metrics"
+            `Quick test_metrics_do_not_perturb_ensemble;
+        ] );
+    ]
