@@ -2,12 +2,16 @@
    protocols and report apparent busy-beaver values (Definition 1).
 
      bbsearch -n 2
+     bbsearch -n 3 --jobs 4
      bbsearch -n 3 --sample 50000 --seed 9 *)
 
-let run n max_input sample seed print_best () =
+let run n max_input sample seed jobs chunk no_prune no_packed print_best () =
   let sample = Option.map (fun count -> (count, seed)) sample in
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
   let r =
-    try Busy_beaver.scan ?sample ~max_input ~n ()
+    try
+      Busy_beaver.scan ?sample ~jobs ~chunk ~prune:(not no_prune)
+        ~packed:(not no_packed) ~max_input ~n ()
     with Invalid_argument msg ->
       prerr_endline msg;
       exit 1
@@ -43,13 +47,36 @@ let sample_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sampling seed.")
 
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ]
+         ~doc:"Domains to shard the scan across (0 = one per recommended \
+               core). Aggregates are byte-identical for any value; only \
+               wall-clock varies.")
+
+let chunk_arg =
+  Arg.(value & opt int 1024 & info [ "chunk" ]
+         ~doc:"Codes per scheduling chunk. Any value yields the same \
+               result; smaller chunks balance better, larger ones have \
+               less overhead.")
+
+let no_prune_arg =
+  Arg.(value & flag & info [ "no-prune" ]
+         ~doc:"Disable symmetry pruning (scan every code instead of one \
+               canonical representative per state-relabelling orbit). \
+               The aggregate result is identical either way.")
+
+let no_packed_arg =
+  Arg.(value & flag & info [ "no-packed" ]
+         ~doc:"Use the reference multiset configuration graphs instead \
+               of the packed-int fast path.")
+
 let best_arg =
   Arg.(value & flag & info [ "print-best" ] ~doc:"Print the best protocol found.")
 
 let cmd =
   Cmd.v (Cmd.info "bbsearch" ~doc:"Busy-beaver search over small protocols")
     Term.(
-      const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ best_arg
-      $ Obs_cli.term)
+      const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ jobs_arg
+      $ chunk_arg $ no_prune_arg $ no_packed_arg $ best_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,7 +19,7 @@ let num_deterministic_protocols n =
   pow p p 1 * (1 lsl n)
 
 (* Decode a protocol from (transition assignment index, output bitmap). *)
-let protocol_of_code n ~pair_list ~assignment ~output_bits =
+let decode n ~pair_list ~assignment ~output_bits =
   let np = Array.length pair_list in
   let transitions = ref [] in
   let code = ref assignment in
@@ -38,8 +38,308 @@ let protocol_of_code n ~pair_list ~assignment ~output_bits =
     ~inputs:[ ("x", 0) ]
     ~output ()
 
+let check_n who n =
+  if n < 1 || n > 4 then
+    invalid_arg (Printf.sprintf "Busy_beaver.%s: 1 <= n <= 4" who)
+
+let protocol_of_code ~n ~assignment ~output_bits =
+  check_n "protocol_of_code" n;
+  decode n ~pair_list:(pairs n) ~assignment ~output_bits
+
+(* Sampled codes come from per-index splits of the master stream (the
+   [Ensemble.rng_for_trial] scheme): sample [i] depends only on the seed
+   and [i], never on the chunking or the domain count. *)
+let sample_codes ~seed ~count ~num_assignments ~num_outputs =
+  let master = Splitmix64.create seed in
+  let codes = Array.make count (0, 0) in
+  for i = 0 to count - 1 do
+    let rng = Splitmix64.split master in
+    let assignment = Splitmix64.int_below rng num_assignments in
+    codes.(i) <- (assignment, Splitmix64.int_below rng num_outputs)
+  done;
+  codes
+
+module Symmetry = struct
+  (* The group acting on the code space. A state permutation sends a
+     protocol to an isomorphic one (same decided predicate, same
+     threshold), but the enumeration fixes the input state to 0, so the
+     permutations that keep the code space closed are exactly the
+     stabiliser of state 0 — S_{n-1} acting on states 1..n-1. Each
+     element is stored with its induced permutation of unordered state
+     pairs, which is how it acts on transition-assignment digits. *)
+  type t = {
+    np : int;
+    n : int;
+    elems : (int array * int array) array;
+        (* (state perm, pair perm), identity excluded *)
+    powers : int array;  (* np^k for re-encoding assignment digits *)
+  }
+
+  let rec insertions x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insertions x rest)
+
+  let rec permutations = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insertions x) (permutations rest)
+
+  let make n =
+    check_n "Symmetry.make" n;
+    let pair_list = pairs n in
+    let np = Array.length pair_list in
+    let pair_index = Array.make (n * n) 0 in
+    Array.iteri (fun k (a, b) -> pair_index.((a * n) + b) <- k) pair_list;
+    let elems =
+      permutations (List.init (n - 1) (fun i -> i + 1))
+      |> List.filter_map (fun tail ->
+             let sperm = Array.of_list (0 :: tail) in
+             if Array.for_all2 ( = ) sperm (Array.init n Fun.id) then None
+             else begin
+               let pperm =
+                 Array.map
+                   (fun (a, b) ->
+                     let a' = sperm.(a) and b' = sperm.(b) in
+                     let a', b' = if a' <= b' then (a', b') else (b', a') in
+                     pair_index.((a' * n) + b'))
+                   pair_list
+               in
+               Some (sperm, pperm)
+             end)
+      |> Array.of_list
+    in
+    let powers = Array.make np 1 in
+    for k = 1 to np - 1 do
+      powers.(k) <- powers.(k - 1) * np
+    done;
+    { np; n; elems; powers }
+
+  (* Image of a code under one group element: assignment digit i (the
+     target pair of pair i) moves to position pperm(i) with value
+     pperm(digit); output bit s moves to sperm(s). *)
+  let apply t (sperm, pperm) ~assignment ~output_bits =
+    let a' = ref 0 in
+    let code = ref assignment in
+    for i = 0 to t.np - 1 do
+      let target = !code mod t.np in
+      code := !code / t.np;
+      a' := !a' + (pperm.(target) * t.powers.(pperm.(i)))
+    done;
+    let o' = ref 0 in
+    for s = 0 to t.n - 1 do
+      if output_bits land (1 lsl s) <> 0 then o' := !o' lor (1 lsl sperm.(s))
+    done;
+    (!a', !o')
+
+  let orbit t ~assignment ~output_bits =
+    Array.fold_left
+      (fun acc g ->
+        let image = apply t g ~assignment ~output_bits in
+        if List.mem image acc then acc else image :: acc)
+      [ (assignment, output_bits) ]
+      t.elems
+
+  let canonical t ~assignment ~output_bits =
+    List.fold_left Stdlib.min (assignment, output_bits)
+      (List.map
+         (fun g -> apply t g ~assignment ~output_bits)
+         (Array.to_list t.elems))
+
+  (* [Some orbit_size] when the code is the lexicographic minimum of its
+     orbit (the member the pruned scan verifies, standing in for the
+     whole orbit), [None] when a smaller member exists. *)
+  let canonical_weight t ~assignment ~output_bits =
+    let self = (assignment, output_bits) in
+    let rec go i distinct =
+      if i >= Array.length t.elems then Some (1 + List.length distinct)
+      else
+        let image = apply t t.elems.(i) ~assignment ~output_bits in
+        if image < self then None
+        else
+          go (i + 1)
+            (if image = self || List.mem image distinct then distinct
+             else image :: distinct)
+    in
+    go 0 []
+
+  let order t = 1 + Array.length t.elems
+end
+
+let m_scanned = Obs.Metrics.counter "bbsearch.protocols_scanned"
+let m_threshold = Obs.Metrics.counter "bbsearch.threshold_protocols"
+let m_aborted = Obs.Metrics.counter "bbsearch.config_budget_aborts"
+let m_pruned = Obs.Metrics.counter "bbsearch.pruned_symmetry"
+
+(* Per-chunk accumulator. Chunks are a fixed partition of the code
+   space, each owned by exactly one worker; the driver reduces them in
+   index order, so aggregates are byte-identical for every jobs/chunk
+   setting (the [Pool] contract). *)
+type partial = {
+  mutable p_scanned : int;
+  mutable p_threshold : int;
+  mutable p_reject_all : int;
+  mutable p_best_eta : int;
+  mutable p_best : Population.t option;
+  p_hist : (int, int) Hashtbl.t;
+}
+
+let fresh_partial () =
+  {
+    p_scanned = 0;
+    p_threshold = 0;
+    p_reject_all = 0;
+    p_best_eta = 0;
+    p_best = None;
+    p_hist = Hashtbl.create 8;
+  }
+
+let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
+    ?(max_input = 12) ?(max_configs = 60_000) ?sample ~n () =
+  check_n "scan" n;
+  let pair_list = pairs n in
+  let np = Array.length pair_list in
+  let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
+  let num_assignments = pow np np 1 in
+  let num_outputs = 1 lsl n in
+  let sampled =
+    Option.map
+      (fun (count, seed) ->
+        sample_codes ~seed ~count ~num_assignments ~num_outputs)
+      sample
+  in
+  let total =
+    match sampled with
+    | None -> num_assignments * num_outputs
+    | Some codes -> Array.length codes
+  in
+  let sym = if prune then Some (Symmetry.make n) else None in
+  let chunk = Stdlib.max 1 chunk in
+  let num_chunks = (total + chunk - 1) / chunk in
+  let partials = Array.init num_chunks (fun _ -> fresh_partial ()) in
+  (* display-only tallies for the progress line; the authoritative
+     counts live in the per-chunk partials *)
+  let disp_scanned = Atomic.make 0 in
+  let disp_threshold = Atomic.make 0 in
+  let disp_best = Atomic.make 0 in
+  let progress = Obs.Progress.create "bbsearch" in
+  let examine part ~weight ~assignment ~output_bits =
+    part.p_scanned <- part.p_scanned + weight;
+    ignore (Atomic.fetch_and_add disp_scanned weight);
+    if Obs.Metrics.enabled () then Obs.Metrics.add m_scanned weight;
+    Obs.Progress.tick progress (fun () ->
+        Printf.sprintf "%d/%d protocols, %d threshold, best eta %d"
+          (Atomic.get disp_scanned) total
+          (Atomic.get disp_threshold)
+          (Atomic.get disp_best));
+    (* all-reject output maps short-circuit *)
+    if output_bits = 0 then part.p_reject_all <- part.p_reject_all + weight
+    else begin
+      let p = decode n ~pair_list ~assignment ~output_bits in
+      let bump_hist eta =
+        part.p_threshold <- part.p_threshold + weight;
+        if Obs.Metrics.enabled () then Obs.Metrics.add m_threshold weight;
+        ignore (Atomic.fetch_and_add disp_threshold weight);
+        Hashtbl.replace part.p_hist eta
+          (weight + Option.value (Hashtbl.find_opt part.p_hist eta) ~default:0)
+      in
+      let record_best eta =
+        if eta > part.p_best_eta then begin
+          part.p_best_eta <- eta;
+          part.p_best <- Some p;
+          let rec raise_disp () =
+            let cur = Atomic.get disp_best in
+            if eta > cur && not (Atomic.compare_and_set disp_best cur eta) then
+              raise_disp ()
+          in
+          raise_disp ();
+          Obs.Trace.instant "bbsearch.new_best" ~cat:"bbsearch"
+            ~args:[ ("eta", string_of_int eta); ("protocol", p.Population.name) ]
+        end
+      in
+      match Eta_search.find ~max_configs ~packed p ~max_input with
+      | Eta_search.Eta eta ->
+        bump_hist eta;
+        record_best eta
+      | Eta_search.Always_accepts ->
+        (* computes x >= i for every valid i up to the smallest input:
+           record as threshold 2 (all populations have >= 2 agents) *)
+        bump_hist 2;
+        record_best 2
+      | Eta_search.Always_rejects -> part.p_reject_all <- part.p_reject_all + weight
+      | Eta_search.Not_threshold _ -> ()
+      | exception Configgraph.Too_many_configs _ -> Obs.Metrics.incr m_aborted
+    end
+  in
+  let do_range ~lo ~hi =
+    let part = partials.(lo / chunk) in
+    for idx = lo to hi - 1 do
+      match sampled with
+      | Some codes ->
+        (* sampling examines every drawn code exactly once; with pruning
+           on, its canonical orbit representative is verified instead —
+           same threshold result, and duplicate-orbit draws then hit the
+           same protocol *)
+        let assignment, output_bits = codes.(idx) in
+        let assignment, output_bits =
+          match sym with
+          | None -> (assignment, output_bits)
+          | Some s ->
+            let a, o = Symmetry.canonical s ~assignment ~output_bits in
+            (a, o)
+        in
+        examine part ~weight:1 ~assignment ~output_bits
+      | None ->
+        let assignment = idx / num_outputs
+        and output_bits = idx mod num_outputs in
+        (match sym with
+         | None -> examine part ~weight:1 ~assignment ~output_bits
+         | Some s ->
+           (match Symmetry.canonical_weight s ~assignment ~output_bits with
+            | Some weight -> examine part ~weight ~assignment ~output_bits
+            | None ->
+              (* a smaller orbit member is (or will be) verified with
+                 this code's count folded into its weight *)
+              Obs.Metrics.incr m_pruned))
+    done
+  in
+  Obs.Trace.with_span "bbsearch.scan" ~cat:"bbsearch"
+    ~args:[ ("states", string_of_int n); ("total", string_of_int total) ]
+    (fun () ->
+      ignore (Pool.run ~jobs ~chunk ~name:"bbsearch" ~tasks:total do_range));
+  (* order-fixed reduce: folding the chunk partials left-to-right is the
+     same fold the sequential scan performs over the full code space *)
+  let acc = fresh_partial () in
+  Array.iter
+    (fun part ->
+      acc.p_scanned <- acc.p_scanned + part.p_scanned;
+      acc.p_threshold <- acc.p_threshold + part.p_threshold;
+      acc.p_reject_all <- acc.p_reject_all + part.p_reject_all;
+      if part.p_best_eta > acc.p_best_eta then begin
+        acc.p_best_eta <- part.p_best_eta;
+        acc.p_best <- part.p_best
+      end;
+      Hashtbl.iter
+        (fun eta count ->
+          Hashtbl.replace acc.p_hist eta
+            (count + Option.value (Hashtbl.find_opt acc.p_hist eta) ~default:0))
+        part.p_hist)
+    partials;
+  Obs.Progress.finish progress (fun () ->
+      Printf.sprintf "%d protocols scanned, %d threshold, best eta %d"
+        acc.p_scanned acc.p_threshold acc.p_best_eta);
+  {
+    num_protocols = acc.p_scanned;
+    num_threshold = acc.p_threshold;
+    num_reject_all = acc.p_reject_all;
+    best_eta = acc.p_best_eta;
+    best = acc.p_best;
+    histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) acc.p_hist []
+      |> List.sort Stdlib.compare;
+  }
+
 let iter_protocols ?sample ~n f =
-  if n < 1 || n > 4 then invalid_arg "Busy_beaver.iter_protocols: 1 <= n <= 4";
+  check_n "iter_protocols" n;
   let pair_list = pairs n in
   let np = Array.length pair_list in
   let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
@@ -49,104 +349,11 @@ let iter_protocols ?sample ~n f =
   | None ->
     for assignment = 0 to num_assignments - 1 do
       for output_bits = 0 to num_outputs - 1 do
-        f (protocol_of_code n ~pair_list ~assignment ~output_bits)
+        f (decode n ~pair_list ~assignment ~output_bits)
       done
     done
   | Some (count, seed) ->
-    let rng = Splitmix64.create seed in
-    for _ = 1 to count do
-      f
-        (protocol_of_code n ~pair_list
-           ~assignment:(Splitmix64.int_below rng num_assignments)
-           ~output_bits:(Splitmix64.int_below rng num_outputs))
-    done
-
-let m_scanned = Obs.Metrics.counter "bbsearch.protocols_scanned"
-let m_threshold = Obs.Metrics.counter "bbsearch.threshold_protocols"
-let m_aborted = Obs.Metrics.counter "bbsearch.config_budget_aborts"
-
-let scan ?(max_input = 12) ?(max_configs = 60_000) ?sample ~n () =
-  if n < 1 || n > 4 then invalid_arg "Busy_beaver.scan: 1 <= n <= 4";
-  let pair_list = pairs n in
-  let np = Array.length pair_list in
-  let rec pow b e acc = if e = 0 then acc else pow b (e - 1) (acc * b) in
-  let num_assignments = pow np np 1 in
-  let num_outputs = 1 lsl n in
-  let total =
-    match sample with
-    | None -> num_assignments * num_outputs
-    | Some (count, _) -> count
-  in
-  let num_threshold = ref 0 in
-  let num_reject_all = ref 0 in
-  let best_eta = ref 0 in
-  let best = ref None in
-  let histogram = Hashtbl.create 16 in
-  let scanned = ref 0 in
-  let progress = Obs.Progress.create "bbsearch" in
-  let examine assignment output_bits =
-    incr scanned;
-    Obs.Metrics.incr m_scanned;
-    Obs.Progress.tick progress (fun () ->
-        Printf.sprintf "%d/%d protocols, %d threshold, best eta %d" !scanned
-          total !num_threshold !best_eta);
-    (* all-reject and all-accept output maps short-circuit *)
-    if output_bits = 0 then incr num_reject_all
-    else begin
-      let p = protocol_of_code n ~pair_list ~assignment ~output_bits in
-      let record_best eta =
-        best_eta := eta;
-        best := Some p;
-        Obs.Trace.instant "bbsearch.new_best" ~cat:"bbsearch"
-          ~args:[ ("eta", string_of_int eta); ("protocol", p.Population.name) ]
-      in
-      match Eta_search.find ~max_configs p ~max_input with
-      | Eta_search.Eta eta ->
-        incr num_threshold;
-        Obs.Metrics.incr m_threshold;
-        Hashtbl.replace histogram eta
-          (1 + Option.value (Hashtbl.find_opt histogram eta) ~default:0);
-        if eta > !best_eta then record_best eta
-      | Eta_search.Always_accepts ->
-        (* computes x >= i for every valid i up to the smallest input:
-           record as threshold 2 (all populations have >= 2 agents) *)
-        incr num_threshold;
-        Obs.Metrics.incr m_threshold;
-        Hashtbl.replace histogram 2
-          (1 + Option.value (Hashtbl.find_opt histogram 2) ~default:0);
-        if !best_eta < 2 then record_best 2
-      | Eta_search.Always_rejects -> incr num_reject_all
-      | Eta_search.Not_threshold _ -> ()
-      | exception Configgraph.Too_many_configs _ -> Obs.Metrics.incr m_aborted
-    end
-  in
-  Obs.Trace.with_span "bbsearch.scan" ~cat:"bbsearch"
-    ~args:[ ("states", string_of_int n); ("total", string_of_int total) ]
-    (fun () ->
-      match sample with
-      | None ->
-        for assignment = 0 to num_assignments - 1 do
-          for output_bits = 0 to num_outputs - 1 do
-            examine assignment output_bits
-          done
-        done
-      | Some (count, seed) ->
-        let rng = Splitmix64.create seed in
-        for _ = 1 to count do
-          examine
-            (Splitmix64.int_below rng num_assignments)
-            (Splitmix64.int_below rng num_outputs)
-        done);
-  Obs.Progress.finish progress (fun () ->
-      Printf.sprintf "%d protocols scanned, %d threshold, best eta %d" !scanned
-        !num_threshold !best_eta);
-  {
-    num_protocols = !scanned;
-    num_threshold = !num_threshold;
-    num_reject_all = !num_reject_all;
-    best_eta = !best_eta;
-    best = !best;
-    histogram =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
-      |> List.sort Stdlib.compare;
-  }
+    Array.iter
+      (fun (assignment, output_bits) ->
+        f (decode n ~pair_list ~assignment ~output_bits))
+      (sample_codes ~seed ~count ~num_assignments ~num_outputs)

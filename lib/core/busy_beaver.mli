@@ -8,7 +8,16 @@
     verdicts form a threshold pattern [0*1*]. Thresholds beyond the
     cutoff cannot be certified (Section 4.1 explains why this is
     fundamentally hard — it is VAS-reachability territory), so results
-    are reported as {e apparent} busy-beaver values. *)
+    are reported as {e apparent} busy-beaver values.
+
+    The scan is a sharded pipeline: the code space is cut into
+    fixed-size chunks, chunks are claimed dynamically by a domain pool
+    ({!Pool}), and per-chunk partial results are reduced in chunk index
+    order — so aggregates are byte-identical for every [jobs] and
+    [chunk] setting. Symmetry pruning ({!Symmetry}) skips
+    non-canonical codes and weights canonical ones by their orbit size,
+    which preserves every aggregate exactly while verifying only one
+    protocol per isomorphism class. *)
 
 type scan_result = {
   num_protocols : int;       (** protocols enumerated (or sampled) *)
@@ -20,6 +29,10 @@ type scan_result = {
 }
 
 val scan :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?prune:bool ->
+  ?packed:bool ->
   ?max_input:int ->
   ?max_configs:int ->
   ?sample:int * int ->
@@ -29,15 +42,58 @@ val scan :
 (** [scan ~n ()] enumerates all [P^P · 2^n] protocols, where
     [P = n(n+1)/2] (transition assignments times output maps). With
     [~sample:(count, seed)] a uniform random sample is scanned instead —
-    required in practice for [n >= 4]. Defaults: [max_input = 12],
+    required in practice for [n >= 4]; sampled codes are drawn with a
+    per-index split of the seed, so sample [i] is the same regardless of
+    [jobs]/[chunk].
+
+    [?jobs] (default 1) domains share the scan; [?chunk] (default 1024)
+    is the dynamic-scheduling granule. Any setting of either produces
+    byte-identical aggregates. [?prune] (default true) enables symmetry
+    pruning: with it, [num_protocols] still counts the {e full} space
+    (orbit-weighted), and [best] may be any member of the best orbit.
+    [?packed] (default true) selects the packed configuration-graph
+    representation in the verifier. Defaults: [max_input = 12],
     [max_configs = 60_000]. *)
 
 val num_deterministic_protocols : int -> int
 (** [P^P · 2^n] (may overflow for [n >= 5]; the busy beaver of
     enumeration itself). *)
 
+val protocol_of_code :
+  n:int -> assignment:int -> output_bits:int -> Population.t
+(** Decode one point of the code space: [assignment] is a base-[P]
+    number whose digit [i] names the target pair of ordered-pair [i];
+    [output_bits] is the output bitmap ([bit s] set iff state [s] maps
+    to true). This is the enumeration {!scan} walks. *)
+
 val iter_protocols :
   ?sample:int * int -> n:int -> (Population.t -> unit) -> unit
 (** Enumerate (or uniformly sample) the same deterministic complete
     leaderless protocol space that {!scan} searches, calling the
     function on each protocol. Used by {!Section_4_1}. *)
+
+(** The symmetry group of the code space: state permutations fixing the
+    input state 0 (isomorphic to [S_{n-1}]). Relabelling states by such
+    a permutation yields an isomorphic protocol — same decided
+    predicate, same threshold — so {!scan} only verifies the
+    lexicographically least code of each orbit and scales its counts by
+    the orbit size. *)
+module Symmetry : sig
+  type t
+
+  val make : int -> t
+  (** Precompute the group for [n] states (order [(n-1)!]). *)
+
+  val order : t -> int
+
+  val orbit : t -> assignment:int -> output_bits:int -> (int * int) list
+  (** All distinct codes in the orbit, self included. *)
+
+  val canonical : t -> assignment:int -> output_bits:int -> int * int
+  (** Lexicographically least member of the orbit. *)
+
+  val canonical_weight : t -> assignment:int -> output_bits:int -> int option
+  (** [Some orbit_size] iff the code is its orbit's canonical member,
+      [None] otherwise. Summing the weights over all canonical codes
+      recovers the full code-space cardinality. *)
+end

@@ -89,7 +89,7 @@ let find_witness ?max_configs ?(first = 2) p ~max_input =
 
 let reaches ?max_configs p c0 target =
   let g = Configgraph.explore ?max_configs p c0 in
-  Configgraph.find g target <> None
+  Configgraph.can_reach_config g ~src:g.Configgraph.root target
 
 let check ?max_configs w =
   let p = w.protocol in

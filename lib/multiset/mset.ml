@@ -59,3 +59,28 @@ let add_delta (c : t) (delta : Intvec.t) : t option =
 
 let hash = Intvec.hash
 let pp = Intvec.pp
+
+let max_packed_dim = 7
+let max_packed_count = 255
+
+let packable (c : t) =
+  Array.length c <= max_packed_dim
+  && Array.for_all (fun x -> x <= max_packed_count) c
+
+let pack (c : t) =
+  if not (packable c) then invalid_arg "Mset.pack: not packable";
+  let acc = ref 0 in
+  for i = Array.length c - 1 downto 0 do
+    acc := (!acc lsl 8) lor c.(i)
+  done;
+  !acc
+
+let unpack ~dim packed : t =
+  Array.init dim (fun i -> (packed lsr (8 * i)) land 0xff)
+
+let pack_delta (d : Intvec.t) =
+  let acc = ref 0 in
+  for i = Array.length d - 1 downto 0 do
+    acc := (!acc lsl 8) + d.(i)
+  done;
+  !acc

@@ -62,3 +62,40 @@ val add_delta : t -> Intvec.t -> t option
 
 val hash : t -> int
 val pp : ?names:string array -> Format.formatter -> t -> unit
+
+(** {1 Packed configurations}
+
+    A multiset whose dimension is at most {!max_packed_dim} and whose
+    coordinates are all at most {!max_packed_count} fits in one
+    immediate [int]: coordinate [i] occupies bits [8i..8i+7], so the
+    packed value is the base-256 number whose digits are the counts.
+    Because machine addition is exact, adding the (possibly negative)
+    integer [sum_i delta_i * 256^i] to a packed value yields the packed
+    form of the displaced multiset whenever every resulting coordinate
+    stays within [0..255] — which interaction firing guarantees after an
+    enabledness check, since the population size is conserved. This is
+    the representation behind the allocation-free configuration-graph
+    fast path. *)
+
+val max_packed_dim : int
+(** 7: the largest dimension a 63-bit [int] accommodates at 8 bits per
+    coordinate. *)
+
+val max_packed_count : int
+(** 255: the largest per-coordinate count (hence the largest population
+    size that is safe under displacement arithmetic). *)
+
+val packable : t -> bool
+(** Can this multiset be represented as a packed [int]? *)
+
+val pack : t -> int
+(** @raise Invalid_argument when not {!packable}. *)
+
+val unpack : dim:int -> int -> t
+(** Inverse of {!pack} for values built from a multiset of dimension
+    [dim]. *)
+
+val pack_delta : Intvec.t -> int
+(** The signed integer whose base-256 digits are the displacement's
+    coordinates; adding it to a packed value fires the displacement
+    (see above for the safety condition). *)

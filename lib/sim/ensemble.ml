@@ -1,8 +1,6 @@
 let m_batches = Obs.Metrics.counter "ensemble.batches"
 let m_trials = Obs.Metrics.counter "ensemble.trials"
-let m_chunks = Obs.Metrics.counter "ensemble.chunks"
 let m_trial_steps = Obs.Metrics.histogram "ensemble.trial_steps"
-let g_utilization = Obs.Metrics.gauge "ensemble.utilization"
 
 type backend =
   | Uniform of { max_steps : int; quiet_window : float }
@@ -76,71 +74,26 @@ let run ?(jobs = 1) ?(chunk = 1) ?(backend = uniform ()) ~seed ~trials p c0 =
   let population = Mset.size c0 in
   if trials > 0 && population < 2 then
     invalid_arg "Ensemble.run: population size >= 2 required";
-  let jobs = Stdlib.max 1 (Stdlib.min jobs trials) in
-  let chunk = Stdlib.max 1 chunk in
   let rngs = trial_rngs ~seed trials in
   let results = Array.make trials None in
-  let next = Atomic.make 0 in
-  (* Per-worker accounting: slot [w] is written only by worker [w] and
-     read after the joins, so plain arrays suffice. Busy time is the
-     monotonic-clock time spent inside claimed chunks; the gap to the
-     batch wall-clock is scheduling idleness. *)
-  let chunks_claimed = Array.make jobs 0 in
-  let busy_ns = Array.make jobs 0L in
-  (* Dynamic self-scheduling off a shared counter: each domain claims
-     [chunk] consecutive trial indices at a time, so long trials don't
-     leave the other domains idle. Slot [i] of [results] is written by
-     exactly one domain; [Domain.join] publishes the writes. *)
-  let worker w =
-    let rec loop () =
-      let lo = Atomic.fetch_and_add next chunk in
-      if lo < trials then begin
-        let hi = Stdlib.min trials (lo + chunk) in
-        let c0_ns = Obs.Clock.now_ns () in
-        Obs.Trace.with_span "ensemble.chunk" ~cat:"sim"
-          ~args:[ ("lo", string_of_int lo); ("hi", string_of_int (hi - 1)) ]
-          (fun () ->
-            for i = lo to hi - 1 do
-              let t = run_trial backend p c0 ~population i rngs.(i) in
-              Obs.Metrics.observe m_trial_steps (float_of_int t.steps);
-              results.(i) <- Some t
-            done);
-        chunks_claimed.(w) <- chunks_claimed.(w) + 1;
-        busy_ns.(w) <-
-          Int64.add busy_ns.(w) (Int64.sub (Obs.Clock.now_ns ()) c0_ns);
-        loop ()
-      end
-    in
-    loop ()
+  (* Slot [i] of [results] is written by exactly one domain; the joins
+     inside [Pool.run] publish the writes to this driver. *)
+  let stats =
+    Pool.run ~jobs ~chunk ~name:"ensemble" ~tasks:trials (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          let t = run_trial backend p c0 ~population i rngs.(i) in
+          Obs.Metrics.observe m_trial_steps (float_of_int t.steps);
+          results.(i) <- Some t
+        done)
   in
-  let t0 = Obs.Clock.now_ns () in
-  let pool = List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
-  worker 0;
-  List.iter Domain.join pool;
-  let wall = Obs.Clock.elapsed_s t0 in
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_batches;
-    Obs.Metrics.add m_trials trials;
-    let total_busy = ref 0.0 in
-    Array.iteri
-      (fun w n ->
-        let busy_s = Obs.Clock.ns_to_s busy_ns.(w) in
-        total_busy := !total_busy +. busy_s;
-        Obs.Metrics.add m_chunks n;
-        Obs.Metrics.add
-          (Obs.Metrics.counter (Printf.sprintf "ensemble.domain%d.chunks" w))
-          n;
-        Obs.Metrics.set
-          (Obs.Metrics.gauge (Printf.sprintf "ensemble.domain%d.busy_s" w))
-          busy_s)
-      chunks_claimed;
-    if wall > 0.0 then
-      Obs.Metrics.set g_utilization (!total_busy /. (float_of_int jobs *. wall))
+    Obs.Metrics.add m_trials trials
   end;
   let trials =
     Array.map (function Some t -> t | None -> assert false) results
   in
-  { backend; population; jobs; trials; wall }
+  { backend; population; jobs = stats.Pool.jobs; trials; wall = stats.Pool.wall_s }
 
 let run_input ?jobs ?chunk ?backend ~seed ~trials p v =
   run ?jobs ?chunk ?backend ~seed ~trials p (Population.initial_config p v)

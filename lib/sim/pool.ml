@@ -1,0 +1,75 @@
+type stats = {
+  jobs : int;
+  wall_s : float;
+  chunks : int array;
+  busy_s : float array;
+}
+
+let utilization s =
+  let busy = Array.fold_left ( +. ) 0.0 s.busy_s in
+  if s.wall_s > 0.0 then busy /. (float_of_int s.jobs *. s.wall_s) else 0.0
+
+let publish name s =
+  Array.iteri
+    (fun w n ->
+      Obs.Metrics.add (Obs.Metrics.counter (name ^ ".chunks")) n;
+      Obs.Metrics.add
+        (Obs.Metrics.counter (Printf.sprintf "%s.domain%d.chunks" name w))
+        n;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge (Printf.sprintf "%s.domain%d.busy_s" name w))
+        s.busy_s.(w))
+    s.chunks;
+  if s.wall_s > 0.0 then
+    Obs.Metrics.set (Obs.Metrics.gauge (name ^ ".utilization")) (utilization s)
+
+let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: tasks >= 0 required";
+  let jobs = Stdlib.max 1 (Stdlib.min jobs tasks) in
+  let chunk = Stdlib.max 1 chunk in
+  let next = Atomic.make 0 in
+  (* Per-worker accounting: slot [w] is written only by worker [w] and
+     read after the joins, so plain arrays suffice. Busy time is the
+     monotonic-clock time spent inside claimed chunks; the gap to the
+     batch wall-clock is scheduling idleness. *)
+  let chunks_claimed = Array.make jobs 0 in
+  let busy_ns = Array.make jobs 0L in
+  let span = name ^ ".chunk" in
+  (* Dynamic self-scheduling off a shared counter: each domain claims
+     [chunk] consecutive task indices at a time, so long tasks don't
+     leave the other domains idle. The caller's [f] must confine its
+     writes to state owned by the claimed range; [Domain.join] publishes
+     them to the driver. *)
+  let worker w =
+    let rec loop () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo < tasks then begin
+        let hi = Stdlib.min tasks (lo + chunk) in
+        let c0_ns = Obs.Clock.now_ns () in
+        Obs.Trace.with_span span ~cat:"pool"
+          ~args:[ ("lo", string_of_int lo); ("hi", string_of_int (hi - 1)) ]
+          (fun () -> f ~lo ~hi);
+        chunks_claimed.(w) <- chunks_claimed.(w) + 1;
+        busy_ns.(w) <-
+          Int64.add busy_ns.(w) (Int64.sub (Obs.Clock.now_ns ()) c0_ns);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Obs.Clock.now_ns () in
+  let pool =
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  worker 0;
+  List.iter Domain.join pool;
+  let stats =
+    {
+      jobs;
+      wall_s = Obs.Clock.elapsed_s t0;
+      chunks = chunks_claimed;
+      busy_s = Array.map Obs.Clock.ns_to_s busy_ns;
+    }
+  in
+  if Obs.Metrics.enabled () then publish name stats;
+  stats

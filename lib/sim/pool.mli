@@ -1,0 +1,38 @@
+(** A reusable domain pool for deterministic fan-out.
+
+    [run] partitions the index range [0 .. tasks-1] into fixed chunks of
+    [chunk] consecutive indices and lets [jobs] domains claim chunks
+    dynamically off a shared counter. The chunk {e partition} is a pure
+    function of [tasks] and [chunk] — only the assignment of chunks to
+    domains varies with scheduling — so a caller that accumulates one
+    result slot per chunk (or per task) and reduces the slots in index
+    order obtains aggregates that are byte-identical for every [jobs]
+    value. Both the Monte-Carlo ensemble engine ({!Ensemble}) and the
+    busy-beaver scan ([Busy_beaver.scan]) are built on this contract. *)
+
+type stats = {
+  jobs : int;            (** domains actually used (clamped to [tasks]) *)
+  wall_s : float;        (** wall-clock of the whole batch *)
+  chunks : int array;    (** chunks claimed, per worker *)
+  busy_s : float array;  (** time inside claimed chunks, per worker *)
+}
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?name:string ->
+  tasks:int ->
+  (lo:int -> hi:int -> unit) ->
+  stats
+(** [run ~jobs ~chunk ~name ~tasks f] calls [f ~lo ~hi] once for every
+    chunk [\[lo, hi)] of the task range, across a pool of [jobs] domains
+    (worker 0 is the calling domain; defaults: [jobs = 1], [chunk = 1]).
+    [f] must confine its writes to state owned by the claimed range.
+
+    When metrics are enabled, publishes ["<name>.chunks"],
+    ["<name>.domain<w>.chunks"], ["<name>.domain<w>.busy_s"] and the
+    ["<name>.utilization"] gauge; every chunk runs inside a
+    ["<name>.chunk"] trace span (default [name]: ["pool"]). *)
+
+val utilization : stats -> float
+(** Total busy time over [jobs * wall] — 1.0 is a perfectly packed pool. *)

@@ -10,6 +10,7 @@ type t = {
   configs : Mset.t array;
   succ : int array array;
   root : int;
+  lookup : Mset.t -> int option;
 }
 
 exception Too_many_configs of int
@@ -36,6 +37,7 @@ end
 let m_explorations = Obs.Metrics.counter "configgraph.explorations"
 let m_configs = Obs.Metrics.counter "configgraph.configs"
 let m_edges = Obs.Metrics.counter "configgraph.edges"
+let m_packed = Obs.Metrics.counter "configgraph.packed_explorations"
 
 let explore ?(max_configs = 2_000_000) p c0 =
   let index = H.create 1024 in
@@ -90,18 +92,12 @@ let explore ?(max_configs = 2_000_000) p c0 =
             configs = Grow.to_array configs;
             succ = Grow.to_array succs;
             root;
+            (* the interning table survives as the O(1) lookup index *)
+            lookup = (fun c -> H.find_opt index c);
           }))
 
 let num_configs g = Array.length g.configs
-
-let find g c =
-  let n = num_configs g in
-  let rec go i =
-    if i >= n then None
-    else if Mset.equal g.configs.(i) c then Some i
-    else go (i + 1)
-  in
-  go 0
+let find g c = g.lookup c
 
 let reachable_from g src =
   let n = num_configs g in
@@ -134,3 +130,204 @@ let can_reach g ~src pred =
     else go (i + 1)
   in
   go 0
+
+let can_reach_config g ~src c =
+  match find g c with
+  | None -> false
+  | Some i -> i = src || (reachable_from g src).(i)
+
+(* ---------------------------------------------------------------------- *)
+(* The packed fast path: configurations as immediate ints.
+
+   In the busy-beaver regime (<= 7 states, population <= 255) a
+   configuration fits one word at 8 bits per state (see {!Mset.pack}),
+   so the exploration above can run with int-keyed interning and zero
+   allocation per successor: firing transition t on packed c is
+   [c + pdelta.(t)] after an enabledness check on two bit fields. The
+   node order is identical to the reference exploration — successors
+   are generated in transition order and deduplicated keeping first
+   occurrences, exactly like [Population.distinct_successors] — so the
+   two graphs agree index-for-index (a property the test suite checks
+   differentially). *)
+
+module Packed = struct
+  type graph = {
+    protocol : Population.t;
+    configs : int array;
+    succ : int array array;
+    root : int;
+    lookup : int -> int option;
+  }
+
+  let applicable p c0 =
+    Population.num_states p <= Mset.max_packed_dim
+    && Mset.size c0 <= Mset.max_packed_count
+
+  let num_configs g = Array.length g.configs
+  let find g c = g.lookup c
+  let config g i = Mset.unpack ~dim:(Population.num_states g.protocol) g.configs.(i)
+
+  (* packed configurations are base-256 numbers whose low digits barely
+     vary within one graph; mix before bucketing *)
+  let hash x =
+    let h = x * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 29)) land max_int
+
+  let explore ?(max_configs = 2_000_000) p c0 =
+    if not (applicable p c0) then
+      invalid_arg "Configgraph.Packed.explore: protocol/configuration not packable";
+    let nt = Population.num_transitions p in
+    (* per-transition firing data, unpacked from the protocol once *)
+    let pre_a = Array.make nt 0 in
+    let pre_b = Array.make nt 0 in
+    let pdelta = Array.make nt 0 in
+    Array.iteri
+      (fun t { Population.pre = a, b; _ } ->
+        pre_a.(t) <- 8 * a;
+        pre_b.(t) <- 8 * b;
+        pdelta.(t) <- Mset.pack_delta (Population.displacement p t))
+      p.Population.transitions;
+    (* open-addressing intern table (linear probing, load <= 1/2): the
+       per-successor membership probe is the scan's hottest operation,
+       so it must not allocate. Packed configs are non-negative; -1
+       marks an empty slot. *)
+    let cap = ref 256 in
+    let keys = ref (Array.make !cap (-1)) in
+    let ids = ref (Array.make !cap 0) in
+    let slot_of keys cap c =
+      let mask = cap - 1 in
+      let s = ref (hash c land mask) in
+      while
+        let k = keys.(!s) in
+        k <> -1 && k <> c
+      do
+        s := (!s + 1) land mask
+      done;
+      !s
+    in
+    let grow () =
+      let cap' = 2 * !cap in
+      let keys' = Array.make cap' (-1) in
+      let ids' = Array.make cap' 0 in
+      for s = 0 to !cap - 1 do
+        let k = !keys.(s) in
+        if k <> -1 then begin
+          let s' = slot_of keys' cap' k in
+          keys'.(s') <- k;
+          ids'.(s') <- !ids.(s)
+        end
+      done;
+      cap := cap';
+      keys := keys';
+      ids := ids'
+    in
+    let configs = Grow.create 0 in
+    let succs = Grow.create [||] in
+    let edges = ref 0 in
+    let progress = Obs.Progress.create "configgraph.explore" in
+    let intern c =
+      let s = slot_of !keys !cap c in
+      if !keys.(s) <> -1 then !ids.(s)
+      else begin
+        if configs.Grow.len >= max_configs then
+          raise (Too_many_configs max_configs);
+        let i = configs.Grow.len in
+        !keys.(s) <- c;
+        !ids.(s) <- i;
+        Grow.push configs c;
+        if 2 * i >= !cap then grow ();
+        i
+      end
+    in
+    (* scratch buffers, reused across nodes: distinct successor values in
+       first-occurrence order, then their node indices *)
+    let vals = Array.make (Stdlib.max 1 nt) 0 in
+    let idxs = Array.make (Stdlib.max 1 nt) 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        if Obs.Metrics.enabled () then begin
+          Obs.Metrics.incr m_explorations;
+          Obs.Metrics.incr m_packed;
+          Obs.Metrics.add m_configs configs.Grow.len;
+          Obs.Metrics.add m_edges !edges
+        end)
+      (fun () ->
+        Obs.Trace.with_span "configgraph.explore" ~cat:"verify"
+          ~args:[ ("protocol", p.Population.name) ]
+          (fun () ->
+            let root = intern (Mset.pack c0) in
+            let i = ref 0 in
+            while !i < configs.Grow.len do
+              if !i land 1023 = 0 then
+                Obs.Progress.tick progress (fun () ->
+                    Printf.sprintf "%d configs explored, %d discovered, %d edges"
+                      !i configs.Grow.len !edges);
+              let c = Grow.get configs !i in
+              let nvals = ref 0 in
+              for t = 0 to nt - 1 do
+                let sa = pre_a.(t) and sb = pre_b.(t) in
+                let enabled =
+                  if sa = sb then (c lsr sa) land 0xff >= 2
+                  else (c lsr sa) land 0xff >= 1 && (c lsr sb) land 0xff >= 1
+                in
+                if enabled then begin
+                  let c' = c + pdelta.(t) in
+                  let dup = ref false in
+                  for k = 0 to !nvals - 1 do
+                    if vals.(k) = c' then dup := true
+                  done;
+                  if not !dup then begin
+                    vals.(!nvals) <- c';
+                    incr nvals
+                  end
+                end
+              done;
+              (* intern in first-occurrence order (fixes node numbering),
+                 then sort / dedupe / drop the self loop — mirroring the
+                 reference path's [List.sort_uniq] + self filter *)
+              let n = !nvals in
+              for k = 0 to n - 1 do
+                idxs.(k) <- intern vals.(k)
+              done;
+              (* insertion sort on the scratch (n <= nt, tiny), then one
+                 dedupe-and-drop-self pass into an exact-size array *)
+              for k = 1 to n - 1 do
+                let x = idxs.(k) in
+                let j = ref (k - 1) in
+                while !j >= 0 && idxs.(!j) > x do
+                  idxs.(!j + 1) <- idxs.(!j);
+                  decr j
+                done;
+                idxs.(!j + 1) <- x
+              done;
+              let m = ref 0 in
+              for k = 0 to n - 1 do
+                if idxs.(k) <> !i && (k = 0 || idxs.(k - 1) <> idxs.(k)) then
+                  incr m
+              done;
+              let out = Array.make !m 0 in
+              let w = ref 0 in
+              for k = 0 to n - 1 do
+                if idxs.(k) <> !i && (k = 0 || idxs.(k - 1) <> idxs.(k)) then begin
+                  out.(!w) <- idxs.(k);
+                  incr w
+                end
+              done;
+              edges := !edges + !m;
+              Grow.push succs out;
+              incr i
+            done;
+            Obs.Progress.finish progress (fun () ->
+                Printf.sprintf "%d configs, %d edges" configs.Grow.len !edges);
+            let lookup c =
+              let s = slot_of !keys !cap c in
+              if !keys.(s) = -1 then None else Some !ids.(s)
+            in
+            {
+              protocol = p;
+              configs = Grow.to_array configs;
+              succ = Grow.to_array succs;
+              root;
+              lookup;
+            }))
+end

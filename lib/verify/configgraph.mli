@@ -12,6 +12,9 @@ type t = private {
   configs : Mset.t array;     (** node index -> configuration *)
   succ : int array array;     (** distinct successor node indices *)
   root : int;                  (** index of the initial configuration *)
+  lookup : Mset.t -> int option;
+      (** the exploration's interning table, retained so membership
+          queries stay O(1) — use {!find} *)
 }
 
 exception Too_many_configs of int
@@ -25,7 +28,8 @@ val explore : ?max_configs:int -> Population.t -> Mset.t -> t
 val num_configs : t -> int
 
 val find : t -> Mset.t -> int option
-(** Index of a configuration in the graph, if reachable. *)
+(** Index of a configuration in the graph, if reachable. O(1): answered
+    from the exploration's own hash index, not by scanning. *)
 
 val reachable_from : t -> int -> bool array
 (** Forward closure of a node, as a membership array. *)
@@ -33,3 +37,39 @@ val reachable_from : t -> int -> bool array
 val can_reach : t -> src:int -> (Mset.t -> bool) -> bool
 (** Does some configuration satisfying the predicate lie in the forward
     closure of [src]? *)
+
+val can_reach_config : t -> src:int -> Mset.t -> bool
+(** [can_reach_config g ~src c]: is the {e known} target configuration
+    [c] in the forward closure of [src]? One O(1) index probe plus a
+    graph traversal — no per-node predicate scan. *)
+
+(** Packed fast path: when the protocol has at most
+    [Mset.max_packed_dim] states and the population at most
+    [Mset.max_packed_count] agents (always true in the busy-beaver scan
+    regime), configurations are interned as immediate ints — no
+    per-successor multiset allocation, int-keyed hashing. The node
+    numbering is identical to {!explore}'s, so
+    [Packed.config g i = (explore p c0).configs.(i)] index-for-index;
+    {!Fair_semantics} dispatches to this path automatically. *)
+module Packed : sig
+  type graph = private {
+    protocol : Population.t;
+    configs : int array;      (** node index -> packed configuration *)
+    succ : int array array;
+    root : int;
+    lookup : int -> int option;
+        (** the exploration's open-addressing intern table — use
+            {!find} *)
+  }
+
+  val applicable : Population.t -> Mset.t -> bool
+
+  val explore : ?max_configs:int -> Population.t -> Mset.t -> graph
+  (** @raise Too_many_configs as {!val:explore}.
+      @raise Invalid_argument when not {!applicable}. *)
+
+  val num_configs : graph -> int
+  val find : graph -> int -> int option
+  val config : graph -> int -> Mset.t
+  (** Unpacked view of node [i]. *)
+end

@@ -15,9 +15,13 @@ type result =
   | Not_threshold of int array * Fair_semantics.verdict
       (** some input breaks the 0*1* threshold pattern, or is undecided *)
 
-val find : ?max_configs:int -> Population.t -> max_input:int -> result
+val find :
+  ?max_configs:int -> ?packed:bool -> Population.t -> max_input:int -> result
 (** [find p ~max_input] decides every valid input [<= max_input] of a
-    single-input-variable protocol.
+    single-input-variable protocol. [?packed] selects the
+    configuration-graph representation (see
+    {!Fair_semantics.decide_config}); the result is identical either
+    way.
     @raise Invalid_argument if the protocol has several input variables. *)
 
 val pp_result : Format.formatter -> result -> unit

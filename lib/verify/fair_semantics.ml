@@ -8,69 +8,123 @@ let pp_verdict fmt = function
   | No_consensus -> Format.pp_print_string fmt "no consensus in some bottom SCC"
   | Conflicting -> Format.pp_print_string fmt "conflicting bottom SCCs"
 
-(* Consensus output of a whole component: Some b if every member
-   configuration has output b. *)
-let component_output p (g : Configgraph.t) members =
-  let rec go members acc =
-    match members with
-    | [] -> acc
-    | v :: rest ->
-      (match Population.output_of_config p g.Configgraph.configs.(v) with
-       | None -> None
-       | Some b ->
-         (match acc with
-          | None -> go rest (Some b)
-          | Some b' -> if b = b' then go rest acc else None))
-  in
-  go members None
-
 let m_decisions = Obs.Metrics.counter "fair.decisions"
 let m_sccs = Obs.Metrics.counter "fair.sccs"
 let m_bottom_sccs = Obs.Metrics.counter "fair.bottom_sccs"
 
-let decide_config ?max_configs p c0 =
+(* Shared bottom-SCC consensus logic, abstracted over the configuration
+   representation: [output_of_node] is the consensus output of one
+   configuration (None when its agents disagree). Every node of the
+   graph is reachable from the root by construction, so every bottom SCC
+   is relevant; a finite non-empty graph has at least one. *)
+let verdict_of_bottom ~output_of_node (scc : Scc.t) bottom =
+  (* Consensus output of a whole component: Some b if every member
+     configuration has output b. *)
+  let component_output members =
+    let rec go members acc =
+      match members with
+      | [] -> acc
+      | v :: rest ->
+        (match output_of_node v with
+         | None -> None
+         | Some b ->
+           (match acc with
+            | None -> go rest (Some b)
+            | Some b' -> if b = b' then go rest acc else None))
+    in
+    go members None
+  in
+  let rec go seen = function
+    | [] ->
+      (match seen with
+       | Some b -> Decides b
+       | None -> assert false)
+    | comp :: rest ->
+      (match component_output scc.Scc.members.(comp) with
+       | None -> No_consensus
+       | Some b ->
+         (match seen with
+          | None -> go (Some b) rest
+          | Some b' -> if b = b' then go seen rest else Conflicting))
+  in
+  go None bottom
+
+let publish_scc (scc : Scc.t) bottom =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_decisions;
+    Obs.Metrics.add m_sccs scc.Scc.num_components;
+    Obs.Metrics.add m_bottom_sccs (List.length bottom)
+  end
+
+(* The packed path never materialises multisets: a configuration's
+   output depends only on its support, so a 2^states table indexed by
+   the support bitmask answers [output_of_config] in two shifts. Slots:
+   0 = no consensus, 1 = all-reject, 2 = all-accept. *)
+let support_output_table p =
+  let d = Population.num_states p in
+  let tbl = Bytes.make (1 lsl d) '\000' in
+  for mask = 1 to (1 lsl d) - 1 do
+    let rec go s acc =
+      if s >= d then (match acc with Some false -> 1 | Some true -> 2 | None -> 0)
+      else if mask land (1 lsl s) = 0 then go (s + 1) acc
+      else
+        match acc with
+        | None -> go (s + 1) (Some p.Population.output.(s))
+        | Some b -> if p.Population.output.(s) = b then go (s + 1) acc else 0
+    in
+    Bytes.set tbl mask (Char.chr (go 0 None))
+  done;
+  tbl
+
+let decide_config ?max_configs ?(packed = true) p c0 =
   Obs.Trace.with_span "fair_semantics.decide" ~cat:"verify"
     ~args:[ ("protocol", p.Population.name) ]
     (fun () ->
-      let g = Configgraph.explore ?max_configs p c0 in
-      let scc = Scc.compute g.Configgraph.succ in
-      let bottom = Scc.bottom_components scc in
-      if Obs.Metrics.enabled () then begin
-        Obs.Metrics.incr m_decisions;
-        Obs.Metrics.add m_sccs scc.Scc.num_components;
-        Obs.Metrics.add m_bottom_sccs (List.length bottom)
-      end;
-      (* Every node of the graph is reachable from the root by construction,
-         so every bottom SCC is relevant; a finite non-empty graph has at
-         least one. *)
-      let rec go seen = function
-        | [] ->
-          (match seen with
-           | Some b -> Decides b
-           | None -> assert false)
-        | comp :: rest ->
-          (match component_output p g scc.Scc.members.(comp) with
-           | None -> No_consensus
-           | Some b ->
-             (match seen with
-              | None -> go (Some b) rest
-              | Some b' -> if b = b' then go seen rest else Conflicting))
-      in
-      go None bottom)
+      if packed && Configgraph.Packed.applicable p c0 then begin
+        let g = Configgraph.Packed.explore ?max_configs p c0 in
+        let scc = Scc.compute g.Configgraph.Packed.succ in
+        let bottom = Scc.bottom_components scc in
+        publish_scc scc bottom;
+        let d = Population.num_states p in
+        let tbl = support_output_table p in
+        let configs = g.Configgraph.Packed.configs in
+        let output_of_node v =
+          let c = configs.(v) in
+          let mask = ref 0 in
+          for s = 0 to d - 1 do
+            if (c lsr (8 * s)) land 0xff <> 0 then mask := !mask lor (1 lsl s)
+          done;
+          match Bytes.get tbl !mask with
+          | '\001' -> Some false
+          | '\002' -> Some true
+          | _ -> None
+        in
+        verdict_of_bottom ~output_of_node scc bottom
+      end
+      else begin
+        let g = Configgraph.explore ?max_configs p c0 in
+        let scc = Scc.compute g.Configgraph.succ in
+        let bottom = Scc.bottom_components scc in
+        publish_scc scc bottom;
+        let output_of_node v =
+          Population.output_of_config p g.Configgraph.configs.(v)
+        in
+        verdict_of_bottom ~output_of_node scc bottom
+      end)
 
-let decide ?max_configs p v =
-  decide_config ?max_configs p (Population.initial_config p v)
+let decide ?max_configs ?packed p v =
+  decide_config ?max_configs ?packed p (Population.initial_config p v)
 
 type check_result =
   | Ok_all of int
   | Mismatch of int array * verdict * bool
 
-let check_predicate ?max_configs p spec ~inputs =
+let check_predicate ?max_configs ?packed p spec ~inputs =
   let rec go n = function
     | [] -> Ok_all n
     | v :: rest ->
       let expected = Predicate.eval spec v in
-      (match decide ?max_configs p v with
+      (match decide ?max_configs ?packed p v with
        | Decides b when b = expected -> go (n + 1) rest
        | verdict -> Mismatch (v, verdict, expected))
   in

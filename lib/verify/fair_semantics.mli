@@ -12,11 +12,17 @@ type verdict =
   | No_consensus            (** some reachable bottom SCC is not a uniform consensus *)
   | Conflicting             (** uniform bottom SCCs with different outputs *)
 
-val decide_config : ?max_configs:int -> Population.t -> Mset.t -> verdict
-(** Verdict for a concrete initial configuration.
+val decide_config :
+  ?max_configs:int -> ?packed:bool -> Population.t -> Mset.t -> verdict
+(** Verdict for a concrete initial configuration. When the instance fits
+    the packed representation ({!Configgraph.Packed.applicable}) the
+    graph is explored on immediate ints — same graph, same verdict,
+    several times faster; [~packed:false] forces the reference multiset
+    exploration (the two are compared differentially in the tests).
     @raise Configgraph.Too_many_configs if the graph exceeds the budget. *)
 
-val decide : ?max_configs:int -> Population.t -> int array -> verdict
+val decide :
+  ?max_configs:int -> ?packed:bool -> Population.t -> int array -> verdict
 (** Verdict for input [v] (starting from [IC(v)]). *)
 
 type check_result =
@@ -24,8 +30,8 @@ type check_result =
   | Mismatch of int array * verdict * bool  (** input, verdict, expected *)
 
 val check_predicate :
-  ?max_configs:int -> Population.t -> Predicate.t -> inputs:int array list ->
-  check_result
+  ?max_configs:int -> ?packed:bool -> Population.t -> Predicate.t ->
+  inputs:int array list -> check_result
 (** Checks [decide p v = Decides (spec v)] on every listed input. *)
 
 val valid_inputs_single : Population.t -> max:int -> int list

@@ -1,0 +1,245 @@
+(* Tests for the sharded busy-beaver scan: the symmetry group really is
+   a symmetry of the verification problem (relabelled protocols have the
+   same threshold), pruning changes nothing observable, and aggregates
+   are byte-identical across every jobs/chunk setting — the same
+   determinism contract test_ensemble checks for the Monte-Carlo
+   engine. *)
+
+let prop name ?(count = 50) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* scan_result equality; [best] is compared by protocol name, which
+   encodes the exact code the scan picked *)
+let result_eq (a : Busy_beaver.scan_result) (b : Busy_beaver.scan_result) =
+  a.Busy_beaver.num_protocols = b.Busy_beaver.num_protocols
+  && a.Busy_beaver.num_threshold = b.Busy_beaver.num_threshold
+  && a.Busy_beaver.num_reject_all = b.Busy_beaver.num_reject_all
+  && a.Busy_beaver.best_eta = b.Busy_beaver.best_eta
+  && a.Busy_beaver.histogram = b.Busy_beaver.histogram
+  && Option.map (fun p -> p.Population.name) a.Busy_beaver.best
+     = Option.map (fun p -> p.Population.name) b.Busy_beaver.best
+
+(* aggregate equality only: between pruned and unpruned scans the best
+   protocol may be a different (isomorphic) member of the same orbit *)
+let aggregates_eq (a : Busy_beaver.scan_result) (b : Busy_beaver.scan_result) =
+  a.Busy_beaver.num_protocols = b.Busy_beaver.num_protocols
+  && a.Busy_beaver.num_threshold = b.Busy_beaver.num_threshold
+  && a.Busy_beaver.num_reject_all = b.Busy_beaver.num_reject_all
+  && a.Busy_beaver.best_eta = b.Busy_beaver.best_eta
+  && a.Busy_beaver.histogram = b.Busy_beaver.histogram
+
+(* -- Symmetry: protocol relabelling is invisible to Eta_search ------------- *)
+
+(* relabel the states of [p] by the permutation [sigma] (the input
+   state moves too, so this is a protocol isomorphism) *)
+let permute_protocol p sigma =
+  let n = Population.num_states p in
+  let states = Array.make n "" in
+  Array.iteri (fun s name -> states.(sigma.(s)) <- name) p.Population.states;
+  let output = Array.make n false in
+  Array.iteri (fun s b -> output.(sigma.(s)) <- b) p.Population.output;
+  Population.make
+    ~name:(p.Population.name ^ "-perm")
+    ~states
+    ~transitions:
+      (Array.to_list
+         (Array.map
+            (fun { Population.pre = a, b; post = a', b' } ->
+              (sigma.(a), sigma.(b), sigma.(a'), sigma.(b')))
+            p.Population.transitions))
+    ~inputs:[ ("x", sigma.(p.Population.input_map.(0)) ) ]
+    ~output ()
+
+let nth_permutation n k =
+  (* Lehmer decode of k into a permutation of 0..n-1 *)
+  let avail = ref (List.init n Fun.id) in
+  let k = ref k in
+  Array.init n (fun i ->
+      let remaining = n - i in
+      let rec fact m = if m <= 1 then 1 else m * fact (m - 1) in
+      let f = fact (remaining - 1) in
+      let idx = !k / f mod remaining in
+      k := !k mod f;
+      let x = List.nth !avail idx in
+      avail := List.filter (( <> ) x) !avail;
+      x)
+
+let eta_perm_invariance_prop =
+  prop "Eta_search.find is invariant under state relabelling" ~count:30
+    QCheck.(triple (int_range 0 46655) (int_range 1 7) (int_range 0 5))
+    (fun (assignment, output_bits, pidx) ->
+      let p = Busy_beaver.protocol_of_code ~n:3 ~assignment ~output_bits in
+      let sigma = nth_permutation 3 pidx in
+      let p' = permute_protocol p sigma in
+      Eta_search.find p ~max_input:8 = Eta_search.find p' ~max_input:8)
+
+(* -- Symmetry: group and orbit structure ----------------------------------- *)
+
+let test_symmetry_order () =
+  List.iter
+    (fun (n, order) ->
+      Alcotest.(check int)
+        (Printf.sprintf "|Stab(0)| for n=%d" n)
+        order
+        (Busy_beaver.Symmetry.order (Busy_beaver.Symmetry.make n)))
+    [ (1, 1); (2, 1); (3, 2); (4, 6) ]
+
+(* summing the orbit sizes over the canonical codes tiles the full code
+   space — this is exactly why orbit-weighted counts are exact *)
+let test_orbit_weights_partition () =
+  let sym = Busy_beaver.Symmetry.make 3 in
+  let total = ref 0 in
+  let canonical = ref 0 in
+  for assignment = 0 to 46655 do
+    for output_bits = 0 to 7 do
+      match Busy_beaver.Symmetry.canonical_weight sym ~assignment ~output_bits with
+      | Some w ->
+        total := !total + w;
+        incr canonical
+      | None -> ()
+    done
+  done;
+  Alcotest.(check int) "weights tile the space"
+    (Busy_beaver.num_deterministic_protocols 3)
+    !total;
+  Alcotest.(check bool) "pruning is real" true
+    (!canonical < Busy_beaver.num_deterministic_protocols 3)
+
+let orbit_consistency_prop =
+  prop "orbit members agree on the canonical code" ~count:100
+    QCheck.(pair (int_range 0 46655) (int_range 0 7))
+    (fun (assignment, output_bits) ->
+      let sym = Busy_beaver.Symmetry.make 3 in
+      let canon = Busy_beaver.Symmetry.canonical sym ~assignment ~output_bits in
+      let orbit = Busy_beaver.Symmetry.orbit sym ~assignment ~output_bits in
+      List.mem canon orbit
+      && List.for_all (fun c -> canon <= c) orbit
+      && List.for_all
+           (fun (a, o) ->
+             Busy_beaver.Symmetry.canonical sym ~assignment:a ~output_bits:o
+             = canon)
+           orbit
+      && (Busy_beaver.Symmetry.canonical_weight sym ~assignment ~output_bits
+          <> None)
+         = ((assignment, output_bits) = canon))
+
+(* -- Pruning changes no aggregate ------------------------------------------ *)
+
+let test_prune_exact_n2 () =
+  let pruned = Busy_beaver.scan ~n:2 ~max_input:10 ~prune:true () in
+  let unpruned = Busy_beaver.scan ~n:2 ~max_input:10 ~prune:false () in
+  Alcotest.(check bool) "full n=2 sweep identical" true
+    (aggregates_eq pruned unpruned);
+  Alcotest.(check int) "counts the whole space" 108
+    pruned.Busy_beaver.num_protocols
+
+let test_prune_exact_n3_sampled () =
+  let pruned =
+    Busy_beaver.scan ~n:3 ~max_input:8 ~sample:(400, 11) ~prune:true ()
+  in
+  let unpruned =
+    Busy_beaver.scan ~n:3 ~max_input:8 ~sample:(400, 11) ~prune:false ()
+  in
+  Alcotest.(check bool) "sampled n=3 aggregates identical" true
+    (aggregates_eq pruned unpruned)
+
+(* -- Determinism across the domain pool ------------------------------------ *)
+
+let test_jobs_invariance_exhaustive () =
+  let reference = Busy_beaver.scan ~n:2 ~max_input:10 ~jobs:1 () in
+  List.iter
+    (fun (jobs, chunk) ->
+      let r = Busy_beaver.scan ~n:2 ~max_input:10 ~jobs ~chunk () in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d chunk=%d identical" jobs chunk)
+        true (result_eq reference r))
+    [ (2, 1024); (4, 7); (3, 1); (1, 5) ]
+
+let test_jobs_invariance_sampled () =
+  let reference =
+    Busy_beaver.scan ~n:3 ~max_input:8 ~sample:(300, 5) ~jobs:1 ()
+  in
+  List.iter
+    (fun (jobs, chunk) ->
+      let r =
+        Busy_beaver.scan ~n:3 ~max_input:8 ~sample:(300, 5) ~jobs ~chunk ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d chunk=%d identical" jobs chunk)
+        true (result_eq reference r))
+    [ (2, 64); (4, 17) ]
+
+(* the sampled stream is per-index, so it is also jobs-independent when
+   pruning rewrites each draw to its canonical representative *)
+let test_jobs_invariance_sampled_unpruned () =
+  let a =
+    Busy_beaver.scan ~n:3 ~max_input:8 ~sample:(200, 9) ~prune:false ~jobs:1 ()
+  in
+  let b =
+    Busy_beaver.scan ~n:3 ~max_input:8 ~sample:(200, 9) ~prune:false ~jobs:4
+      ~chunk:23 ()
+  in
+  Alcotest.(check bool) "unpruned sampled identical" true (result_eq a b)
+
+(* -- Pool ------------------------------------------------------------------- *)
+
+let test_pool_covers_every_index () =
+  List.iter
+    (fun (jobs, chunk) ->
+      let tasks = 101 in
+      let hits = Array.make tasks 0 in
+      let stats =
+        Pool.run ~jobs ~chunk ~tasks (fun ~lo ~hi ->
+            for i = lo to hi - 1 do
+              hits.(i) <- hits.(i) + 1
+            done)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d chunk=%d: each index once" jobs chunk)
+        true
+        (Array.for_all (( = ) 1) hits);
+      let num_chunks = (tasks + chunk - 1) / chunk in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d chunk=%d: chunk tally" jobs chunk)
+        num_chunks
+        (Array.fold_left ( + ) 0 stats.Pool.chunks))
+    [ (1, 1); (2, 7); (4, 16); (8, 1024) ]
+
+let test_pool_clamps_jobs () =
+  let stats = Pool.run ~jobs:16 ~chunk:1 ~tasks:3 (fun ~lo:_ ~hi:_ -> ()) in
+  Alcotest.(check int) "never more domains than tasks" 3 stats.Pool.jobs;
+  let stats = Pool.run ~jobs:0 ~chunk:1 ~tasks:3 (fun ~lo:_ ~hi:_ -> ()) in
+  Alcotest.(check int) "at least one domain" 1 stats.Pool.jobs
+
+let () =
+  Alcotest.run "bbscan"
+    [
+      ( "symmetry",
+        [
+          Alcotest.test_case "group orders" `Quick test_symmetry_order;
+          Alcotest.test_case "orbit weights partition" `Slow
+            test_orbit_weights_partition;
+          orbit_consistency_prop;
+          eta_perm_invariance_prop;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "exact on full n=2" `Quick test_prune_exact_n2;
+          Alcotest.test_case "exact on sampled n=3" `Quick
+            test_prune_exact_n3_sampled;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "exhaustive scan" `Quick
+            test_jobs_invariance_exhaustive;
+          Alcotest.test_case "sampled scan" `Quick test_jobs_invariance_sampled;
+          Alcotest.test_case "sampled scan, no pruning" `Quick
+            test_jobs_invariance_sampled_unpruned;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "covers every index" `Quick
+            test_pool_covers_every_index;
+          Alcotest.test_case "clamps jobs" `Quick test_pool_clamps_jobs;
+        ] );
+    ]

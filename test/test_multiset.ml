@@ -106,6 +106,40 @@ let mset_props =
         (Mset.compare a b = 0) = Mset.equal a b);
   ]
 
+(* -- packed representation ------------------------------------------------- *)
+
+let arb_packable =
+  QCheck.make
+    ~print:(fun m -> pp_vec (Mset.to_intvec m))
+    QCheck.Gen.(
+      int_range 1 Mset.max_packed_dim >>= fun dim ->
+      gen_vec ~dim ~lo:0 ~hi:Mset.max_packed_count >|= Mset.of_array)
+
+let packed_props =
+  [
+    prop "unpack inverts pack" arb_packable (fun c ->
+        Mset.equal c (Mset.unpack ~dim:(Mset.dim c) (Mset.pack c)));
+    prop "pack is strictly monotone in the reverse-lex order" ~count:200
+      QCheck.(pair arb_packable arb_packable)
+      (fun (a, b) ->
+        Mset.dim a <> Mset.dim b
+        || (Mset.pack a = Mset.pack b) = Mset.equal a b);
+    (* packed firing: adding a packed displacement is exact whenever the
+       unpacked result stays a multiset in range — the invariant the
+       packed configuration graphs rely on *)
+    prop "pack_delta commutes with add_delta" ~count:300
+      QCheck.(
+        pair arb_packable
+          (make ~print:pp_vec (gen_vec ~dim:Mset.max_packed_dim ~lo:(-3) ~hi:3)))
+      (fun (c, d) ->
+        Mset.dim c <> Mset.max_packed_dim
+        ||
+        match Mset.add_delta c d with
+        | None -> QCheck.assume_fail ()
+        | Some c' ->
+          (not (Mset.packable c')) || Mset.pack c + Mset.pack_delta d = Mset.pack c')
+  ]
+
 let () =
   Alcotest.run "multiset"
     [
@@ -122,4 +156,5 @@ let () =
           Alcotest.test_case "add_delta" `Quick test_mset_add_delta;
         ]
         @ mset_props );
+      ("packed", packed_props);
     ]

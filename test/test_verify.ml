@@ -46,6 +46,55 @@ let explore_size_prop =
          let g = Configgraph.explore p (Population.initial_single p n) in
          Array.for_all (fun c -> Mset.size c = n) g.Configgraph.configs))
 
+(* -- Packed fast path ------------------------------------------------------ *)
+
+(* the packed exploration is the same graph, index for index *)
+let packed_graph_equal p c0 =
+  let g = Configgraph.explore p c0 in
+  let pg = Configgraph.Packed.explore p c0 in
+  Configgraph.num_configs g = Configgraph.Packed.num_configs pg
+  && g.Configgraph.root = pg.Configgraph.Packed.root
+  && Array.for_all2
+       (fun c i -> Mset.equal c (Configgraph.Packed.config pg i))
+       g.Configgraph.configs
+       (Array.init (Configgraph.Packed.num_configs pg) Fun.id)
+  && g.Configgraph.succ = pg.Configgraph.Packed.succ
+
+let test_packed_graph_identical () =
+  let p = tiny () in
+  Alcotest.(check bool) "tiny" true
+    (packed_graph_equal p (Population.initial_single p 4));
+  let p = Flock.succinct 2 in
+  Alcotest.(check bool) "flock" true
+    (packed_graph_equal p (Population.initial_single p 9))
+
+let test_packed_budget () =
+  let p = Flock.succinct 3 in
+  Alcotest.check_raises "budget enforced" (Configgraph.Too_many_configs 5)
+    (fun () ->
+      ignore
+        (Configgraph.Packed.explore ~max_configs:5 p
+           (Population.initial_single p 12)))
+
+let packed_graph_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"packed graph isomorphic to the reference graph" ~count:40
+       QCheck.(triple (int_range 0 46655) (int_range 0 7) (int_range 2 8))
+       (fun (assignment, output_bits, input) ->
+         let p = Busy_beaver.protocol_of_code ~n:3 ~assignment ~output_bits in
+         packed_graph_equal p (Population.initial_single p input)))
+
+let packed_verdict_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"packed and reference verdicts agree" ~count:40
+       QCheck.(triple (int_range 0 46655) (int_range 0 7) (int_range 2 8))
+       (fun (assignment, output_bits, input) ->
+         let p = Busy_beaver.protocol_of_code ~n:3 ~assignment ~output_bits in
+         Fair_semantics.decide ~packed:true p [| input |]
+         = Fair_semantics.decide ~packed:false p [| input |]))
+
 (* -- Scc ------------------------------------------------------------------ *)
 
 let test_scc_line () =
@@ -281,6 +330,13 @@ let () =
           Alcotest.test_case "budget" `Quick test_explore_budget;
           Alcotest.test_case "find and reach" `Quick test_find_and_reach;
           explore_size_prop;
+        ] );
+      ( "packed",
+        [
+          Alcotest.test_case "graph identical" `Quick test_packed_graph_identical;
+          Alcotest.test_case "budget" `Quick test_packed_budget;
+          packed_graph_prop;
+          packed_verdict_prop;
         ] );
       ( "scc",
         [
