@@ -650,12 +650,14 @@ let experiments =
   ]
 
 let () =
-  let rec split_json acc = function
+  let rec split_opt key acc = function
     | [] -> (None, List.rev acc)
-    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | x :: rest -> split_json (x :: acc) rest
+    | x :: value :: rest when x = key -> (Some value, List.rev_append acc rest)
+    | x :: rest -> split_opt key (x :: acc) rest
   in
-  let json_path, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json_path, args = split_opt "--json" [] args in
+  let history_dir, names = split_opt "--history" [] args in
   let requested = if names = [] then List.map fst experiments else names in
   let records = ref [] in
   List.iter
@@ -677,36 +679,29 @@ let () =
         Printf.eprintf "unknown section %s (have: %s)\n" name
           (String.concat " " (List.map fst experiments)))
     requested;
-  match json_path with
-  | None -> ()
-  | Some path ->
-    let sections =
-      List.rev_map
-        (fun (id, wall, counters) ->
-          Obs.Json.Obj
-            [
-              ("id", Obs.Json.String id);
-              ("wall_s", Obs.Json.Float wall);
-              ("metrics", Obs.Metrics.to_json_value counters);
-            ])
-        !records
+  if json_path <> None || history_dir <> None then begin
+    let run =
+      {
+        Obs.History.meta = Some (Obs.Run_meta.collect ());
+        sections =
+          List.rev_map
+            (fun (id, wall_s, metrics) ->
+              (id, { Obs.History.wall_s; metrics }))
+            !records;
+        timings = List.rev !timing_results;
+      }
     in
-    let timings_tbl =
-      List.rev_map
-        (fun (name, ns) ->
-          Obs.Json.Obj
-            [ ("name", Obs.Json.String name); ("ns_per_run", Obs.Json.Float ns) ])
-        !timing_results
-    in
-    let doc =
-      Obs.Json.Obj
-        [
-          ("schema", Obs.Json.String "ppbench/v1");
-          ("sections", Obs.Json.List sections);
-          ("timings", Obs.Json.List timings_tbl);
-        ]
-    in
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (Obs.Json.to_string doc);
-        Out_channel.output_char oc '\n');
-    Printf.eprintf "wrote %s\n%!" path
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       Out_channel.with_open_text path (fun oc ->
+           Out_channel.output_string oc
+             (Obs.Json.to_string (Obs.History.run_to_json run));
+           Out_channel.output_char oc '\n');
+       Printf.eprintf "wrote %s\n%!" path);
+    match history_dir with
+    | None -> ()
+    | Some dir ->
+      Obs.History.append ~dir run;
+      Printf.eprintf "appended to %s\n%!" (Obs.History.ledger_file dir)
+  end

@@ -1,0 +1,149 @@
+(* ------------------------------------------------- Prometheus text *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prometheus_of_snapshot ?meta s =
+  let buf = Buffer.create 1024 in
+  (match meta with
+   | None -> ()
+   | Some m ->
+     Printf.bprintf buf "# TYPE pp_build_info gauge\n";
+     Printf.bprintf buf
+       "pp_build_info{git_rev=\"%s\",hostname=\"%s\",ocaml_version=\"%s\",jobs=\"%d\"} 1\n"
+       (escape_label m.Run_meta.git_rev)
+       (escape_label m.Run_meta.hostname)
+       (escape_label m.Run_meta.ocaml_version)
+       m.Run_meta.jobs);
+  List.iter
+    (fun (name, v) ->
+      let pname = "pp_" ^ sanitize name in
+      match v with
+      | Metrics.Counter n ->
+        Printf.bprintf buf "# TYPE %s counter\n%s %d\n" pname pname n
+      | Metrics.Gauge f ->
+        Printf.bprintf buf "# TYPE %s gauge\n%s %.17g\n" pname pname f
+      | Metrics.Histogram { bounds; counts; sum; count } ->
+        Printf.bprintf buf "# TYPE %s histogram\n" pname;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i < Array.length bounds then Printf.sprintf "%.17g" bounds.(i)
+              else "+Inf"
+            in
+            Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" pname le !cum)
+          counts;
+        Printf.bprintf buf "%s_sum %.17g\n" pname sum;
+        Printf.bprintf buf "%s_count %d\n" pname count)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------ JSON snapshot *)
+
+let snapshot_json ?meta ~elapsed_s s =
+  let meta_fields =
+    match meta with None -> [] | Some m -> [ ("meta", Run_meta.to_json m) ]
+  in
+  Json.Obj
+    (("schema", Json.String "ppmetrics/v1")
+     :: meta_fields
+    @ [
+        ("elapsed_s", Json.Float elapsed_s);
+        ("metrics", Metrics.to_json_value s);
+      ])
+
+(* -------------------------------------------------------- file output *)
+
+let prom_path path =
+  if Filename.check_suffix path ".json" then
+    Filename.chop_suffix path ".json" ^ ".prom"
+  else path ^ ".prom"
+
+(* tmp + rename in the destination directory, so a concurrent reader
+   (tail, a Prometheus scrape relay, ...) never sees a torn file *)
+let atomic_write path contents =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
+  Sys.rename tmp path
+
+let write_now ?meta ~t0 ~path () =
+  let s = Metrics.snapshot () in
+  let elapsed_s = Clock.elapsed_s t0 in
+  atomic_write path (Json.to_string (snapshot_json ?meta ~elapsed_s s) ^ "\n");
+  atomic_write (prom_path path) (prometheus_of_snapshot ?meta s)
+
+(* ---------------------------------------------------- periodic export *)
+
+type exporter = {
+  stop_requested : bool Atomic.t;
+  writer : unit Domain.t;
+  write : unit -> unit;
+}
+
+let current : exporter option ref = ref None
+
+let stop () =
+  match !current with
+  | None -> ()
+  | Some ex ->
+    current := None;
+    Atomic.set ex.stop_requested true;
+    Domain.join ex.writer;
+    ex.write ()
+
+let start ?meta ?(every_s = 5.0) ~path () =
+  stop ();
+  let every_s = Float.max 0.05 every_s in
+  let stop_requested = Atomic.make false in
+  let t0 = Clock.now_ns () in
+  let write () =
+    (* a full disk or a yanked directory must not kill the scan *)
+    try write_now ?meta ~t0 ~path ()
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  write ();
+  let writer =
+    Domain.spawn (fun () ->
+        let rec run () =
+          (* sleep in short slices so [stop] returns promptly *)
+          let deadline =
+            Int64.add (Clock.now_ns ()) (Int64.of_float (every_s *. 1e9))
+          in
+          let rec nap () =
+            if (not (Atomic.get stop_requested))
+               && Int64.compare (Clock.now_ns ()) deadline < 0
+            then begin
+              Unix.sleepf 0.05;
+              nap ()
+            end
+          in
+          nap ();
+          if not (Atomic.get stop_requested) then begin
+            write ();
+            run ()
+          end
+        in
+        run ())
+  in
+  current := Some { stop_requested; writer; write }
+
+let active () = !current <> None

@@ -1,0 +1,41 @@
+(** Live export of the metric registry, for watching or scraping an
+    hours-long scan mid-flight.
+
+    Two renderings are kept side by side at every write: an atomic
+    (tmp + rename, never torn) JSON snapshot at [path] — schema
+    [ppmetrics/v1]: optional {!Run_meta.t}, seconds since export
+    start, and the {!Metrics.to_json_value} of the registry — and the
+    Prometheus text format at {!prom_path}[ path], ready for a
+    node-exporter-style textfile collector.
+
+    The periodic writer runs on its own domain and sleeps between
+    writes, so it does not perturb the worker pool; recording must be
+    enabled ({!Metrics.set_enabled}) for the snapshots to move. *)
+
+val prometheus_of_snapshot : ?meta:Run_meta.t -> Metrics.snapshot -> string
+(** Prometheus exposition text: names are prefixed [pp_] and
+    sanitized ([.] becomes [_]), histograms render cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count], and [meta]
+    becomes a [pp_build_info] gauge with label values. *)
+
+val snapshot_json : ?meta:Run_meta.t -> elapsed_s:float -> Metrics.snapshot -> Json.t
+
+val prom_path : string -> string
+(** The sibling Prometheus file: [x.json] maps to [x.prom], anything
+    else gets [".prom"] appended. *)
+
+val write_now : ?meta:Run_meta.t -> t0:int64 -> path:string -> unit -> unit
+(** One atomic write of both files; [t0] is the {!Clock.now_ns} origin
+    for [elapsed_s]. *)
+
+val start : ?meta:Run_meta.t -> ?every_s:float -> path:string -> unit -> unit
+(** Write once now, then every [every_s] seconds (default 5, floored
+    at 0.05) from a fresh background domain. Restarts any exporter
+    already running. Write errors are swallowed: losing a snapshot
+    must not kill the computation being observed. *)
+
+val stop : unit -> unit
+(** Stop the writer domain, join it, and write a final snapshot.
+    No-op when nothing is running. *)
+
+val active : unit -> bool

@@ -1,0 +1,50 @@
+(** Run records ([ppbench/v2]) and the append-only JSONL ledger they
+    accumulate in, plus the cross-run series helpers [ppreport] renders.
+
+    A {!run} is what [bench/main.exe --json] writes: optional
+    provenance {!Run_meta.t}, per-section wall-clock and metric diffs,
+    and the bechamel timing table. The ledger is one run per line in
+    [<dir>/runs.jsonl]; appending never rewrites earlier lines, so a
+    crashed run cannot corrupt history. *)
+
+type section = { wall_s : float; metrics : Metrics.snapshot }
+
+type run = {
+  meta : Run_meta.t option;  (** absent in legacy [ppbench/v1] files *)
+  sections : (string * section) list;
+  timings : (string * float) list;  (** bechamel name, ns/run *)
+}
+
+val schema : string
+(** ["ppbench/v2"]. *)
+
+val run_to_json : run -> Json.t
+val run_of_json : Json.t -> (run, string) result
+(** Accepts both [ppbench/v1] (no meta) and [ppbench/v2]. *)
+
+val parse_run : string -> (run, string) result
+val load_file : string -> (run, string) result
+
+val ledger_file : string -> string
+(** [ledger_file dir] is [dir ^ "/runs.jsonl"]. *)
+
+val append : dir:string -> run -> unit
+(** Append one JSONL line to [ledger_file dir], creating [dir] first. *)
+
+val load_ledger : string -> (run list, string) result
+(** All runs in the ledger, oldest first. Blank lines are skipped; a
+    malformed line is an error naming the line number. *)
+
+val median_run : run list -> (run, string) result
+(** A synthetic baseline: per section and metric, the lower median of
+    the observed values (so counters stay integers a run really
+    produced). Sections and metric names are taken from the newest
+    run. [Error] on an empty list. *)
+
+val sparkline : float list -> string
+(** Eight-level Unicode block rendering, scaled to the series range. *)
+
+val render_history : ?markdown:bool -> ?sections:string list -> run list -> string
+(** Per-section wall-clock series with sparklines, plus which counters
+    drift across runs (the deterministic ones are summarized). With
+    [markdown], a table ready for EXPERIMENTS.md. *)

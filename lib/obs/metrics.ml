@@ -102,6 +102,47 @@ let observe h x =
     atomic_add_float h.hsum x
   end
 
+(* ------------------------------------------------- process telemetry *)
+
+(* GC and memory gauges, published lazily at snapshot time so the hot
+   paths never touch them. They describe the environment rather than
+   the computation, so the regression gate skips them by default (see
+   Regress.default_ignores). *)
+let g_minor = gauge "gc.minor_collections"
+let g_major = gauge "gc.major_collections"
+let g_heap = gauge "gc.heap_words"
+let g_rss = gauge "process.max_rss_kb"
+
+let max_rss_kb () =
+  (* VmHWM ("high water mark") from /proc/self/status; 0.0 when the
+     file is absent (non-Linux) or the line is missing *)
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    List.fold_left
+      (fun acc line ->
+        match String.index_opt line ':' with
+        | Some i when String.sub line 0 i = "VmHWM" ->
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          let digits =
+            String.to_seq rest
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq
+          in
+          (match float_of_string_opt digits with Some f -> f | None -> acc)
+        | _ -> acc)
+      0.0 lines
+  | exception Sys_error _ -> 0.0
+
+let publish_process_stats () =
+  if !enabled_flag then begin
+    let st = Gc.quick_stat () in
+    set g_minor (float_of_int st.Gc.minor_collections);
+    set g_major (float_of_int st.Gc.major_collections);
+    set g_heap (float_of_int st.Gc.heap_words);
+    set g_rss (max_rss_kb ())
+  end
+
 (* ---------------------------------------------------------- snapshots *)
 
 type v =
@@ -123,10 +164,52 @@ let value_of = function
         count = Atomic.get h.hcount;
       }
 
-let snapshot () =
+let snapshot ?(process = true) () =
+  if process then publish_process_stats ();
   with_lock (fun () ->
       Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---------------------------------------------------------- quantiles *)
+
+(* Linear interpolation within the bucket holding the target rank: the
+   estimate is exact when observations are uniform inside each bucket
+   and deterministic either way, so rendering quantiles into JSON keeps
+   [of_json]/[to_json] byte-stable. *)
+let quantile_of ~bounds ~counts ~count q =
+  if count <= 0 then None
+  else if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Obs.Metrics.quantile: q must be in [0,1]"
+  else begin
+    let target = q *. float_of_int count in
+    let nb = Array.length bounds in
+    let rec go i cum =
+      if i >= Array.length counts then None
+      else
+        let c = counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= target then
+          let lo =
+            if i = 0 then Float.min 0.0 (if nb > 0 then bounds.(0) else 0.0)
+            else bounds.(i - 1)
+          in
+          if i >= nb then Some lo (* the +inf bucket: report its lower edge *)
+          else
+            let hi = bounds.(i) in
+            let frac =
+              Float.max 0.0
+                (Float.min 1.0 ((target -. float_of_int cum) /. float_of_int c))
+            in
+            Some (lo +. (frac *. (hi -. lo)))
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+let quantile v q =
+  match v with
+  | Histogram { bounds; counts; count; _ } -> quantile_of ~bounds ~counts ~count q
+  | Counter _ | Gauge _ -> None
 
 let diff ~before ~after =
   List.filter_map
@@ -176,6 +259,12 @@ let to_text s =
       | Gauge f -> Printf.bprintf buf "%-44s gauge     %g\n" name f
       | Histogram h ->
         Printf.bprintf buf "%-44s histogram count=%d sum=%g" name h.count h.sum;
+        List.iter
+          (fun (label, q) ->
+            match quantile_of ~bounds:h.bounds ~counts:h.counts ~count:h.count q with
+            | Some est -> Printf.bprintf buf " %s=%g" label est
+            | None -> ())
+          [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ];
         Array.iteri
           (fun i c ->
             if c > 0 then
@@ -191,14 +280,33 @@ let json_of_v = function
   | Counter n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
   | Gauge f -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float f) ]
   | Histogram h ->
+    (* quantiles are derived from bounds/counts, so [v_of_json] ignores
+       them and re-rendering recomputes identical values — the
+       JSON round-trip stays byte-stable *)
+    let quantiles =
+      if h.count <= 0 then []
+      else
+        [
+          ( "quantiles",
+            Json.Obj
+              (List.filter_map
+                 (fun (label, q) ->
+                   Option.map
+                     (fun est -> (label, Json.Float est))
+                     (quantile_of ~bounds:h.bounds ~counts:h.counts
+                        ~count:h.count q))
+                 [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]) );
+        ]
+    in
     Json.Obj
-      [
-        ("type", Json.String "histogram");
-        ("bounds", Json.List (Array.to_list h.bounds |> List.map (fun b -> Json.Float b)));
-        ("counts", Json.List (Array.to_list h.counts |> List.map (fun c -> Json.Int c)));
-        ("sum", Json.Float h.sum);
-        ("count", Json.Int h.count);
-      ]
+      ([
+         ("type", Json.String "histogram");
+         ("bounds", Json.List (Array.to_list h.bounds |> List.map (fun b -> Json.Float b)));
+         ("counts", Json.List (Array.to_list h.counts |> List.map (fun c -> Json.Int c)));
+         ("sum", Json.Float h.sum);
+         ("count", Json.Int h.count);
+       ]
+      @ quantiles)
 
 let to_json_value s = Json.Obj (List.map (fun (n, v) -> (n, json_of_v v)) s)
 let to_json s = Json.to_string (to_json_value s)
@@ -241,10 +349,8 @@ let v_of_json = function
      | _ -> Error "unknown metric type")
   | _ -> Error "metric must be an object"
 
-let of_json s =
-  match Json.parse s with
-  | Error e -> Error e
-  | Ok (Json.Obj fields) ->
+let of_json_value = function
+  | Json.Obj fields ->
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | (name, jv) :: rest ->
@@ -253,4 +359,9 @@ let of_json s =
          | Error e -> Error (Printf.sprintf "%s: %s" name e))
     in
     go [] fields
-  | Ok _ -> Error "snapshot must be a JSON object"
+  | _ -> Error "snapshot must be a JSON object"
+
+let of_json s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> of_json_value j

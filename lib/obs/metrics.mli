@@ -61,7 +61,21 @@ type v =
 type snapshot = (string * v) list
 (** Sorted by name. *)
 
-val snapshot : unit -> snapshot
+val snapshot : ?process:bool -> unit -> snapshot
+(** [process] (default [true]) first publishes GC/memory telemetry —
+    the gauges [gc.minor_collections], [gc.major_collections],
+    [gc.heap_words] and [process.max_rss_kb] (peak RSS from
+    [/proc/self/status], 0 off-Linux) — so long as recording is
+    enabled. These describe the environment, not the computation:
+    the regression gate skips them by default. *)
+
+val quantile : v -> float -> float option
+(** [quantile v q] estimates the [q]-quantile ([0 <= q <= 1]) of a
+    [Histogram] by linear interpolation within the bucket holding the
+    target rank (the first bucket's lower edge is [min 0 bounds.(0)];
+    the overflow bucket reports its lower edge). [None] on empty
+    histograms, counters and gauges.
+    @raise Invalid_argument when [q] is outside [0,1]. *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Per-name deltas of counters and histogram counts/sums; gauges keep
@@ -74,10 +88,18 @@ val reset : unit -> unit
 (** {2 Rendering} *)
 
 val to_text : snapshot -> string
-(** Multi-line human-readable table, one metric per line. *)
+(** Multi-line human-readable table, one metric per line. Histograms
+    carry p50/p90/p99 estimates (see {!quantile}). *)
 
 val to_json_value : snapshot -> Json.t
+(** Histograms gain a derived ["quantiles"] object (p50/p90/p99) when
+    non-empty; {!of_json} ignores it and re-rendering recomputes the
+    identical values, so round-trips stay byte-stable. *)
+
 val to_json : snapshot -> string
+
+val of_json_value : Json.t -> (snapshot, string) result
+(** As {!of_json}, from an already-parsed tree. *)
 
 val of_json : string -> (snapshot, string) result
 (** Inverse of [to_json]: [of_json (to_json s) = Ok s]. *)

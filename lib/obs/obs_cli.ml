@@ -13,6 +13,20 @@ let trace_arg =
            ~doc:"Write nested timing spans to $(docv) in the Chrome \
                  trace-event format (open in chrome://tracing or Perfetto).")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Periodically export the live metric registry to $(docv): an \
+                 atomic (tmp+rename) JSON snapshot, plus the Prometheus text \
+                 format in the sibling .prom file. Implies metric recording; \
+                 stdout stays byte-identical to an uninstrumented run.")
+
+let metrics_every_arg =
+  Arg.(value & opt float 5.0
+       & info [ "metrics-every" ] ~docv:"SECONDS"
+           ~doc:"Interval between live metric exports (with --metrics-out). \
+                 Default 5s.")
+
 let progress_arg =
   Arg.(value & flag
        & info [ "progress" ]
@@ -22,13 +36,18 @@ let progress_arg =
 let no_progress_arg =
   Arg.(value & flag & info [ "no-progress" ] ~doc:"Suppress progress lines.")
 
-let setup metrics trace progress no_progress =
-  if metrics then begin
-    Obs.Metrics.set_enabled true;
+let setup metrics trace metrics_out metrics_every progress no_progress =
+  if metrics || metrics_out <> None then Obs.Metrics.set_enabled true;
+  if metrics then
     at_exit (fun () ->
         prerr_string (Obs.Metrics.to_text (Obs.Metrics.snapshot ()));
-        flush stderr)
-  end;
+        flush stderr);
+  (match metrics_out with
+   | Some path ->
+     let meta = Obs.Run_meta.collect () in
+     Obs.Export.start ~meta ~every_s:metrics_every ~path ();
+     at_exit Obs.Export.stop
+   | None -> ());
   (match trace with
    | Some file ->
      Obs.Trace.start_file file;
@@ -38,4 +57,5 @@ let setup metrics trace progress no_progress =
   Obs.Progress.set_enabled ((progress || tty) && not no_progress)
 
 let term =
-  Term.(const setup $ metrics_arg $ trace_arg $ progress_arg $ no_progress_arg)
+  Term.(const setup $ metrics_arg $ trace_arg $ metrics_out_arg
+        $ metrics_every_arg $ progress_arg $ no_progress_arg)

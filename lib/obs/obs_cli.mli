@@ -1,5 +1,6 @@
-(** Cmdliner glue shared by every binary: the [--metrics], [--trace]
-    and [--progress]/[--no-progress] flags and their side effects. *)
+(** Cmdliner glue shared by every binary: the [--metrics], [--trace],
+    [--metrics-out FILE]/[--metrics-every S] and
+    [--progress]/[--no-progress] flags and their side effects. *)
 
 val term : unit Cmdliner.Term.t
 (** Splice [$ Obs_cli.term] as the last argument of a command's term
@@ -8,6 +9,11 @@ val term : unit Cmdliner.Term.t
     - [--metrics]: enables {!Obs.Metrics} recording and registers an
       [at_exit] dump of the registry snapshot to stderr, so stdout
       stays byte-identical to an uninstrumented run;
+    - [--metrics-out FILE]: enables recording and starts the
+      {!Obs.Export} periodic writer — atomic JSON snapshots at FILE
+      plus Prometheus text in the sibling [.prom] file, every
+      [--metrics-every] seconds (default 5), finalised at exit — so a
+      long scan can be watched or scraped mid-flight;
     - [--trace FILE]: starts a {!Obs.Trace} file sink, finalised at
       exit into a Chrome-trace-event JSON file;
     - progress lines ({!Obs.Progress}) are enabled when [--progress]

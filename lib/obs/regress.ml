@@ -1,0 +1,391 @@
+type tolerance = { rel : float; abs : float }
+
+type config = {
+  wall_tol : tolerance;
+  gauge_tol : tolerance;
+  ignore_prefixes : string list;
+  ignore_infixes : string list;
+  sections : string list option;
+}
+
+let default_ignore_prefixes = [ "gc."; "process." ]
+let default_ignore_infixes = [ ".domain" ]
+
+let default_config =
+  {
+    wall_tol = { rel = 0.75; abs = 0.05 };
+    gauge_tol = { rel = 0.5; abs = 1.0 };
+    ignore_prefixes = default_ignore_prefixes;
+    ignore_infixes = default_ignore_infixes;
+    sections = None;
+  }
+
+type severity = Fail | Info
+
+type finding = {
+  section : string;
+  metric : string;
+  severity : severity;
+  detail : string;
+}
+
+type verdict = {
+  findings : finding list;
+  sections_checked : int;
+  metrics_checked : int;
+}
+
+let failed v = List.exists (fun f -> f.severity = Fail) v.findings
+
+(* ---------------------------------------------------------- helpers *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let has_infix ~infix s =
+  let n = String.length s and m = String.length infix in
+  let rec go i = i + m <= n && (String.sub s i m = infix || go (i + 1)) in
+  m > 0 && go 0
+
+let ignored cfg name =
+  List.exists (fun prefix -> has_prefix ~prefix name) cfg.ignore_prefixes
+  || List.exists (fun infix -> has_infix ~infix name) cfg.ignore_infixes
+
+let within tol a b =
+  Float.abs (a -. b) <= (tol.rel *. Float.max (Float.abs a) (Float.abs b)) +. tol.abs
+
+(* time-like gauges (duration suffix [_s]) get the wall noise model;
+   everything else the gauge one *)
+let gauge_tolerance cfg name =
+  let n = String.length name in
+  if n >= 2 && String.sub name (n - 2) 2 = "_s" then cfg.wall_tol
+  else cfg.gauge_tol
+
+let kind_name = function
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+(* ------------------------------------------------------------- check *)
+
+let check_metric cfg ~section name baseline candidate =
+  match (baseline, candidate) with
+  | Metrics.Counter b, Metrics.Counter c ->
+    if b = c then []
+    else
+      [
+        {
+          section;
+          metric = name;
+          severity = Fail;
+          detail =
+            Printf.sprintf
+              "counter drift: baseline %d, candidate %d (%+d) — deterministic \
+               counters must match exactly"
+              b c (c - b);
+        };
+      ]
+  | Metrics.Gauge b, Metrics.Gauge c ->
+    let tol = gauge_tolerance cfg name in
+    if within tol b c then []
+    else
+      [
+        {
+          section;
+          metric = name;
+          severity = Fail;
+          detail =
+            Printf.sprintf
+              "gauge drift: baseline %.6g, candidate %.6g exceeds tolerance \
+               (rel %g, abs %g)"
+              b c tol.rel tol.abs;
+        };
+      ]
+  | Metrics.Histogram b, Metrics.Histogram c ->
+    if b.bounds <> c.bounds then
+      [
+        {
+          section;
+          metric = name;
+          severity = Fail;
+          detail = "histogram bucket bounds differ";
+        };
+      ]
+    else if b.counts <> c.counts || b.count <> c.count then
+      [
+        {
+          section;
+          metric = name;
+          severity = Fail;
+          detail =
+            Printf.sprintf
+              "histogram count drift: baseline count %d, candidate %d (bucket \
+               counts are deterministic)"
+              b.count c.count;
+        };
+      ]
+    else if not (within cfg.gauge_tol b.sum c.sum) then
+      [
+        {
+          section;
+          metric = name;
+          severity = Fail;
+          detail =
+            Printf.sprintf "histogram sum drift: baseline %.6g, candidate %.6g"
+              b.sum c.sum;
+        };
+      ]
+    else []
+  | b, c ->
+    [
+      {
+        section;
+        metric = name;
+        severity = Fail;
+        detail =
+          Printf.sprintf "kind mismatch: baseline %s, candidate %s"
+            (kind_name b) (kind_name c);
+      };
+    ]
+
+let check_section cfg id (b : History.section) (c : History.section) =
+  let wall =
+    if within cfg.wall_tol b.History.wall_s c.History.wall_s then []
+    else
+      [
+        {
+          section = id;
+          metric = "wall_s";
+          severity = Fail;
+          detail =
+            Printf.sprintf
+              "wall-clock drift: baseline %.4gs, candidate %.4gs exceeds \
+               tolerance (rel %g, abs %g)"
+              b.History.wall_s c.History.wall_s cfg.wall_tol.rel
+              cfg.wall_tol.abs;
+        };
+      ]
+  in
+  let names =
+    List.map fst b.History.metrics @ List.map fst c.History.metrics
+    |> List.sort_uniq String.compare
+    |> List.filter (fun name -> not (ignored cfg name))
+  in
+  let metric_findings =
+    List.concat_map
+      (fun name ->
+        match
+          ( List.assoc_opt name b.History.metrics,
+            List.assoc_opt name c.History.metrics )
+        with
+        | Some bv, Some cv -> check_metric cfg ~section:id name bv cv
+        | Some bv, None ->
+          [
+            {
+              section = id;
+              metric = name;
+              severity = Fail;
+              detail =
+                Printf.sprintf "missing in candidate (baseline %s present)"
+                  (kind_name bv);
+            };
+          ]
+        | None, Some cv ->
+          [
+            {
+              section = id;
+              metric = name;
+              severity = Fail;
+              detail =
+                Printf.sprintf "new in candidate (%s absent from baseline)"
+                  (kind_name cv);
+            };
+          ]
+        | None, None -> [])
+      names
+  in
+  (wall @ metric_findings, List.length names + 1)
+
+let check ?(config = default_config) ~(baseline : History.run)
+    ~(candidate : History.run) () =
+  let cfg = config in
+  let b_ids = List.map fst baseline.History.sections in
+  let c_ids = List.map fst candidate.History.sections in
+  let ids, presence_findings =
+    match cfg.sections with
+    | Some wanted ->
+      let missing_of label ids =
+        List.filter_map
+          (fun id ->
+            if List.mem id ids then None
+            else
+              Some
+                {
+                  section = id;
+                  metric = "<section>";
+                  severity = Fail;
+                  detail = Printf.sprintf "section missing from %s run" label;
+                })
+          wanted
+      in
+      ( List.filter (fun id -> List.mem id b_ids && List.mem id c_ids) wanted,
+        missing_of "baseline" b_ids @ missing_of "candidate" c_ids )
+    | None ->
+      let only label ids other =
+        List.filter_map
+          (fun id ->
+            if List.mem id other then None
+            else
+              Some
+                {
+                  section = id;
+                  metric = "<section>";
+                  severity = Info;
+                  detail = Printf.sprintf "only present in %s run; skipped" label;
+                })
+          ids
+      in
+      ( List.filter (fun id -> List.mem id c_ids) b_ids,
+        only "baseline" b_ids c_ids @ only "candidate" c_ids b_ids )
+  in
+  let section_findings, metrics_checked =
+    List.fold_left
+      (fun (acc, n) id ->
+        let b = List.assoc id baseline.History.sections in
+        let c = List.assoc id candidate.History.sections in
+        let findings, checked = check_section cfg id b c in
+        (acc @ findings, n + checked))
+      ([], 0) ids
+  in
+  let timing_findings =
+    List.concat_map
+      (fun (name, b_ns) ->
+        match List.assoc_opt name candidate.History.timings with
+        | None ->
+          [
+            {
+              section = "timings";
+              metric = name;
+              severity = Info;
+              detail = "missing in candidate; skipped";
+            };
+          ]
+        | Some c_ns ->
+          if within cfg.wall_tol b_ns c_ns then []
+          else
+            [
+              {
+                section = "timings";
+                metric = name;
+                severity = Fail;
+                detail =
+                  Printf.sprintf
+                    "timing drift: baseline %.4g ns/run, candidate %.4g ns/run"
+                    b_ns c_ns;
+              };
+            ])
+      baseline.History.timings
+  in
+  let meta_findings =
+    match (baseline.History.meta, candidate.History.meta) with
+    | Some bm, Some cm
+      when bm.Run_meta.hostname <> cm.Run_meta.hostname
+           || bm.Run_meta.ocaml_version <> cm.Run_meta.ocaml_version ->
+      [
+        {
+          section = "meta";
+          metric = "environment";
+          severity = Info;
+          detail =
+            Printf.sprintf "baseline from [%s], candidate from [%s]"
+              (Run_meta.to_text bm) (Run_meta.to_text cm);
+        };
+      ]
+    | _ -> []
+  in
+  {
+    findings =
+      presence_findings @ section_findings @ timing_findings @ meta_findings;
+    sections_checked = List.length ids;
+    metrics_checked;
+  }
+
+(* --------------------------------------------------------- rendering *)
+
+let render_verdict v =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Printf.bprintf buf "%s %s %s: %s\n"
+        (match f.severity with Fail -> "FAIL" | Info -> "info")
+        f.section f.metric f.detail)
+    v.findings;
+  let fails =
+    List.length (List.filter (fun f -> f.severity = Fail) v.findings)
+  in
+  Printf.bprintf buf
+    "regression gate: %d section%s, %d metric%s checked — %s\n"
+    v.sections_checked
+    (if v.sections_checked = 1 then "" else "s")
+    v.metrics_checked
+    (if v.metrics_checked = 1 then "" else "s")
+    (if fails = 0 then "PASS" else Printf.sprintf "%d FAILURE%s" fails (if fails = 1 then "" else "S"));
+  Buffer.contents buf
+
+(* [ppreport diff]: every drift, informationally — no tolerances, no
+   ignores. Counters print exact deltas; everything else relative
+   change. *)
+let render_diff ~(baseline : History.run) ~(candidate : History.run) =
+  let buf = Buffer.create 1024 in
+  let pct b c =
+    if b = 0.0 then if c = 0.0 then 0.0 else infinity
+    else (c -. b) /. Float.abs b *. 100.0
+  in
+  let ids =
+    List.filter
+      (fun id -> List.mem_assoc id candidate.History.sections)
+      (List.map fst baseline.History.sections)
+  in
+  List.iter
+    (fun id ->
+      let b = List.assoc id baseline.History.sections in
+      let c = List.assoc id candidate.History.sections in
+      Printf.bprintf buf "== %s ==\n" id;
+      Printf.bprintf buf "  wall_s  %.6g -> %.6g  (%+.1f%%)\n" b.History.wall_s
+        c.History.wall_s
+        (pct b.History.wall_s c.History.wall_s);
+      let names =
+        List.map fst b.History.metrics @ List.map fst c.History.metrics
+        |> List.sort_uniq String.compare
+      in
+      let drifted = ref 0 in
+      List.iter
+        (fun name ->
+          match
+            ( List.assoc_opt name b.History.metrics,
+              List.assoc_opt name c.History.metrics )
+          with
+          | Some (Metrics.Counter bn), Some (Metrics.Counter cn) when bn <> cn ->
+            incr drifted;
+            Printf.bprintf buf "  %s  %d -> %d  (%+d)\n" name bn cn (cn - bn)
+          | Some (Metrics.Gauge bg), Some (Metrics.Gauge cg) when bg <> cg ->
+            incr drifted;
+            Printf.bprintf buf "  %s  %.6g -> %.6g  (%+.1f%%)\n" name bg cg
+              (pct bg cg)
+          | ( Some (Metrics.Histogram { count = bn; counts = bc; _ }),
+              Some (Metrics.Histogram { count = cn; counts = cc; _ }) )
+            when bn <> cn || bc <> cc ->
+            incr drifted;
+            Printf.bprintf buf "  %s  count %d -> %d\n" name bn cn
+          | Some _, None ->
+            incr drifted;
+            Printf.bprintf buf "  %s  removed\n" name
+          | None, Some _ ->
+            incr drifted;
+            Printf.bprintf buf "  %s  added\n" name
+          | _ -> ())
+        names;
+      if !drifted = 0 then Buffer.add_string buf "  (no metric drift)\n")
+    ids;
+  Buffer.contents buf

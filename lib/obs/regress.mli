@@ -1,0 +1,64 @@
+(** The cross-run regression gate.
+
+    The engine counters ([configgraph.*], [fair.*],
+    [bbsearch.protocols_scanned], …) are deterministic and
+    machine-independent, so they form an {e exact} correctness oracle:
+    any drift between a baseline and a candidate run fails the check.
+    Wall-clock, bechamel timings and gauges are noisy, so they get a
+    configurable relative-tolerance model instead; environment-shaped
+    metrics ([gc.*], [process.*], per-domain [*.domainN.*] cells) are
+    skipped by default because they vary with the machine, not the
+    code. *)
+
+type tolerance = { rel : float; abs : float }
+(** [a] and [b] agree when [|a - b| <= rel * max |a| |b| + abs]. *)
+
+type config = {
+  wall_tol : tolerance;      (** section wall-clock, timings, [*_s] gauges *)
+  gauge_tol : tolerance;     (** other gauges and histogram sums *)
+  ignore_prefixes : string list;
+  ignore_infixes : string list;
+  sections : string list option;
+      (** restrict to these ids (each must exist in both runs);
+          [None] checks the intersection *)
+}
+
+val default_ignore_prefixes : string list
+(** [["gc."; "process."]]. *)
+
+val default_ignore_infixes : string list
+(** [[".domain"]] — per-domain pool cells depend on the job count. *)
+
+val default_config : config
+(** Wall tolerance [{rel = 0.75; abs = 0.05}], gauge tolerance
+    [{rel = 0.5; abs = 1.0}], default ignores, all shared sections. *)
+
+type severity = Fail | Info
+
+type finding = {
+  section : string;
+  metric : string;
+  severity : severity;
+  detail : string;
+}
+
+type verdict = {
+  findings : finding list;
+  sections_checked : int;
+  metrics_checked : int;
+}
+
+val failed : verdict -> bool
+(** Any [Fail]-severity finding. *)
+
+val check :
+  ?config:config -> baseline:History.run -> candidate:History.run -> unit -> verdict
+
+val render_verdict : verdict -> string
+(** One ["FAIL <section> <metric>: <detail>"] line per finding plus a
+    summary line. *)
+
+val render_diff : baseline:History.run -> candidate:History.run -> string
+(** The [ppreport diff] view: every wall-clock, counter, gauge and
+    histogram drift between two runs, with exact counter deltas — no
+    tolerances and no ignores, purely informational. *)

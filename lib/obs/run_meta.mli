@@ -1,0 +1,25 @@
+(** Provenance metadata attached to every recorded run (the ["meta"]
+    block of the [ppbench/v2] schema): enough to tell {e which} code on
+    {e which} machine produced a ledger entry, so cross-run comparisons
+    can distinguish a real regression from a hardware change. *)
+
+type t = {
+  git_rev : string;      (** resolved HEAD, or ["unknown"] outside a checkout *)
+  hostname : string;
+  ocaml_version : string;
+  jobs : int;            (** domain count the run was configured for *)
+  timestamp : string;    (** ISO-8601 UTC, e.g. ["2026-08-05T12:00:00Z"] *)
+}
+
+val collect : ?jobs:int -> unit -> t
+(** Snapshot the environment. [jobs] defaults to
+    [Domain.recommended_domain_count ()]. The git revision is resolved
+    by reading [.git] directly (walking up from the cwd, following
+    [HEAD] through loose and packed refs) — no subprocess. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** [of_json (to_json m) = Ok m]. *)
+
+val to_text : t -> string
+(** One-line human-readable rendering. *)

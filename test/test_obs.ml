@@ -64,10 +64,82 @@ let test_diff_drops_quiet_metrics () =
       let _quiet = Obs.Metrics.counter (fresh "quiet") in
       let before = Obs.Metrics.snapshot () in
       Obs.Metrics.add c 7;
-      let d = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+      (* GC/RSS gauges legitimately move between snapshots; the test is
+         about the test.* cells staying quiet *)
+      let d =
+        Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ())
+        |> List.filter (fun (name, _) ->
+               String.length name >= 5 && String.sub name 0 5 = "test.")
+      in
       match d with
       | [ (_, Obs.Metrics.Counter 7) ] -> ()
       | _ -> Alcotest.failf "unexpected diff of %d entries" (List.length d))
+
+let test_snapshot_publishes_process_stats () =
+  with_metrics (fun () ->
+      let s = Obs.Metrics.snapshot () in
+      List.iter
+        (fun name ->
+          match List.assoc_opt name s with
+          | Some (Obs.Metrics.Gauge v) ->
+            Alcotest.(check bool)
+              (name ^ " is a nonnegative gauge")
+              true (v >= 0.0)
+          | _ -> Alcotest.failf "%s missing from snapshot" name)
+        [
+          "gc.minor_collections"; "gc.major_collections"; "gc.heap_words";
+          "process.max_rss_kb";
+        ];
+      (* on Linux the RSS peak is real and strictly positive *)
+      if Sys.file_exists "/proc/self/status" then
+        match List.assoc_opt "process.max_rss_kb" s with
+        | Some (Obs.Metrics.Gauge v) ->
+          Alcotest.(check bool) "max_rss_kb > 0" true (v > 0.0)
+        | _ -> Alcotest.fail "process.max_rss_kb missing")
+
+let test_histogram_quantiles () =
+  with_metrics (fun () ->
+      let name = fresh "quant" in
+      let h = Obs.Metrics.histogram ~bounds:[| 10.0; 20.0; 30.0 |] name in
+      (* counts per bucket: le10 -> 1, le20 -> 2, le30 -> 3, inf -> 1 *)
+      List.iter (Obs.Metrics.observe h)
+        [ 5.0; 15.0; 15.0; 25.0; 25.0; 25.0; 35.0 ];
+      match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+      | Some v ->
+        let q p = Option.get (Obs.Metrics.quantile v p) in
+        (* rank 3.5 of 7 lands in the (20,30] bucket at fraction 1/6 *)
+        Alcotest.(check (float 1e-9)) "p50" (20.0 +. (10.0 /. 6.0)) (q 0.5);
+        (* rank 6.3 overflows into the +inf bucket: its lower edge *)
+        Alcotest.(check (float 1e-9)) "p90" 30.0 (q 0.9);
+        Alcotest.(check (float 1e-9)) "p99" 30.0 (q 0.99);
+        (* rank 0 clamps into the first occupied bucket *)
+        Alcotest.(check bool) "p0 is finite" true (Float.is_finite (q 0.0));
+        Alcotest.check_raises "q out of range"
+          (Invalid_argument "Obs.Metrics.quantile: q must be in [0,1]")
+          (fun () -> ignore (q 1.5))
+      | None -> Alcotest.fail "histogram not in snapshot")
+
+let test_quantiles_of_trial_steps () =
+  (* the real ensemble.trial_steps histogram: quantile estimates must
+     be monotone and land within the observed range *)
+  Obs.Metrics.reset ();
+  with_metrics (fun () ->
+      let before = Obs.Metrics.snapshot () in
+      let e =
+        Ensemble.run_input ~jobs:2 ~seed:7 ~trials:20 (Flock.succinct 2)
+          [| 10 |]
+      in
+      ignore (Ensemble.summary e);
+      let d = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+      match List.assoc_opt "ensemble.trial_steps" d with
+      | Some (Obs.Metrics.Histogram { count; _ } as v) ->
+        Alcotest.(check int) "one observation per trial" 20 count;
+        let q p = Option.get (Obs.Metrics.quantile v p) in
+        Alcotest.(check bool) "p50 <= p90 <= p99" true
+          (q 0.5 <= q 0.9 && q 0.9 <= q 0.99);
+        Alcotest.(check bool) "positive" true (q 0.5 > 0.0)
+      | _ -> Alcotest.fail "ensemble.trial_steps not recorded");
+  Obs.Metrics.reset ()
 
 let test_histogram_buckets () =
   with_metrics (fun () ->
@@ -136,6 +208,55 @@ let snapshot_roundtrip_prop =
           List.iter (Obs.Metrics.observe h) obs;
           let s = Obs.Metrics.snapshot () in
           Obs.Metrics.of_json (Obs.Metrics.to_json s) = Ok s))
+
+(* the committed bench baseline: every section's metrics block must
+   survive Metrics.of_json/to_json byte-stably (quantiles are derived,
+   so re-rendering recomputes identical values), and the whole file
+   must round-trip through the History record type *)
+let test_bench_results_roundtrip () =
+  let path = "../BENCH_results.json" in
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  match Obs.Json.parse contents with
+  | Error e -> Alcotest.failf "BENCH_results.json does not parse: %s" e
+  | Ok (Obs.Json.Obj fields as doc) ->
+    let sections =
+      match List.assoc_opt "sections" fields with
+      | Some (Obs.Json.List l) -> l
+      | _ -> Alcotest.fail "no sections list"
+    in
+    Alcotest.(check bool) "has sections" true (List.length sections > 0);
+    List.iter
+      (function
+        | Obs.Json.Obj sfields ->
+          let id =
+            match List.assoc_opt "id" sfields with
+            | Some (Obs.Json.String id) -> id
+            | _ -> "?"
+          in
+          let metrics =
+            match List.assoc_opt "metrics" sfields with
+            | Some m -> m
+            | None -> Alcotest.failf "section %s has no metrics" id
+          in
+          let original = Obs.Json.to_string metrics in
+          (match Obs.Metrics.of_json original with
+           | Error e -> Alcotest.failf "section %s metrics do not parse: %s" id e
+           | Ok snap ->
+             Alcotest.(check string)
+               (Printf.sprintf "section %s metrics round-trip byte-stably" id)
+               original
+               (Obs.Metrics.to_json snap))
+        | _ -> Alcotest.fail "section is not an object")
+      sections;
+    (match Obs.History.run_of_json doc with
+     | Error e -> Alcotest.failf "History.run_of_json: %s" e
+     | Ok run ->
+       Alcotest.(check bool) "meta present (ppbench/v2)" true
+         (run.Obs.History.meta <> None);
+       Alcotest.(check string) "whole file round-trips byte-stably"
+         (String.trim contents)
+         (Obs.Json.to_string (Obs.History.run_to_json run)))
+  | Ok _ -> Alcotest.fail "BENCH_results.json is not an object"
 
 (* -- tracing -------------------------------------------------------------- *)
 
@@ -319,8 +440,20 @@ let () =
           Alcotest.test_case "diff drops quiet metrics" `Quick
             test_diff_drops_quiet_metrics;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "snapshot publishes GC/RSS telemetry" `Quick
+            test_snapshot_publishes_process_stats;
+          Alcotest.test_case "histogram quantiles (known distribution)" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "quantiles of ensemble.trial_steps" `Quick
+            test_quantiles_of_trial_steps;
         ] );
-      ("json", [ json_roundtrip_prop; snapshot_roundtrip_prop ]);
+      ( "json",
+        [
+          json_roundtrip_prop;
+          snapshot_roundtrip_prop;
+          Alcotest.test_case "committed BENCH_results.json round-trips" `Quick
+            test_bench_results_roundtrip;
+        ] );
       ( "trace",
         [
           span_nesting_prop;
