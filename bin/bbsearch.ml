@@ -5,23 +5,54 @@
      bbsearch -n 3 --jobs 4
      bbsearch -n 3 --sample 50000 --seed 9 *)
 
-let run n max_input sample seed jobs chunk no_prune no_packed print_best () =
+let run n max_input sample seed jobs chunk no_prune no_packed eta_budget
+    checkpoint ckpt_chunks ckpt_secs resume on_error print_best () =
   let sample = Option.map (fun count -> (count, seed)) sample in
   let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  (* inside the graceful region a SIGINT/SIGTERM only sets the
+     cancellation flag: the pool drains, the checkpoint flushes, and we
+     exit below with the conventional 128+signum code *)
   let r =
     try
-      Busy_beaver.scan ?sample ~jobs ~chunk ~prune:(not no_prune)
-        ~packed:(not no_packed) ~max_input ~n ()
+      Obs.Shutdown.with_graceful (fun () ->
+          Busy_beaver.scan ?sample ~jobs ~chunk ~prune:(not no_prune)
+            ~packed:(not no_packed) ?eta_budget_s:eta_budget ?checkpoint
+            ~checkpoint_every_chunks:ckpt_chunks ~checkpoint_every_s:ckpt_secs
+            ~resume ~on_task_error:on_error ~max_input ~n ())
     with Invalid_argument msg ->
       prerr_endline msg;
       exit 1
   in
+  if r.Busy_beaver.interrupted then begin
+    (match (Obs.Shutdown.signal_name (), checkpoint) with
+     | Some s, Some path ->
+       Printf.eprintf
+         "bbsearch: SIG%s after %d/%d chunks; checkpoint saved to %s (rerun \
+          with --resume)\n"
+         s r.Busy_beaver.completed_chunks r.Busy_beaver.total_chunks path
+     | Some s, None ->
+       Printf.eprintf
+         "bbsearch: SIG%s after %d/%d chunks; no --checkpoint, progress \
+          discarded\n"
+         s r.Busy_beaver.completed_chunks r.Busy_beaver.total_chunks
+     | None, _ ->
+       Printf.eprintf "bbsearch: interrupted after %d/%d chunks\n"
+         r.Busy_beaver.completed_chunks r.Busy_beaver.total_chunks);
+    flush stderr;
+    Obs.Shutdown.exit_if_requested ();
+    (* interrupted by a non-signal cancellation: still no results *)
+    exit 1
+  end;
   Printf.printf
     "scanned %d protocols with %d states (space: %d)\n"
     r.Busy_beaver.num_protocols n
     (Busy_beaver.num_deterministic_protocols n);
   Printf.printf "threshold protocols: %d, reject-all: %d\n" r.Busy_beaver.num_threshold
     r.Busy_beaver.num_reject_all;
+  if r.Busy_beaver.num_aborted > 0 then
+    Printf.printf "verdict unknown (budget): %d\n" r.Busy_beaver.num_aborted;
+  if r.Busy_beaver.task_errors > 0 then
+    Printf.printf "chunk failures tolerated: %d\n" r.Busy_beaver.task_errors;
   Printf.printf "apparent BB(%d) = %d (inputs up to %d)\n" n r.Busy_beaver.best_eta
     max_input;
   List.iter
@@ -70,6 +101,60 @@ let no_packed_arg =
          ~doc:"Use the reference multiset configuration graphs instead \
                of the packed-int fast path.")
 
+let eta_budget_arg =
+  Arg.(value & opt (some float) None & info [ "eta-budget" ] ~docv:"S"
+         ~doc:"Wall-clock budget in seconds for verifying any single \
+               protocol; over-budget protocols are counted as unknown \
+               instead of aborting the scan. Machine-dependent — leave \
+               off when byte-identical reruns matter.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Periodically snapshot completed chunks to $(docv) \
+               (atomic tmp+rename), and flush a final snapshot on \
+               SIGINT/SIGTERM or crash.")
+
+let ckpt_chunks_arg =
+  Arg.(value & opt int 64 & info [ "checkpoint-every-chunks" ] ~docv:"N"
+         ~doc:"Snapshot after every $(docv) completed chunks.")
+
+let ckpt_secs_arg =
+  Arg.(value & opt float 30.0 & info [ "checkpoint-every" ] ~docv:"S"
+         ~doc:"Snapshot at least every $(docv) seconds.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume from the --checkpoint file if it exists: completed \
+               chunks are skipped and the finished aggregate is \
+               byte-identical to an uninterrupted run.")
+
+let on_error_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "fail" -> Ok `Fail
+    | "skip" -> Ok `Skip
+    | s when String.length s > 6 && String.sub s 0 6 = "retry:" ->
+      (match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+       | Some n when n >= 0 -> Ok (`Retry n)
+       | _ -> Error (`Msg "retry:N requires a non-negative integer N"))
+    | _ -> Error (`Msg "expected fail, skip or retry:N")
+  in
+  let print fmt (p : Pool.error_policy) =
+    Format.pp_print_string fmt
+      (match p with
+       | `Fail -> "fail"
+       | `Skip -> "skip"
+       | `Retry n -> Printf.sprintf "retry:%d" n)
+  in
+  Arg.conv (parse, print)
+
+let on_error_arg =
+  Arg.(value & opt on_error_conv `Fail & info [ "on-error" ] ~docv:"POLICY"
+         ~doc:"What to do when a chunk raises: $(b,fail) (cancel and \
+               re-raise, the default), $(b,skip) (drop the chunk, keep \
+               scanning) or $(b,retry:N) (re-run up to N times, then \
+               skip).")
+
 let best_arg =
   Arg.(value & flag & info [ "print-best" ] ~doc:"Print the best protocol found.")
 
@@ -77,6 +162,8 @@ let cmd =
   Cmd.v (Cmd.info "bbsearch" ~doc:"Busy-beaver search over small protocols")
     Term.(
       const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ jobs_arg
-      $ chunk_arg $ no_prune_arg $ no_packed_arg $ best_arg $ Obs_cli.term)
+      $ chunk_arg $ no_prune_arg $ no_packed_arg $ eta_budget_arg
+      $ checkpoint_arg $ ckpt_chunks_arg $ ckpt_secs_arg $ resume_arg
+      $ on_error_arg $ best_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,7 +36,16 @@ let run name file max_input () =
        List.iter
          (fun v -> Format.printf "  %a@." (Omega_vec.pp ~names) v)
          vectors
-     | exception Failure msg -> Format.printf "  %s@." msg);
+     | exception Obs.Budget.Exceeded info ->
+       Format.printf "  incomplete: %s@." (Obs.Budget.describe info);
+       (match info.Obs.Budget.partial with
+        | Karp_miller.Partial_clover vectors ->
+          Format.printf "  partial clover (under-approximation, %d vectors):@."
+            (List.length vectors);
+          List.iter
+            (fun v -> Format.printf "  %a@." (Omega_vec.pp ~names) v)
+            vectors
+        | _ -> ()));
 
     if Population.is_leaderless p && Array.length p.Population.input_vars = 1
     then begin

@@ -33,17 +33,28 @@ let diff_run sections old_path new_path () =
 
 (* ------------------------------------------------------------- history *)
 
+let warn_skipped ledger skipped =
+  if skipped > 0 then
+    Printf.eprintf
+      "ppreport: warning: skipped %d malformed line%s in %s (crash-truncated \
+       appends?)\n"
+      skipped
+      (if skipped = 1 then "" else "s")
+      (Obs.History.ledger_file ledger)
+
 let history_run ledger markdown sections () =
   match Obs.History.load_ledger ledger with
   | Error e ->
     Printf.eprintf "ppreport: cannot load ledger %s: %s\n"
       (Obs.History.ledger_file ledger) e;
     2
-  | Ok [] ->
+  | Ok ([], skipped) ->
+    warn_skipped ledger skipped;
     Printf.eprintf "ppreport: ledger %s is empty\n"
       (Obs.History.ledger_file ledger);
     2
-  | Ok runs ->
+  | Ok (runs, skipped) ->
+    warn_skipped ledger skipped;
     print_string (Obs.History.render_history ~markdown ?sections runs);
     0
 
@@ -60,7 +71,8 @@ let check_run baseline_path ledger wall_tol gauge_tol ignores no_default_ignores
          Printf.eprintf "ppreport: cannot load ledger %s: %s\n"
            (Obs.History.ledger_file dir) e;
          exit 2
-       | Ok runs ->
+       | Ok (runs, skipped) ->
+         warn_skipped dir skipped;
          (match Obs.History.median_run runs with
           | Ok run -> run
           | Error e ->

@@ -2,9 +2,14 @@ type scan_result = {
   num_protocols : int;
   num_threshold : int;
   num_reject_all : int;
+  num_aborted : int;
   best_eta : int;
   best : Population.t option;
   histogram : (int * int) list;
+  completed_chunks : int;
+  total_chunks : int;
+  interrupted : bool;
+  task_errors : int;
 }
 
 let pairs n =
@@ -173,13 +178,16 @@ let m_pruned = Obs.Metrics.counter "bbsearch.pruned_symmetry"
 (* Per-chunk accumulator. Chunks are a fixed partition of the code
    space, each owned by exactly one worker; the driver reduces them in
    index order, so aggregates are byte-identical for every jobs/chunk
-   setting (the [Pool] contract). *)
+   setting (the [Pool] contract). The best protocol is held as its code
+   — not a decoded [Population.t] — so a checkpointed chunk can be
+   restored byte-identically by re-decoding. *)
 type partial = {
   mutable p_scanned : int;
   mutable p_threshold : int;
   mutable p_reject_all : int;
+  mutable p_aborted : int;
   mutable p_best_eta : int;
-  mutable p_best : Population.t option;
+  mutable p_best_code : (int * int) option;
   p_hist : (int, int) Hashtbl.t;
 }
 
@@ -188,13 +196,84 @@ let fresh_partial () =
     p_scanned = 0;
     p_threshold = 0;
     p_reject_all = 0;
+    p_aborted = 0;
     p_best_eta = 0;
-    p_best = None;
+    p_best_code = None;
     p_hist = Hashtbl.create 8;
   }
 
+(* Checkpoint serialisation of one chunk accumulator. The histogram is
+   emitted sorted so equal accumulators always render identically. *)
+let partial_to_json part =
+  let open Obs.Json in
+  let hist =
+    Hashtbl.fold (fun eta count acc -> (eta, count) :: acc) part.p_hist []
+    |> List.sort Stdlib.compare
+    |> List.map (fun (eta, count) -> List [ Int eta; Int count ])
+  in
+  Obj
+    [
+      ("scanned", Int part.p_scanned);
+      ("threshold", Int part.p_threshold);
+      ("reject_all", Int part.p_reject_all);
+      ("aborted", Int part.p_aborted);
+      ("best_eta", Int part.p_best_eta);
+      ( "best_code",
+        match part.p_best_code with
+        | None -> Null
+        | Some (a, o) -> List [ Int a; Int o ] );
+      ("hist", List hist);
+    ]
+
+let partial_of_json j =
+  let open Obs.Json in
+  match j with
+  | Obj fields ->
+    let int k =
+      match List.assoc_opt k fields with
+      | Some (Int n) -> Ok n
+      | _ -> Error (Printf.sprintf "chunk state: missing int field %S" k)
+    in
+    let ( let* ) = Result.bind in
+    let* scanned = int "scanned" in
+    let* threshold = int "threshold" in
+    let* reject_all = int "reject_all" in
+    let* aborted = int "aborted" in
+    let* best_eta = int "best_eta" in
+    let part = fresh_partial () in
+    part.p_scanned <- scanned;
+    part.p_threshold <- threshold;
+    part.p_reject_all <- reject_all;
+    part.p_aborted <- aborted;
+    part.p_best_eta <- best_eta;
+    let* () =
+      match List.assoc_opt "best_code" fields with
+      | Some Null | None -> Ok ()
+      | Some (List [ Int a; Int o ]) ->
+        part.p_best_code <- Some (a, o);
+        Ok ()
+      | Some _ -> Error "chunk state: malformed best_code"
+    in
+    (match List.assoc_opt "hist" fields with
+     | Some (List entries) ->
+       List.fold_left
+         (fun acc entry ->
+           let* () = acc in
+           match entry with
+           | List [ Int eta; Int count ] ->
+             Hashtbl.replace part.p_hist eta count;
+             Ok ()
+           | _ -> Error "chunk state: malformed hist entry")
+         (Ok ()) entries
+       |> Result.map (fun () -> part)
+     | None -> Ok part
+     | Some _ -> Error "chunk state: malformed hist")
+  | _ -> Error "chunk state: object expected"
+
 let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
-    ?(max_input = 12) ?(max_configs = 60_000) ?sample ~n () =
+    ?(max_input = 12) ?(max_configs = 60_000) ?eta_budget_s ?sample ?checkpoint
+    ?(checkpoint_every_chunks = 64) ?(checkpoint_every_s = 30.0)
+    ?(resume = false) ?should_stop ?(on_task_error = `Fail) ~n () =
   check_n "scan" n;
   let pair_list = pairs n in
   let np = Array.length pair_list in
@@ -216,11 +295,91 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
   let chunk = Stdlib.max 1 chunk in
   let num_chunks = (total + chunk - 1) / chunk in
   let partials = Array.init num_chunks (fun _ -> fresh_partial ()) in
+  (* Everything that shapes the chunk partition or the per-chunk
+     content goes into the checkpoint fingerprint: a snapshot only
+     resumes a scan that would recompute the exact same chunks. The
+     sample (count, seed) covers the RNG scheme — sampled code [i]
+     depends on nothing else. *)
+  let config_json =
+    let open Obs.Json in
+    Obj
+      [
+        ("workload", String "bbsearch");
+        ("n", Int n);
+        ("max_input", Int max_input);
+        ("max_configs", Int max_configs);
+        ( "eta_budget_s",
+          match eta_budget_s with None -> Null | Some s -> Float s );
+        ("prune", Bool prune);
+        ("packed", Bool packed);
+        ("chunk", Int chunk);
+        ( "sample",
+          match sample with
+          | None -> Null
+          | Some (count, seed) -> List [ Int count; Int seed ] );
+        ("total", Int total);
+      ]
+  in
+  let cp =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+      let c =
+        if resume && Sys.file_exists path then begin
+          match Obs.Checkpoint.load path with
+          | Error msg ->
+            invalid_arg
+              (Printf.sprintf "Busy_beaver.scan: cannot resume from %s: %s"
+                 path msg)
+          | Ok c ->
+            if
+              c.Obs.Checkpoint.config_hash
+              <> Obs.Checkpoint.hash_config config_json
+              || c.Obs.Checkpoint.total_chunks <> num_chunks
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "Busy_beaver.scan: checkpoint %s was written by a \
+                    different scan configuration"
+                   path);
+            (* restore the completed chunks' accumulators *)
+            for i = 0 to num_chunks - 1 do
+              match Obs.Checkpoint.chunk_state c i with
+              | None -> ()
+              | Some j ->
+                (match partial_of_json j with
+                 | Ok part -> partials.(i) <- part
+                 | Error msg ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "Busy_beaver.scan: checkpoint %s, chunk %d: %s" path i
+                        msg))
+            done;
+            c
+        end
+        else Obs.Checkpoint.create ~config:config_json ~total_chunks:num_chunks
+      in
+      let writer =
+        Obs.Checkpoint.writer ~every_chunks:checkpoint_every_chunks
+          ~every_s:checkpoint_every_s ~path c
+      in
+      Some (c, writer)
+  in
+  let restored_chunks =
+    match cp with Some (c, _) -> Obs.Checkpoint.num_done c | None -> 0
+  in
   (* display-only tallies for the progress line; the authoritative
      counts live in the per-chunk partials *)
   let disp_scanned = Atomic.make 0 in
   let disp_threshold = Atomic.make 0 in
   let disp_best = Atomic.make 0 in
+  Array.iter
+    (fun part ->
+      ignore (Atomic.fetch_and_add disp_scanned part.p_scanned);
+      ignore (Atomic.fetch_and_add disp_threshold part.p_threshold);
+      if part.p_best_eta > Atomic.get disp_best then
+        Atomic.set disp_best part.p_best_eta)
+    partials;
   let progress = Obs.Progress.create "bbsearch" in
   let examine part ~weight ~assignment ~output_bits =
     part.p_scanned <- part.p_scanned + weight;
@@ -245,7 +404,7 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
       let record_best eta =
         if eta > part.p_best_eta then begin
           part.p_best_eta <- eta;
-          part.p_best <- Some p;
+          part.p_best_code <- Some (assignment, output_bits);
           let rec raise_disp () =
             let cur = Atomic.get disp_best in
             if eta > cur && not (Atomic.compare_and_set disp_best cur eta) then
@@ -256,7 +415,10 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
             ~args:[ ("eta", string_of_int eta); ("protocol", p.Population.name) ]
         end
       in
-      match Eta_search.find ~max_configs ~packed p ~max_input with
+      match
+        Eta_search.find ~max_configs ?wall_budget_s:eta_budget_s ~packed p
+          ~max_input
+      with
       | Eta_search.Eta eta ->
         bump_hist eta;
         record_best eta
@@ -267,11 +429,22 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
         record_best 2
       | Eta_search.Always_rejects -> part.p_reject_all <- part.p_reject_all + weight
       | Eta_search.Not_threshold _ -> ()
-      | exception Configgraph.Too_many_configs _ -> Obs.Metrics.incr m_aborted
+      | exception Configgraph.Too_many_configs _ ->
+        part.p_aborted <- part.p_aborted + weight;
+        Obs.Metrics.incr m_aborted
+      | exception Obs.Budget.Exceeded _ ->
+        (* wall budget hit on this protocol: its verdict degrades to
+           unknown, the scan itself keeps going *)
+        part.p_aborted <- part.p_aborted + weight;
+        Obs.Metrics.incr m_aborted
     end
   in
   let do_range ~lo ~hi =
-    let part = partials.(lo / chunk) in
+    let ci = lo / chunk in
+    (* a retried chunk must restart from a clean accumulator, or its
+       counts would double *)
+    partials.(ci) <- fresh_partial ();
+    let part = partials.(ci) in
     for idx = lo to hi - 1 do
       match sampled with
       | Some codes ->
@@ -302,10 +475,43 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
               Obs.Metrics.incr m_pruned))
     done
   in
-  Obs.Trace.with_span "bbsearch.scan" ~cat:"bbsearch"
-    ~args:[ ("states", string_of_int n); ("total", string_of_int total) ]
-    (fun () ->
-      ignore (Pool.run ~jobs ~chunk ~name:"bbsearch" ~tasks:total do_range));
+  (* cancellation: a delivered SIGINT/SIGTERM (inside the binary's
+     graceful region) or the caller's token stops further chunk claims *)
+  let stop_requested () =
+    Obs.Shutdown.requested ()
+    || (match should_stop with Some f -> f () | None -> false)
+  in
+  let skip_chunk =
+    match cp with
+    | None -> None
+    | Some (c, _) -> Some (fun i -> Obs.Checkpoint.is_done c i)
+  in
+  let completed = Atomic.make restored_chunks in
+  let on_chunk_done i =
+    Atomic.incr completed;
+    match cp with
+    | None -> ()
+    | Some (_, w) -> Obs.Checkpoint.note_done w i (partial_to_json partials.(i))
+  in
+  let pool_stats =
+    (* the final snapshot must land even when a task failure re-raises
+       out of the pool — that is the checkpoint a crash resumes from *)
+    Fun.protect
+      ~finally:(fun () ->
+        match cp with
+        | None -> ()
+        | Some (_, w) ->
+          (try Obs.Checkpoint.flush w
+           with Sys_error msg ->
+             Printf.eprintf "bbsearch: checkpoint write failed: %s\n%!" msg))
+      (fun () ->
+        Obs.Trace.with_span "bbsearch.scan" ~cat:"bbsearch"
+          ~args:[ ("states", string_of_int n); ("total", string_of_int total) ]
+          (fun () ->
+            Pool.run ~jobs ~chunk ~name:"bbsearch" ~on_task_error
+              ~should_stop:stop_requested ?skip_chunk ~on_chunk_done
+              ~tasks:total do_range))
+  in
   (* order-fixed reduce: folding the chunk partials left-to-right is the
      same fold the sequential scan performs over the full code space *)
   let acc = fresh_partial () in
@@ -314,9 +520,10 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
       acc.p_scanned <- acc.p_scanned + part.p_scanned;
       acc.p_threshold <- acc.p_threshold + part.p_threshold;
       acc.p_reject_all <- acc.p_reject_all + part.p_reject_all;
+      acc.p_aborted <- acc.p_aborted + part.p_aborted;
       if part.p_best_eta > acc.p_best_eta then begin
         acc.p_best_eta <- part.p_best_eta;
-        acc.p_best <- part.p_best
+        acc.p_best_code <- part.p_best_code
       end;
       Hashtbl.iter
         (fun eta count ->
@@ -331,11 +538,20 @@ let scan ?(jobs = 1) ?(chunk = 1024) ?(prune = true) ?(packed = true)
     num_protocols = acc.p_scanned;
     num_threshold = acc.p_threshold;
     num_reject_all = acc.p_reject_all;
+    num_aborted = acc.p_aborted;
     best_eta = acc.p_best_eta;
-    best = acc.p_best;
+    best =
+      Option.map
+        (fun (assignment, output_bits) ->
+          decode n ~pair_list ~assignment ~output_bits)
+        acc.p_best_code;
     histogram =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) acc.p_hist []
       |> List.sort Stdlib.compare;
+    completed_chunks = Atomic.get completed;
+    total_chunks = num_chunks;
+    interrupted = pool_stats.Pool.cancelled;
+    task_errors = pool_stats.Pool.task_errors;
   }
 
 let iter_protocols ?sample ~n f =

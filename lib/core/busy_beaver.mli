@@ -23,9 +23,19 @@ type scan_result = {
   num_protocols : int;       (** protocols enumerated (or sampled) *)
   num_threshold : int;       (** with a certified threshold pattern up to the cutoff *)
   num_reject_all : int;      (** reject every checked input (threshold may exceed cutoff) *)
+  num_aborted : int;
+      (** verdict unknown: the verifier hit its node budget
+          ({!Configgraph.Too_many_configs}) or the [eta_budget_s] wall
+          budget on these protocols *)
   best_eta : int;            (** largest threshold seen *)
   best : Population.t option;
   histogram : (int * int) list;  (** threshold value -> number of protocols *)
+  completed_chunks : int;    (** chunks finished, restored ones included *)
+  total_chunks : int;
+  interrupted : bool;
+      (** the scan stopped early — a signal or [should_stop] fired; the
+          aggregates cover only the completed chunks *)
+  task_errors : int;         (** failed chunk attempts (see {!Pool.stats}) *)
 }
 
 val scan :
@@ -35,7 +45,14 @@ val scan :
   ?packed:bool ->
   ?max_input:int ->
   ?max_configs:int ->
+  ?eta_budget_s:float ->
   ?sample:int * int ->
+  ?checkpoint:string ->
+  ?checkpoint_every_chunks:int ->
+  ?checkpoint_every_s:float ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?on_task_error:Pool.error_policy ->
   n:int ->
   unit ->
   scan_result
@@ -53,7 +70,31 @@ val scan :
     (orbit-weighted), and [best] may be any member of the best orbit.
     [?packed] (default true) selects the packed configuration-graph
     representation in the verifier. Defaults: [max_input = 12],
-    [max_configs = 60_000]. *)
+    [max_configs = 60_000].
+
+    {b Robustness.} [?eta_budget_s] caps the wall-clock spent verifying
+    any single protocol; over-budget protocols count into [num_aborted]
+    (unknown verdict) instead of killing the scan — note wall budgets
+    make which protocols abort machine-dependent, so leave it off when
+    byte-identical reruns matter. [?on_task_error] (default [`Fail]) is
+    the {!Pool.run} fault policy for unexpected per-chunk exceptions.
+    [?should_stop] is a cancellation token polled between chunks;
+    {!Obs.Shutdown.requested} is always polled alongside it, so a
+    SIGINT/SIGTERM delivered inside {!Obs.Shutdown.with_graceful} drains
+    the scan cleanly ([interrupted] is then set).
+
+    {b Checkpoint/resume.} With [?checkpoint:path] the scan snapshots
+    its completed-chunk bitmap and per-chunk accumulators to [path]
+    (atomic tmp+rename; every [?checkpoint_every_chunks], default 64, or
+    [?checkpoint_every_s], default 30, whichever first, plus a final
+    snapshot on every exit path). With [~resume:true] an existing
+    snapshot is loaded first: completed chunks are skipped and their
+    accumulators restored, and the finished aggregate is byte-identical
+    to an uninterrupted run — chunk content depends only on the code
+    index, and the reduce is in chunk-index order.
+    @raise Invalid_argument when resuming from a snapshot whose
+    configuration fingerprint (n, cutoffs, chunk, sample seed/count, …)
+    does not match. *)
 
 val num_deterministic_protocols : int -> int
 (** [P^P · 2^n] (may overflow for [n >= 5]; the busy beaver of

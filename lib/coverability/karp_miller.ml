@@ -42,6 +42,19 @@ let accelerate ancestors v' =
     ancestors;
   (!result, !accelerated)
 
+type Obs.Budget.partial += Partial_clover of Omega_vec.t list
+
+(* keep the maximal elements *)
+let maximal_of discovered =
+  List.filter
+    (fun v ->
+      not
+        (List.exists
+           (fun u -> (not (Omega_vec.equal u v)) && Omega_vec.leq v u)
+           discovered))
+    discovered
+  |> List.sort_uniq Stdlib.compare
+
 let clover_stats ?(max_nodes = 1_000_000) p c0 =
   let nt = Population.num_transitions p in
   let nodes = ref 0 in
@@ -49,10 +62,25 @@ let clover_stats ?(max_nodes = 1_000_000) p c0 =
   let discovered : Omega_vec.t list ref = ref [] in
   let covered v = List.exists (fun u -> Omega_vec.leq v u) !discovered in
   let root = Omega_vec.finite (Mset.to_intvec c0) in
+  let budget () =
+    (* the maximal elements seen so far under-approximate the clover;
+       a budgeted caller can still use them as a partial answer *)
+    raise
+      (Obs.Budget.exceeded
+         ~partial:(Partial_clover (maximal_of !discovered))
+         ~source:"karp_miller.clover" ~resource:"nodes"
+         ~limit:(float_of_int max_nodes)
+         ~consumed:
+           [
+             ("nodes", float_of_int !nodes);
+             ("accelerations", float_of_int !accelerations);
+           ]
+         ())
+  in
   (* depth-first over (vector, ancestor path) *)
   let rec expand v ancestors =
     incr nodes;
-    if !nodes > max_nodes then failwith "Karp_miller.clover: node budget exceeded";
+    if !nodes > max_nodes then budget ();
     discovered := v :: !discovered;
     let ancestors' = v :: ancestors in
     for t = 0 to nt - 1 do
@@ -66,18 +94,7 @@ let clover_stats ?(max_nodes = 1_000_000) p c0 =
     done
   in
   expand root [];
-  (* keep the maximal elements *)
-  let maximal =
-    List.filter
-      (fun v ->
-        not
-          (List.exists
-             (fun u -> (not (Omega_vec.equal u v)) && Omega_vec.leq v u)
-             !discovered))
-      !discovered
-    |> List.sort_uniq Stdlib.compare
-  in
-  (maximal, { nodes = !nodes; accelerations = !accelerations })
+  (maximal_of !discovered, { nodes = !nodes; accelerations = !accelerations })
 
 let clover ?max_nodes p c0 = fst (clover_stats ?max_nodes p c0)
 
@@ -105,7 +122,13 @@ let clover_parametric ?(max_nodes = 1_000_000) p =
   let rec expand v ancestors =
     incr nodes;
     if !nodes > max_nodes then
-      failwith "Karp_miller.clover_parametric: node budget exceeded";
+      raise
+        (Obs.Budget.exceeded
+           ~partial:(Partial_clover (maximal_of !discovered))
+           ~source:"karp_miller.clover_parametric" ~resource:"nodes"
+           ~limit:(float_of_int max_nodes)
+           ~consumed:[ ("nodes", float_of_int !nodes) ]
+           ());
     discovered := v :: !discovered;
     let ancestors' = v :: ancestors in
     for t = 0 to nt - 1 do
@@ -118,11 +141,4 @@ let clover_parametric ?(max_nodes = 1_000_000) p =
     done
   in
   expand root [];
-  List.filter
-    (fun v ->
-      not
-        (List.exists
-           (fun u -> (not (Omega_vec.equal u v)) && Omega_vec.leq v u)
-           !discovered))
-    !discovered
-  |> List.sort_uniq Stdlib.compare
+  maximal_of !discovered

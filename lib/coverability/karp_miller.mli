@@ -15,10 +15,16 @@ type stats = {
   accelerations : int;  (** ω-introductions performed *)
 }
 
+type Obs.Budget.partial += Partial_clover of Omega_vec.t list
+(** The maximal ω-vectors discovered before a node budget ran out — an
+    under-approximation of the clover, carried by
+    {!Obs.Budget.Exceeded}. *)
+
 val clover : ?max_nodes:int -> Population.t -> Mset.t -> Omega_vec.t list
 (** [clover p c0]: the maximal ω-vectors of the coverability set of
-    [c0]. @raise Failure if the tree exceeds [max_nodes]
-    (default 1_000_000). *)
+    [c0]. @raise Obs.Budget.Exceeded if the tree exceeds [max_nodes]
+    (default 1_000_000) nodes; the exception carries {!Partial_clover}
+    and the node/acceleration counts consumed. *)
 
 val clover_stats :
   ?max_nodes:int -> Population.t -> Mset.t -> Omega_vec.t list * stats

@@ -18,6 +18,8 @@ let minimize vectors =
     vectors
   |> List.sort_uniq Stdlib.compare
 
+type Obs.Budget.partial += Partial_basis of int array list
+
 let m_solves = Obs.Metrics.counter "hilbert.solves"
 let m_candidates = Obs.Metrics.counter "hilbert.candidates"
 let m_pruned_scalar = Obs.Metrics.counter "hilbert.pruned_scalar"
@@ -96,7 +98,18 @@ let solve_eq ?(max_candidates = 5_000_000) ?(scalar_criterion = true) sys =
                       Hashtbl.add seen y' ();
                       incr candidates;
                       if !candidates > max_candidates then
-                        failwith "Hilbert_basis.solve_eq: candidate budget exceeded";
+                        raise
+                          (Obs.Budget.exceeded
+                             ~partial:(Partial_basis (minimize !basis))
+                             ~source:"hilbert.solve_eq" ~resource:"candidates"
+                             ~limit:(float_of_int max_candidates)
+                             ~consumed:
+                               [
+                                 ("candidates", float_of_int !candidates);
+                                 ("levels", float_of_int !levels);
+                                 ("basis", float_of_int (List.length !basis));
+                               ]
+                             ());
                       let defect' =
                         Array.mapi (fun i d -> d + columns.(j).(i)) defect
                       in

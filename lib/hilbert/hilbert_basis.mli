@@ -8,6 +8,11 @@
     inequality system. Corollary 5.7 of the paper instantiates this for
     the potentially-realisable transition multisets of a protocol. *)
 
+type Obs.Budget.partial += Partial_basis of int array list
+(** The minimized basis elements harvested before a candidate budget
+    ran out — a sound under-approximation of the full basis, carried by
+    {!Obs.Budget.Exceeded}. *)
+
 val solve_eq :
   ?max_candidates:int -> ?scalar_criterion:bool -> Diophantine.t -> int array list
 (** Minimal non-zero solutions of [A·y = 0]. Breadth-first completion
@@ -18,8 +23,10 @@ val solve_eq :
     disables the criterion — the search stays complete but may diverge
     (the benchmark harness uses this as an ablation; rely on
     [max_candidates]).
-    @raise Failure if the frontier exceeds [max_candidates]
-    (default 5_000_000) — a safety valve only. *)
+    @raise Obs.Budget.Exceeded if the completion exceeds
+    [max_candidates] (default 5_000_000) candidate vectors — a safety
+    valve only. The exception carries {!Partial_basis} and the
+    candidates/levels/basis counts consumed. *)
 
 val solve_geq :
   ?max_candidates:int -> ?scalar_criterion:bool -> Diophantine.t -> int array list

@@ -1,0 +1,57 @@
+type partial = ..
+type partial += No_partial
+
+type info = {
+  source : string;
+  resource : string;
+  limit : float;
+  consumed : (string * float) list;
+  partial : partial;
+}
+
+exception Exceeded of info
+
+let m_exceeded = Metrics.counter "budget.exceeded"
+
+let exceeded ?(partial = No_partial) ~source ~resource ~limit ~consumed () =
+  if Metrics.enabled () then Metrics.incr m_exceeded;
+  Exceeded { source; resource; limit; consumed; partial }
+
+(* Budgets are almost always integral counts; print them without the
+   float noise, falling back to %g for genuine fractions. *)
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let describe i =
+  Printf.sprintf "%s: %s budget exceeded (limit %s%s)" i.source i.resource
+    (number i.limit)
+    (match i.consumed with
+     | [] -> ""
+     | l ->
+       "; consumed "
+       ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ number v) l))
+
+let pp fmt i = Format.pp_print_string fmt (describe i)
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded i -> Some ("Obs.Budget.Exceeded: " ^ describe i)
+    | _ -> None)
+
+type deadline = { at_ns : int64; budget_s : float; source : string }
+
+let deadline_in ~source budget_s =
+  {
+    at_ns = Int64.add (Clock.now_ns ()) (Int64.of_float (budget_s *. 1e9));
+    budget_s;
+    source;
+  }
+
+let expired d = Int64.compare (Clock.now_ns ()) d.at_ns > 0
+
+let raise_if_expired ?partial ~consumed d =
+  if expired d then
+    raise
+      (exceeded ?partial ~source:d.source ~resource:"wall_s" ~limit:d.budget_s
+         ~consumed ())

@@ -1,0 +1,173 @@
+type t = {
+  config_hash : string;
+  config : Json.t;
+  total_chunks : int;
+  state : Json.t option array;
+}
+
+let schema = "ppcheckpoint/v1"
+let hash_config config = Digest.to_hex (Digest.string (Json.to_string config))
+
+let create ~config ~total_chunks =
+  if total_chunks < 0 then invalid_arg "Checkpoint.create: total_chunks >= 0";
+  {
+    config_hash = hash_config config;
+    config;
+    total_chunks;
+    state = Array.make total_chunks None;
+  }
+
+let check_index who t i =
+  if i < 0 || i >= t.total_chunks then
+    invalid_arg (Printf.sprintf "Checkpoint.%s: chunk %d of %d" who i t.total_chunks)
+
+let mark_done t i state =
+  check_index "mark_done" t i;
+  t.state.(i) <- Some state
+
+let is_done t i =
+  check_index "is_done" t i;
+  t.state.(i) <> None
+
+let chunk_state t i =
+  check_index "chunk_state" t i;
+  t.state.(i)
+
+let num_done t =
+  Array.fold_left (fun n s -> if s = None then n else n + 1) 0 t.state
+
+(* ----------------------------------------------------------------- JSON *)
+
+let to_json t =
+  let chunks =
+    Array.to_list t.state
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           Option.map
+             (fun state ->
+               Json.Obj [ ("index", Json.Int i); ("state", state) ])
+             s)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("config_hash", Json.String t.config_hash);
+      ("config", t.config);
+      ("total_chunks", Json.Int t.total_chunks);
+      ("chunks", Json.List chunks);
+    ]
+
+let of_json = function
+  | Json.Obj fields ->
+    let ( let* ) = Result.bind in
+    let* () =
+      match List.assoc_opt "schema" fields with
+      | Some (Json.String s) when s = schema -> Ok ()
+      | Some (Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
+      | _ -> Error "missing \"schema\" field"
+    in
+    let* config_hash =
+      match List.assoc_opt "config_hash" fields with
+      | Some (Json.String h) -> Ok h
+      | _ -> Error "missing \"config_hash\" field"
+    in
+    let* config =
+      match List.assoc_opt "config" fields with
+      | Some j -> Ok j
+      | None -> Error "missing \"config\" field"
+    in
+    let* total_chunks =
+      match List.assoc_opt "total_chunks" fields with
+      | Some (Json.Int n) when n >= 0 -> Ok n
+      | _ -> Error "missing \"total_chunks\" field"
+    in
+    let state = Array.make total_chunks None in
+    let* () =
+      match List.assoc_opt "chunks" fields with
+      | Some (Json.List l) ->
+        let rec go = function
+          | [] -> Ok ()
+          | Json.Obj cf :: rest ->
+            (match (List.assoc_opt "index" cf, List.assoc_opt "state" cf) with
+             | Some (Json.Int i), Some s when i >= 0 && i < total_chunks ->
+               state.(i) <- Some s;
+               go rest
+             | Some (Json.Int i), Some _ ->
+               Error (Printf.sprintf "chunk index %d out of range" i)
+             | _ -> Error "chunk entry needs \"index\" and \"state\"")
+          | _ :: _ -> Error "chunk entry must be an object"
+        in
+        go l
+      | _ -> Error "missing \"chunks\" list"
+    in
+    Ok { config_hash; config; total_chunks; state }
+  | _ -> Error "checkpoint must be a JSON object"
+
+(* ----------------------------------------------------------------- file *)
+
+(* tmp + rename in the destination directory (the Export pattern): a
+   crash mid-write leaves the previous snapshot intact, and a reader
+   never sees a torn file *)
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json t));
+      Out_channel.output_char oc '\n');
+  Sys.rename tmp path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    (match Json.parse contents with
+     | Error e -> Error e
+     | Ok j -> of_json j)
+
+(* --------------------------------------------------------------- writer *)
+
+type writer = {
+  t : t;
+  path : string;
+  every_chunks : int;
+  every_s : float;
+  lock : Mutex.t;
+  mutable pending : int;
+  mutable last_write_ns : int64;
+}
+
+let writer ?(every_chunks = 64) ?(every_s = 30.0) ~path t =
+  {
+    t;
+    path;
+    every_chunks = Stdlib.max 1 every_chunks;
+    every_s = Float.max 0.05 every_s;
+    lock = Mutex.create ();
+    pending = 0;
+    last_write_ns = Clock.now_ns ();
+  }
+
+let locked w f =
+  Mutex.lock w.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) f
+
+let note_done w i state =
+  locked w (fun () ->
+      mark_done w.t i state;
+      w.pending <- w.pending + 1;
+      let now = Clock.now_ns () in
+      if
+        w.pending >= w.every_chunks
+        || Clock.ns_to_s (Int64.sub now w.last_write_ns) >= w.every_s
+      then begin
+        (* a full disk must not kill the scan; the data survives in the
+           accumulators and the next flush can still succeed *)
+        (try save ~path:w.path w.t with Sys_error _ -> ());
+        w.pending <- 0;
+        w.last_write_ns <- now
+      end)
+
+let flush w =
+  locked w (fun () ->
+      save ~path:w.path w.t;
+      w.pending <- 0;
+      w.last_write_ns <- Clock.now_ns ())

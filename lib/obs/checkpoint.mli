@@ -1,0 +1,64 @@
+(** Crash-safe checkpoint/resume snapshots for chunked scans.
+
+    A checkpoint records, for one fixed chunk partition of a scan's
+    task space, which chunks have completed and an opaque JSON blob of
+    accumulator state per completed chunk, plus a hash of the scan
+    configuration (everything that affects the partition or the
+    per-chunk content — including the RNG scheme for sampled scans).
+    Snapshots are written with the tmp+rename pattern, so a crash
+    mid-write can never corrupt the previous snapshot; a resumed scan
+    skips the completed chunks, restores their accumulators and — when
+    per-chunk work is index-deterministic — reproduces the
+    uninterrupted aggregate byte for byte.
+
+    File format: one [ppcheckpoint/v1] JSON object per file. *)
+
+type t = {
+  config_hash : string;
+  config : Json.t;  (** the hashed configuration, kept readable *)
+  total_chunks : int;
+  state : Json.t option array;  (** slot per chunk; [Some] = completed *)
+}
+
+val schema : string
+(** ["ppcheckpoint/v1"]. *)
+
+val hash_config : Json.t -> string
+(** Hex digest of the canonical rendering of a configuration object. *)
+
+val create : config:Json.t -> total_chunks:int -> t
+(** A fresh checkpoint with no completed chunks. *)
+
+val mark_done : t -> int -> Json.t -> unit
+(** Record chunk [i] as completed with the given accumulator state. *)
+
+val is_done : t -> int -> bool
+val chunk_state : t -> int -> Json.t option
+val num_done : t -> int
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Atomic tmp+rename write of the snapshot.
+    @raise Sys_error when the write fails. *)
+
+val load : string -> (t, string) result
+
+(** A throttled, thread-safe writer: workers report completed chunks
+    from any domain; a snapshot is written every [every_chunks]
+    completions or [every_s] seconds, whichever comes first, and on
+    {!flush}. Write failures (full disk, yanked directory) are swallowed
+    in {!note_done} — a failing checkpoint must not kill the scan — and
+    surface only in {!flush}. *)
+type writer
+
+val writer : ?every_chunks:int -> ?every_s:float -> path:string -> t -> writer
+(** Defaults: [every_chunks = 64], [every_s = 30.0]. *)
+
+val note_done : writer -> int -> Json.t -> unit
+(** [note_done w i state] marks chunk [i] completed and snapshots the
+    file if a threshold was crossed. Safe to call concurrently. *)
+
+val flush : writer -> unit
+(** Write a snapshot now (the final bitmap after a drain). *)

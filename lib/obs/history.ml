@@ -143,18 +143,19 @@ let load_ledger dir =
   | exception Sys_error e -> Error e
   | contents ->
     let lines =
-      List.filteri
-        (fun _ l -> String.trim l <> "")
-        (String.split_on_char '\n' contents)
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
     in
-    let rec go i acc = function
-      | [] -> Ok (List.rev acc)
+    (* A malformed line — typically the tail of an append truncated by a
+       crash or a full disk — is skipped and counted, never fatal: the
+       ledger's good runs must stay readable after a bad shutdown. *)
+    let rec go acc skipped = function
+      | [] -> Ok (List.rev acc, skipped)
       | line :: rest ->
         (match parse_run line with
-         | Ok r -> go (i + 1) (r :: acc) rest
-         | Error e -> Error (Printf.sprintf "%s:%d: %s" path i e))
+         | Ok r -> go (r :: acc) skipped rest
+         | Error _ -> go acc (skipped + 1) rest)
     in
-    go 1 [] lines
+    go [] 0 lines
 
 (* ------------------------------------------------------------ medians *)
 

@@ -31,9 +31,13 @@ val ledger_file : string -> string
 val append : dir:string -> run -> unit
 (** Append one JSONL line to [ledger_file dir], creating [dir] first. *)
 
-val load_ledger : string -> (run list, string) result
-(** All runs in the ledger, oldest first. Blank lines are skipped; a
-    malformed line is an error naming the line number. *)
+val load_ledger : string -> (run list * int, string) result
+(** All parseable runs in the ledger, oldest first, plus the number of
+    malformed lines skipped. Blank lines are ignored silently; a
+    truncated or corrupted line (e.g. from a crash mid-append) is
+    skipped and counted, so one bad shutdown can never make the whole
+    history unreadable. [Error] only when the file itself cannot be
+    read. *)
 
 val median_run : run list -> (run, string) result
 (** A synthetic baseline: per section and metric, the lower median of

@@ -37,6 +37,10 @@ let no_progress_arg =
   Arg.(value & flag & info [ "no-progress" ] ~doc:"Suppress progress lines.")
 
 let setup metrics trace metrics_out metrics_every progress no_progress =
+  (* arm clean shutdown in every binary: outside a graceful region a
+     SIGINT/SIGTERM exits through Stdlib.exit, running the at_exit
+     flushes registered below (metrics export, trace file) *)
+  Obs.Shutdown.install ();
   if metrics || metrics_out <> None then Obs.Metrics.set_enabled true;
   if metrics then
     at_exit (fun () ->

@@ -1,0 +1,47 @@
+(* OS signal numbers (handlers receive OCaml's internal negative
+   encodings; exit codes follow the 128+signum shell convention). *)
+let os_number s =
+  if s = Sys.sigint then 2 else if s = Sys.sigterm then 15 else 0
+
+(* 0 = no signal yet; first receipt wins so the exit code names the
+   signal that actually interrupted the run *)
+let received = Atomic.make 0
+let graceful_depth = Atomic.make 0
+
+let requested () = Atomic.get received <> 0
+
+let signal_name () =
+  match Atomic.get received with
+  | 2 -> Some "INT"
+  | 15 -> Some "TERM"
+  | 0 -> None
+  | n -> Some (string_of_int n)
+
+let exit_code () =
+  match Atomic.get received with 0 -> None | n -> Some (128 + n)
+
+let handle s =
+  let os = os_number s in
+  if not (Atomic.compare_and_set received 0 os) then
+    (* second signal: the drain is taking too long (or is wedged) —
+       exit now, keeping the first signal's code *)
+    Stdlib.exit (128 + Atomic.get received)
+  else if Atomic.get graceful_depth = 0 then Stdlib.exit (128 + os)
+
+let installed = Atomic.make false
+
+let install () =
+  if not (Atomic.exchange installed true) then
+    List.iter
+      (fun s ->
+        (* unsupported on some platforms (e.g. SIGTERM on Windows) *)
+        try Sys.set_signal s (Sys.Signal_handle handle)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+
+let with_graceful f =
+  Atomic.incr graceful_depth;
+  Fun.protect ~finally:(fun () -> Atomic.decr graceful_depth) f
+
+let exit_if_requested () =
+  match exit_code () with Some c -> Stdlib.exit c | None -> ()

@@ -1,0 +1,33 @@
+(** Signal-driven clean shutdown.
+
+    {!install} arms SIGINT/SIGTERM handlers. Outside a
+    {!with_graceful} region the first signal exits immediately through
+    [Stdlib.exit] — running the [at_exit] hooks that flush metrics
+    exports, trace files and ledger lines — with the conventional
+    [128 + signum] code (130 for SIGINT, 143 for SIGTERM). Inside a
+    {!with_graceful} region the handler only records the signal;
+    long-running drivers poll {!requested} as their cancellation token,
+    drain (flushing checkpoints), and exit via {!exit_if_requested}. A
+    second signal always exits immediately, as an escape hatch from a
+    wedged drain. *)
+
+val install : unit -> unit
+(** Idempotent; safe to call from every binary's CLI setup. *)
+
+val requested : unit -> bool
+(** True once a signal has been received. The cancellation token:
+    workers and scan drivers poll this between chunks. *)
+
+val signal_name : unit -> string option
+(** ["INT"] / ["TERM"] once received. *)
+
+val exit_code : unit -> int option
+(** [Some (128 + signum)] once received. *)
+
+val with_graceful : (unit -> 'a) -> 'a
+(** Run [f] with immediate-exit-on-signal suspended: signals received
+    inside only set the flag {!requested} reports. Nests. *)
+
+val exit_if_requested : unit -> unit
+(** [Stdlib.exit] with the signal's code if one was received (runs the
+    [at_exit] flushes); otherwise a no-op. *)

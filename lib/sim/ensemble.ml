@@ -69,7 +69,8 @@ let run_trial backend p c0 ~population index rng =
       converged = r.Gillespie.converged;
     }
 
-let run ?(jobs = 1) ?(chunk = 1) ?(backend = uniform ()) ~seed ~trials p c0 =
+let run ?(jobs = 1) ?(chunk = 1) ?(backend = uniform ()) ?should_stop
+    ?on_task_error ~seed ~trials p c0 =
   if trials < 0 then invalid_arg "Ensemble.run: trials >= 0 required";
   let population = Mset.size c0 in
   if trials > 0 && population < 2 then
@@ -79,7 +80,8 @@ let run ?(jobs = 1) ?(chunk = 1) ?(backend = uniform ()) ~seed ~trials p c0 =
   (* Slot [i] of [results] is written by exactly one domain; the joins
      inside [Pool.run] publish the writes to this driver. *)
   let stats =
-    Pool.run ~jobs ~chunk ~name:"ensemble" ~tasks:trials (fun ~lo ~hi ->
+    Pool.run ~jobs ~chunk ~name:"ensemble" ?should_stop ?on_task_error
+      ~tasks:trials (fun ~lo ~hi ->
         for i = lo to hi - 1 do
           let t = run_trial backend p c0 ~population i rngs.(i) in
           Obs.Metrics.observe m_trial_steps (float_of_int t.steps);
@@ -90,13 +92,18 @@ let run ?(jobs = 1) ?(chunk = 1) ?(backend = uniform ()) ~seed ~trials p c0 =
     Obs.Metrics.incr m_batches;
     Obs.Metrics.add m_trials trials
   end;
+  (* cancelled or skipped chunks leave empty slots; the completed
+     trials keep their per-index streams, so they match the slots an
+     uninterrupted run would produce at the same indices *)
   let trials =
-    Array.map (function Some t -> t | None -> assert false) results
+    Array.to_list results |> List.filter_map Fun.id |> Array.of_list
   in
   { backend; population; jobs = stats.Pool.jobs; trials; wall = stats.Pool.wall_s }
 
-let run_input ?jobs ?chunk ?backend ~seed ~trials p v =
-  run ?jobs ?chunk ?backend ~seed ~trials p (Population.initial_config p v)
+let run_input ?jobs ?chunk ?backend ?should_stop ?on_task_error ~seed ~trials
+    p v =
+  run ?jobs ?chunk ?backend ?should_stop ?on_task_error ~seed ~trials p
+    (Population.initial_config p v)
 
 let parallel_times e =
   Array.to_list e.trials

@@ -51,6 +51,8 @@ val run :
   ?jobs:int ->
   ?chunk:int ->
   ?backend:backend ->
+  ?should_stop:(unit -> bool) ->
+  ?on_task_error:Pool.error_policy ->
   seed:int ->
   trials:int ->
   Population.t ->
@@ -61,6 +63,12 @@ val run :
     to [max 1 (min jobs trials)]). [chunk] (default 1) is the number of
     consecutive trial indices a domain claims per scheduling round.
     [backend] defaults to [uniform ()].
+
+    [should_stop] and [on_task_error] are forwarded to {!Pool.run}
+    (cancellation token, chunk fault policy). When a batch is cancelled
+    or chunks are skipped, [t.trials] holds only the completed trials —
+    still in index order, each identical to the same-index trial of an
+    uninterrupted run (per-index RNG streams).
     @raise Invalid_argument when [trials < 0], or when [trials > 0] and
     [Mset.size c0 < 2]. *)
 
@@ -68,6 +76,8 @@ val run_input :
   ?jobs:int ->
   ?chunk:int ->
   ?backend:backend ->
+  ?should_stop:(unit -> bool) ->
+  ?on_task_error:Pool.error_policy ->
   seed:int ->
   trials:int ->
   Population.t ->

@@ -1,8 +1,19 @@
+type error_policy = [ `Fail | `Skip | `Retry of int ]
+
+type failure = {
+  chunk_index : int;
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
 type stats = {
   jobs : int;
   wall_s : float;
   chunks : int array;
   busy_s : float array;
+  task_errors : int;
+  failures : failure list;
+  cancelled : bool;
 }
 
 let utilization s =
@@ -20,14 +31,41 @@ let publish name s =
         (Obs.Metrics.gauge (Printf.sprintf "%s.domain%d.busy_s" name w))
         s.busy_s.(w))
     s.chunks;
+  (* registered lazily so fault-free runs keep their metric snapshots
+     byte-identical to earlier releases *)
+  if s.task_errors > 0 then
+    Obs.Metrics.add (Obs.Metrics.counter (name ^ ".task_errors")) s.task_errors;
   if s.wall_s > 0.0 then
     Obs.Metrics.set (Obs.Metrics.gauge (name ^ ".utilization")) (utilization s)
 
-let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~tasks f =
+let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ?(on_task_error = `Fail)
+    ?should_stop ?skip_chunk ?on_chunk_done ~tasks f =
   if tasks < 0 then invalid_arg "Pool.run: tasks >= 0 required";
   let jobs = Stdlib.max 1 (Stdlib.min jobs tasks) in
   let chunk = Stdlib.max 1 chunk in
+  let retries = match on_task_error with `Retry n -> Stdlib.max 0 n | _ -> 0 in
   let next = Atomic.make 0 in
+  (* Cancellation token: set by the first [`Fail] failure or when the
+     caller's [should_stop] fires; every worker stops claiming chunks
+     once it is up. In-flight chunks drain normally. *)
+  let cancelled = Atomic.make false in
+  let task_errors = Atomic.make 0 in
+  (* First-failure-wins under [`Fail]: the failure in the lowest-indexed
+     chunk that actually ran is the one re-raised, independent of which
+     domain observed its failure first. *)
+  let first_failure = Atomic.make None in
+  let record_first fail =
+    let rec go () =
+      let cur = Atomic.get first_failure in
+      match cur with
+      | Some f when f.chunk_index <= fail.chunk_index -> ()
+      | _ ->
+        if not (Atomic.compare_and_set first_failure cur (Some fail)) then go ()
+    in
+    go ()
+  in
+  let failures_lock = Mutex.create () in
+  let failures = ref [] in
   (* Per-worker accounting: slot [w] is written only by worker [w] and
      read after the joins, so plain arrays suffice. Busy time is the
      monotonic-clock time spent inside claimed chunks; the gap to the
@@ -35,24 +73,65 @@ let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~tasks f =
   let chunks_claimed = Array.make jobs 0 in
   let busy_ns = Array.make jobs 0L in
   let span = name ^ ".chunk" in
+  let stop_requested () =
+    Atomic.get cancelled
+    ||
+    match should_stop with
+    | Some s ->
+      if s () then begin
+        Atomic.set cancelled true;
+        true
+      end
+      else false
+    | None -> false
+  in
   (* Dynamic self-scheduling off a shared counter: each domain claims
      [chunk] consecutive task indices at a time, so long tasks don't
      leave the other domains idle. The caller's [f] must confine its
      writes to state owned by the claimed range; [Domain.join] publishes
-     them to the driver. *)
+     them to the driver. Per-chunk exceptions never escape a worker:
+     they are recorded and resolved by policy after the joins. *)
   let worker w =
     let rec loop () =
-      let lo = Atomic.fetch_and_add next chunk in
-      if lo < tasks then begin
-        let hi = Stdlib.min tasks (lo + chunk) in
-        let c0_ns = Obs.Clock.now_ns () in
-        Obs.Trace.with_span span ~cat:"pool"
-          ~args:[ ("lo", string_of_int lo); ("hi", string_of_int (hi - 1)) ]
-          (fun () -> f ~lo ~hi);
-        chunks_claimed.(w) <- chunks_claimed.(w) + 1;
-        busy_ns.(w) <-
-          Int64.add busy_ns.(w) (Int64.sub (Obs.Clock.now_ns ()) c0_ns);
-        loop ()
+      if not (stop_requested ()) then begin
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < tasks then begin
+          let hi = Stdlib.min tasks (lo + chunk) in
+          let ci = lo / chunk in
+          let skip = match skip_chunk with Some g -> g ci | None -> false in
+          if not skip then begin
+            let c0_ns = Obs.Clock.now_ns () in
+            let rec attempt remaining =
+              match
+                Obs.Trace.with_span span ~cat:"pool"
+                  ~args:
+                    [ ("lo", string_of_int lo); ("hi", string_of_int (hi - 1)) ]
+                  (fun () -> f ~lo ~hi)
+              with
+              | () -> ( match on_chunk_done with Some g -> g ci | None -> ())
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Atomic.incr task_errors;
+                let fail = { chunk_index = ci; error = e; backtrace = bt } in
+                (match on_task_error with
+                 | `Fail ->
+                   record_first fail;
+                   Atomic.set cancelled true
+                 | `Skip | `Retry _ ->
+                   if remaining > 0 then attempt (remaining - 1)
+                   else begin
+                     Mutex.lock failures_lock;
+                     failures := fail :: !failures;
+                     Mutex.unlock failures_lock
+                   end)
+            in
+            attempt retries;
+            chunks_claimed.(w) <- chunks_claimed.(w) + 1;
+            busy_ns.(w) <-
+              Int64.add busy_ns.(w) (Int64.sub (Obs.Clock.now_ns ()) c0_ns)
+          end;
+          loop ()
+        end
       end
     in
     loop ()
@@ -61,15 +140,41 @@ let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~tasks f =
   let pool =
     List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
   in
-  worker 0;
-  List.iter Domain.join pool;
+  (* Every spawned domain is joined on every path: even if worker 0
+     raises (only the caller's [should_stop]/[skip_chunk]/[on_chunk_done]
+     callbacks can — task exceptions are caught above), no domain leaks.
+     An exception escaping a spawned worker (same callbacks) re-raises
+     after the remaining joins. *)
+  let join_all () =
+    let escaped =
+      List.filter_map
+        (fun d ->
+          try
+            Domain.join d;
+            None
+          with e -> Some (e, Printexc.get_raw_backtrace ()))
+        pool
+    in
+    match escaped with
+    | [] -> ()
+    | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  in
+  Fun.protect ~finally:join_all (fun () -> worker 0);
   let stats =
     {
       jobs;
       wall_s = Obs.Clock.elapsed_s t0;
       chunks = chunks_claimed;
       busy_s = Array.map Obs.Clock.ns_to_s busy_ns;
+      task_errors = Atomic.get task_errors;
+      failures =
+        List.sort
+          (fun a b -> Stdlib.compare a.chunk_index b.chunk_index)
+          !failures;
+      cancelled = Atomic.get cancelled;
     }
   in
   if Obs.Metrics.enabled () then publish name stats;
-  stats
+  match Atomic.get first_failure with
+  | Some fail -> Printexc.raise_with_backtrace fail.error fail.backtrace
+  | None -> stats

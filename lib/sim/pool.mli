@@ -1,4 +1,4 @@
-(** A reusable domain pool for deterministic fan-out.
+(** A reusable domain pool for deterministic, fault-isolated fan-out.
 
     [run] partitions the index range [0 .. tasks-1] into fixed chunks of
     [chunk] consecutive indices and lets [jobs] domains claim chunks
@@ -8,19 +8,46 @@
     result slot per chunk (or per task) and reduces the slots in index
     order obtains aggregates that are byte-identical for every [jobs]
     value. Both the Monte-Carlo ensemble engine ({!Ensemble}) and the
-    busy-beaver scan ([Busy_beaver.scan]) are built on this contract. *)
+    busy-beaver scan ([Busy_beaver.scan]) are built on this contract.
+
+    Fault isolation: a task exception never escapes a worker domain and
+    never leaks a domain — all spawned domains are joined on every
+    path. What happens next is the caller's [on_task_error] policy. *)
+
+type error_policy =
+  [ `Fail  (** cancel the batch; re-raise after all domains joined *)
+  | `Skip  (** record the failure, keep going with the other chunks *)
+  | `Retry of int  (** re-run the chunk up to [n] more times, then skip *)
+  ]
+
+type failure = {
+  chunk_index : int;
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
 
 type stats = {
-  jobs : int;            (** domains actually used (clamped to [tasks]) *)
-  wall_s : float;        (** wall-clock of the whole batch *)
-  chunks : int array;    (** chunks claimed, per worker *)
+  jobs : int;  (** domains actually used (clamped to [tasks]) *)
+  wall_s : float;  (** wall-clock of the whole batch *)
+  chunks : int array;  (** chunks claimed (run or failed), per worker *)
   busy_s : float array;  (** time inside claimed chunks, per worker *)
+  task_errors : int;  (** failed chunk attempts (retries each count) *)
+  failures : failure list;
+      (** chunks that ultimately failed under [`Skip]/[`Retry], sorted
+          by chunk index. Empty under [`Fail] (the failure re-raises). *)
+  cancelled : bool;
+      (** the batch stopped claiming chunks early — [should_stop] fired
+          or a [`Fail] failure occurred *)
 }
 
 val run :
   ?jobs:int ->
   ?chunk:int ->
   ?name:string ->
+  ?on_task_error:error_policy ->
+  ?should_stop:(unit -> bool) ->
+  ?skip_chunk:(int -> bool) ->
+  ?on_chunk_done:(int -> unit) ->
   tasks:int ->
   (lo:int -> hi:int -> unit) ->
   stats
@@ -29,10 +56,29 @@ val run :
     (worker 0 is the calling domain; defaults: [jobs = 1], [chunk = 1]).
     [f] must confine its writes to state owned by the claimed range.
 
+    [on_task_error] (default [`Fail]) resolves chunks whose [f] raises:
+    under [`Fail] the lowest-indexed failure that ran is re-raised with
+    its original backtrace — deterministically for a single failing
+    chunk — {e after} every domain is joined; under [`Skip]/[`Retry]
+    the batch completes and the failures are reported in
+    {!stats.failures} (and the ["<name>.task_errors"] counter). For
+    [`Retry] to be deterministic, [f] must reset the chunk's
+    accumulator state at the start of the chunk.
+
+    [should_stop], polled between chunk claims, is the cancellation
+    token for signal-driven shutdown: once it returns true no further
+    chunks are claimed, in-flight chunks drain, and {!stats.cancelled}
+    is set. [skip_chunk] (resume support) suppresses chunks — by chunk
+    index, i.e. [lo / chunk] — that a checkpoint already recorded;
+    skipped chunks are neither run nor counted. [on_chunk_done] fires
+    in the worker after each successfully completed chunk (its writes
+    to the chunk's slot are visible) — checkpoint writers hook here.
+
     When metrics are enabled, publishes ["<name>.chunks"],
-    ["<name>.domain<w>.chunks"], ["<name>.domain<w>.busy_s"] and the
-    ["<name>.utilization"] gauge; every chunk runs inside a
-    ["<name>.chunk"] trace span (default [name]: ["pool"]). *)
+    ["<name>.domain<w>.chunks"], ["<name>.domain<w>.busy_s"], the
+    ["<name>.utilization"] gauge and (only when nonzero)
+    ["<name>.task_errors"]; every chunk runs inside a ["<name>.chunk"]
+    trace span (default [name]: ["pool"]). *)
 
 val utilization : stats -> float
 (** Total busy time over [jobs * wall] — 1.0 is a perfectly packed pool. *)

@@ -39,7 +39,16 @@ let m_configs = Obs.Metrics.counter "configgraph.configs"
 let m_edges = Obs.Metrics.counter "configgraph.edges"
 let m_packed = Obs.Metrics.counter "configgraph.packed_explorations"
 
-let explore ?(max_configs = 2_000_000) p c0 =
+let check_deadline deadline ~configs ~edges =
+  match deadline with
+  | None -> ()
+  | Some d ->
+    Obs.Budget.raise_if_expired
+      ~consumed:
+        [ ("configs", float_of_int configs); ("edges", float_of_int edges) ]
+      d
+
+let explore ?(max_configs = 2_000_000) ?deadline p c0 =
   let index = H.create 1024 in
   let configs = Grow.create (Mset.zero 0) in
   let succs = Grow.create [||] in
@@ -72,6 +81,8 @@ let explore ?(max_configs = 2_000_000) p c0 =
           let root = intern c0 in
           let i = ref 0 in
           while !i < configs.Grow.len do
+            if !i land 255 = 0 then
+              check_deadline deadline ~configs:configs.Grow.len ~edges:!edges;
             Obs.Progress.tick progress (fun () ->
                 Printf.sprintf "%d configs explored, %d discovered, %d edges"
                   !i configs.Grow.len !edges);
@@ -173,7 +184,7 @@ module Packed = struct
     let h = x * 0x2545F4914F6CDD1D in
     (h lxor (h lsr 29)) land max_int
 
-  let explore ?(max_configs = 2_000_000) p c0 =
+  let explore ?(max_configs = 2_000_000) ?deadline p c0 =
     if not (applicable p c0) then
       invalid_arg "Configgraph.Packed.explore: protocol/configuration not packable";
     let nt = Population.num_transitions p in
@@ -258,10 +269,12 @@ module Packed = struct
             let root = intern (Mset.pack c0) in
             let i = ref 0 in
             while !i < configs.Grow.len do
-              if !i land 1023 = 0 then
+              if !i land 1023 = 0 then begin
+                check_deadline deadline ~configs:configs.Grow.len ~edges:!edges;
                 Obs.Progress.tick progress (fun () ->
                     Printf.sprintf "%d configs explored, %d discovered, %d edges"
-                      !i configs.Grow.len !edges);
+                      !i configs.Grow.len !edges)
+              end;
               let c = Grow.get configs !i in
               let nvals = ref 0 in
               for t = 0 to nt - 1 do

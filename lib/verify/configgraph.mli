@@ -20,10 +20,14 @@ type t = private {
 exception Too_many_configs of int
 (** Raised by {!explore} when the exploration exceeds its node budget. *)
 
-val explore : ?max_configs:int -> Population.t -> Mset.t -> t
+val explore :
+  ?max_configs:int -> ?deadline:Obs.Budget.deadline -> Population.t -> Mset.t -> t
 (** [explore p c0] builds the graph of configurations reachable from
     [c0]. Default budget: 2_000_000 nodes.
-    @raise Too_many_configs if the budget is exceeded. *)
+    @raise Too_many_configs if the node budget is exceeded.
+    @raise Obs.Budget.Exceeded if [deadline] expires mid-exploration
+    (checked every 256 nodes); the exception reports the configs/edges
+    consumed so far. *)
 
 val num_configs : t -> int
 
@@ -64,8 +68,11 @@ module Packed : sig
 
   val applicable : Population.t -> Mset.t -> bool
 
-  val explore : ?max_configs:int -> Population.t -> Mset.t -> graph
-  (** @raise Too_many_configs as {!val:explore}.
+  val explore :
+    ?max_configs:int -> ?deadline:Obs.Budget.deadline -> Population.t ->
+    Mset.t -> graph
+  (** @raise Too_many_configs and @raise Obs.Budget.Exceeded as
+      {!val:explore} (deadline checked every 1024 nodes).
       @raise Invalid_argument when not {!applicable}. *)
 
   val num_configs : graph -> int

@@ -15,9 +15,14 @@ let pp_result fmt = function
 
 let m_inputs = Obs.Metrics.counter "eta_search.inputs_checked"
 
-let find ?max_configs ?packed p ~max_input =
+let find ?max_configs ?wall_budget_s ?packed p ~max_input =
   if Array.length p.Population.input_vars <> 1 then
     invalid_arg "Eta_search.find: single-input protocols only";
+  (* one deadline spans the whole scan, not one per input: the budget
+     bounds the total time spent on this protocol *)
+  let deadline =
+    Option.map (Obs.Budget.deadline_in ~source:"eta_search.find") wall_budget_s
+  in
   let inputs = Fair_semantics.valid_inputs_single p ~max:max_input in
   let total = List.length inputs in
   let progress = Obs.Progress.create "eta_search.find" in
@@ -34,7 +39,7 @@ let find ?max_configs ?packed p ~max_input =
       Obs.Progress.tick progress (fun () ->
           Printf.sprintf "input %d (%d/%d checked)" i checked total);
       Obs.Metrics.incr m_inputs;
-      (match Fair_semantics.decide ?max_configs ?packed p [| i |] with
+      (match Fair_semantics.decide ?max_configs ?deadline ?packed p [| i |] with
        | Fair_semantics.Decides true ->
          let flipped = match flipped with Some _ -> flipped | None -> Some i in
          go (checked + 1) flipped rest

@@ -16,12 +16,17 @@ type result =
       (** some input breaks the 0*1* threshold pattern, or is undecided *)
 
 val find :
-  ?max_configs:int -> ?packed:bool -> Population.t -> max_input:int -> result
+  ?max_configs:int -> ?wall_budget_s:float -> ?packed:bool -> Population.t ->
+  max_input:int -> result
 (** [find p ~max_input] decides every valid input [<= max_input] of a
     single-input-variable protocol. [?packed] selects the
     configuration-graph representation (see
     {!Fair_semantics.decide_config}); the result is identical either
-    way.
-    @raise Invalid_argument if the protocol has several input variables. *)
+    way. [?wall_budget_s] bounds the {e total} wall-clock time spent on
+    this protocol (one deadline spans all its configuration-graph
+    explorations); note a wall budget makes aborts machine-dependent, so
+    leave it off when byte-identical reruns matter.
+    @raise Invalid_argument if the protocol has several input variables.
+    @raise Obs.Budget.Exceeded when the wall budget expires. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -76,12 +76,12 @@ let support_output_table p =
   done;
   tbl
 
-let decide_config ?max_configs ?(packed = true) p c0 =
+let decide_config ?max_configs ?deadline ?(packed = true) p c0 =
   Obs.Trace.with_span "fair_semantics.decide" ~cat:"verify"
     ~args:[ ("protocol", p.Population.name) ]
     (fun () ->
       if packed && Configgraph.Packed.applicable p c0 then begin
-        let g = Configgraph.Packed.explore ?max_configs p c0 in
+        let g = Configgraph.Packed.explore ?max_configs ?deadline p c0 in
         let scc = Scc.compute g.Configgraph.Packed.succ in
         let bottom = Scc.bottom_components scc in
         publish_scc scc bottom;
@@ -102,7 +102,7 @@ let decide_config ?max_configs ?(packed = true) p c0 =
         verdict_of_bottom ~output_of_node scc bottom
       end
       else begin
-        let g = Configgraph.explore ?max_configs p c0 in
+        let g = Configgraph.explore ?max_configs ?deadline p c0 in
         let scc = Scc.compute g.Configgraph.succ in
         let bottom = Scc.bottom_components scc in
         publish_scc scc bottom;
@@ -112,8 +112,8 @@ let decide_config ?max_configs ?(packed = true) p c0 =
         verdict_of_bottom ~output_of_node scc bottom
       end)
 
-let decide ?max_configs ?packed p v =
-  decide_config ?max_configs ?packed p (Population.initial_config p v)
+let decide ?max_configs ?deadline ?packed p v =
+  decide_config ?max_configs ?deadline ?packed p (Population.initial_config p v)
 
 type check_result =
   | Ok_all of int

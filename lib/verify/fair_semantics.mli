@@ -13,16 +13,19 @@ type verdict =
   | Conflicting             (** uniform bottom SCCs with different outputs *)
 
 val decide_config :
-  ?max_configs:int -> ?packed:bool -> Population.t -> Mset.t -> verdict
+  ?max_configs:int -> ?deadline:Obs.Budget.deadline -> ?packed:bool ->
+  Population.t -> Mset.t -> verdict
 (** Verdict for a concrete initial configuration. When the instance fits
     the packed representation ({!Configgraph.Packed.applicable}) the
     graph is explored on immediate ints — same graph, same verdict,
     several times faster; [~packed:false] forces the reference multiset
     exploration (the two are compared differentially in the tests).
-    @raise Configgraph.Too_many_configs if the graph exceeds the budget. *)
+    @raise Configgraph.Too_many_configs if the graph exceeds the budget.
+    @raise Obs.Budget.Exceeded if [deadline] expires mid-exploration. *)
 
 val decide :
-  ?max_configs:int -> ?packed:bool -> Population.t -> int array -> verdict
+  ?max_configs:int -> ?deadline:Obs.Budget.deadline -> ?packed:bool ->
+  Population.t -> int array -> verdict
 (** Verdict for input [v] (starting from [IC(v)]). *)
 
 type check_result =

@@ -211,6 +211,128 @@ let test_pool_clamps_jobs () =
   let stats = Pool.run ~jobs:0 ~chunk:1 ~tasks:3 (fun ~lo:_ ~hi:_ -> ()) in
   Alcotest.(check int) "at least one domain" 1 stats.Pool.jobs
 
+(* -- Pool fault isolation ---------------------------------------------------- *)
+
+exception Boom of int
+
+(* Under [`Fail] the poisoned chunk's exception must re-raise out of
+   [run] with every domain joined first. 200 iterations x 4 spawned
+   workers would exhaust the runtime's domain limit (~128 concurrent)
+   within a few iterations if any join leaked, so merely finishing this
+   loop is the leak assertion. *)
+let test_pool_fail_joins_all_domains () =
+  for _ = 1 to 200 do
+    match
+      Pool.run ~jobs:4 ~chunk:4 ~tasks:64 (fun ~lo ~hi:_ ->
+          if lo / 4 = 7 then raise (Boom 7))
+    with
+    | _ -> Alcotest.fail "poisoned chunk did not raise"
+    | exception Boom 7 -> ()
+  done
+
+let test_pool_fail_is_deterministic () =
+  (* a single poisoned chunk is re-raised identically on every run and
+     every jobs setting — first-failure-wins has only one candidate *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.run ~jobs ~chunk:8 ~tasks:80 (fun ~lo ~hi:_ ->
+            if lo / 8 = 5 then raise (Boom (lo / 8)))
+      with
+      | _ -> Alcotest.fail "poisoned chunk did not raise"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d re-raises the poisoned chunk" jobs)
+          5 i)
+    [ 1; 2; 4 ]
+
+(* Skip/Retry: the batch completes, the failures are reported, and the
+   surviving per-task results plus the failure accounting are identical
+   across every jobs setting. The task body is deterministic, so a
+   retried chunk fails on every attempt and each attempt counts. *)
+let pool_fault_determinism_prop =
+  prop "Skip/Retry aggregates are jobs-invariant under injected faults"
+    ~count:40
+    QCheck.(
+      quad (int_range 1 150) (int_range 1 16) (int_range 0 149)
+        (option (int_range 0 2)))
+    (fun (tasks, chunk, poison, retries) ->
+      let poison = poison mod tasks in
+      let policy =
+        match retries with None -> `Skip | Some n -> `Retry n
+      in
+      let run_with jobs =
+        let acc = Array.make tasks 0 in
+        let stats =
+          Pool.run ~jobs ~chunk ~on_task_error:policy ~tasks (fun ~lo ~hi ->
+              for i = lo to hi - 1 do
+                acc.(i) <- (i * i) + 1
+              done;
+              if lo <= poison && poison < hi then raise (Boom poison))
+        in
+        let failed_chunks =
+          List.map (fun f -> f.Pool.chunk_index) stats.Pool.failures
+        in
+        (acc, stats.Pool.task_errors, failed_chunks, stats.Pool.cancelled)
+      in
+      let reference = run_with 1 in
+      let attempts = match policy with `Skip -> 1 | `Retry n -> 1 + n in
+      let _, task_errors, failed_chunks, cancelled = reference in
+      task_errors = attempts
+      && failed_chunks = [ poison / chunk ]
+      && (not cancelled)
+      && List.for_all (fun jobs -> run_with jobs = reference) [ 2; 4 ])
+
+let test_pool_should_stop_cancels () =
+  let claimed = Atomic.make 0 in
+  let stats =
+    Pool.run ~jobs:1 ~chunk:1 ~tasks:100
+      ~should_stop:(fun () -> Atomic.get claimed >= 5)
+      (fun ~lo:_ ~hi:_ -> Atomic.incr claimed)
+  in
+  Alcotest.(check bool) "cancelled flag set" true stats.Pool.cancelled;
+  Alcotest.(check bool) "stopped early"
+    true
+    (Atomic.get claimed < 100)
+
+(* -- Checkpoint/resume: kill at a random chunk, resume, compare ------------- *)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "bbscan" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let checkpoint_resume_prop =
+  prop "interrupted scan resumes to the uninterrupted result" ~count:8
+    QCheck.(pair (int_range 1 26) (int_range 1 4))
+    (fun (kill_after, jobs) ->
+      with_temp_checkpoint (fun path ->
+          let reference = Busy_beaver.scan ~n:2 ~max_input:8 ~chunk:4 () in
+          (* first run: the cancellation token fires after [kill_after]
+             polls (one poll per chunk claim; the n=2 scan has 27 chunks
+             at chunk=4), snapshotting every completed chunk *)
+          let polls = Atomic.make 0 in
+          let interrupted =
+            Busy_beaver.scan ~n:2 ~max_input:8 ~chunk:4 ~jobs
+              ~checkpoint:path ~checkpoint_every_chunks:1
+              ~should_stop:(fun () ->
+                Atomic.fetch_and_add polls 1 >= kill_after)
+              ()
+          in
+          let resumed =
+            Busy_beaver.scan ~n:2 ~max_input:8 ~chunk:4 ~jobs:1
+              ~checkpoint:path ~resume:true ()
+          in
+          (* whether the first run was truly cut short or drained before
+             the token was polled, the resumed result must equal the
+             uninterrupted reference byte for byte *)
+          interrupted.Busy_beaver.total_chunks = 27
+          && result_eq resumed reference
+          && resumed.Busy_beaver.completed_chunks
+             = resumed.Busy_beaver.total_chunks
+          && not resumed.Busy_beaver.interrupted))
+
 let () =
   Alcotest.run "bbscan"
     [
@@ -242,4 +364,15 @@ let () =
             test_pool_covers_every_index;
           Alcotest.test_case "clamps jobs" `Quick test_pool_clamps_jobs;
         ] );
+      ( "faults",
+        [
+          Alcotest.test_case "Fail joins all domains (leak stress)" `Quick
+            test_pool_fail_joins_all_domains;
+          Alcotest.test_case "Fail re-raise is deterministic" `Quick
+            test_pool_fail_is_deterministic;
+          pool_fault_determinism_prop;
+          Alcotest.test_case "should_stop cancels" `Quick
+            test_pool_should_stop_cancels;
+        ] );
+      ("checkpoint", [ checkpoint_resume_prop ]);
     ]

@@ -325,10 +325,17 @@ let test_km_parametric_dead_state () =
 
 let test_km_budget () =
   let p = Flock.succinct 2 in
-  Alcotest.(check bool) "budget enforced" true
-    (match Karp_miller.clover ~max_nodes:2 p (Population.initial_single p 6) with
-     | _ -> false
-     | exception Failure _ -> true)
+  match Karp_miller.clover ~max_nodes:2 p (Population.initial_single p 6) with
+  | _ -> Alcotest.fail "budget of 2 nodes not enforced"
+  | exception Obs.Budget.Exceeded info ->
+    Alcotest.(check string) "source" "karp_miller.clover" info.Obs.Budget.source;
+    Alcotest.(check string) "resource" "nodes" info.Obs.Budget.resource;
+    (match info.Obs.Budget.partial with
+     | Karp_miller.Partial_clover vs ->
+       (* the partial clover under-approximates: everything in it is
+          genuinely reachable-downward, here just sanity-check shape *)
+       Alcotest.(check bool) "partial clover non-empty" true (vs <> [])
+     | _ -> Alcotest.fail "expected Partial_clover in the budget exception")
 
 let () =
   Alcotest.run "coverability"

@@ -63,14 +63,25 @@ let test_scalar_criterion_ablation () =
   Alcotest.(check bool) "no criterion diverges into the budget" true
     (match Hilbert_basis.solve_eq ~scalar_criterion:false ~max_candidates:2000 s with
      | _ -> false
-     | exception Failure _ -> true)
+     | exception Obs.Budget.Exceeded _ -> true)
 
 let test_eq_budget () =
   let s = sys [ [ 1; -1 ] ] ~num_vars:2 in
-  Alcotest.(check bool) "budget respected" true
-    (match Hilbert_basis.solve_eq ~max_candidates:1 s with
-     | _ -> true
-     | exception Failure _ -> true)
+  (* the typed budget exception must identify the source, report how
+     much was consumed, and carry a sound partial basis *)
+  match Hilbert_basis.solve_eq ~scalar_criterion:false ~max_candidates:1 s with
+  | _ -> Alcotest.fail "budget of 1 candidate not enforced"
+  | exception Obs.Budget.Exceeded info ->
+    Alcotest.(check string) "source" "hilbert.solve_eq" info.Obs.Budget.source;
+    Alcotest.(check string) "resource" "candidates" info.Obs.Budget.resource;
+    Alcotest.(check bool) "consumed over limit" true
+      (List.assoc "candidates" info.Obs.Budget.consumed
+       > info.Obs.Budget.limit);
+    (match info.Obs.Budget.partial with
+     | Hilbert_basis.Partial_basis partial ->
+       Alcotest.(check bool) "partial elements are solutions" true
+         (List.for_all (Diophantine.is_solution_eq s) partial)
+     | _ -> Alcotest.fail "expected Partial_basis in the budget exception")
 
 (* brute-force minimal solutions for small systems *)
 let brute_minimal_eq s ~bound =

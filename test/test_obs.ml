@@ -402,6 +402,142 @@ let test_progress_disabled_is_silent () =
   done;
   Alcotest.(check int) "no lines" 0 (Obs.Progress.lines t)
 
+(* -- budget --------------------------------------------------------------- *)
+
+let test_budget_exceeded_carries_stats () =
+  match
+    raise
+      (Obs.Budget.exceeded ~source:"test.engine" ~resource:"nodes" ~limit:10.0
+         ~consumed:[ ("nodes", 11.0); ("edges", 40.0) ]
+         ())
+  with
+  | _ -> Alcotest.fail "unreachable"
+  | exception Obs.Budget.Exceeded info ->
+    Alcotest.(check string) "source" "test.engine" info.Obs.Budget.source;
+    Alcotest.(check string) "resource" "nodes" info.Obs.Budget.resource;
+    Alcotest.(check (float 0.0)) "limit" 10.0 info.Obs.Budget.limit;
+    Alcotest.(check (float 0.0)) "consumed" 11.0
+      (List.assoc "nodes" info.Obs.Budget.consumed);
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    let d = Obs.Budget.describe info in
+    Alcotest.(check bool) "describe names the engine" true
+      (contains d "test.engine")
+
+let test_budget_deadline () =
+  let d = Obs.Budget.deadline_in ~source:"test.deadline" 3600.0 in
+  Alcotest.(check bool) "hour-long deadline not expired" false
+    (Obs.Budget.expired d);
+  Obs.Budget.raise_if_expired ~consumed:[] d;
+  let d0 = Obs.Budget.deadline_in ~source:"test.deadline" 0.0 in
+  Alcotest.(check bool) "zero deadline expires" true
+    (let rec spin n = Obs.Budget.expired d0 || (n > 0 && spin (n - 1)) in
+     spin 1_000_000);
+  match Obs.Budget.raise_if_expired ~consumed:[ ("configs", 5.0) ] d0 with
+  | () -> Alcotest.fail "expired deadline did not raise"
+  | exception Obs.Budget.Exceeded info ->
+    Alcotest.(check string) "resource is wall_s" "wall_s" info.Obs.Budget.resource;
+    Alcotest.(check string) "source" "test.deadline" info.Obs.Budget.source
+
+(* -- checkpoint ----------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "obs_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let sample_checkpoint () =
+  let config = Obs.Json.Obj [ ("n", Obs.Json.Int 3); ("chunk", Obs.Json.Int 16) ] in
+  let cp = Obs.Checkpoint.create ~config ~total_chunks:10 in
+  Obs.Checkpoint.mark_done cp 0 (Obs.Json.Obj [ ("scanned", Obs.Json.Int 16) ]);
+  Obs.Checkpoint.mark_done cp 7 (Obs.Json.Obj [ ("scanned", Obs.Json.Int 9) ]);
+  cp
+
+let checkpoints_equal a b =
+  a.Obs.Checkpoint.config_hash = b.Obs.Checkpoint.config_hash
+  && a.Obs.Checkpoint.total_chunks = b.Obs.Checkpoint.total_chunks
+  && a.Obs.Checkpoint.state = b.Obs.Checkpoint.state
+
+let test_checkpoint_roundtrip () =
+  let cp = sample_checkpoint () in
+  Alcotest.(check int) "two chunks done" 2 (Obs.Checkpoint.num_done cp);
+  Alcotest.(check bool) "chunk 7 done" true (Obs.Checkpoint.is_done cp 7);
+  Alcotest.(check bool) "chunk 3 not done" false (Obs.Checkpoint.is_done cp 3);
+  match Obs.Checkpoint.of_json (Obs.Checkpoint.to_json cp) with
+  | Error msg -> Alcotest.failf "of_json: %s" msg
+  | Ok cp' ->
+    Alcotest.(check bool) "JSON round-trip" true (checkpoints_equal cp cp')
+
+let test_checkpoint_save_load () =
+  with_temp_file (fun path ->
+      let cp = sample_checkpoint () in
+      Obs.Checkpoint.save ~path cp;
+      (match Obs.Checkpoint.load path with
+       | Error msg -> Alcotest.failf "load: %s" msg
+       | Ok cp' ->
+         Alcotest.(check bool) "file round-trip" true (checkpoints_equal cp cp'));
+      (* a fresh snapshot of a different config must not validate
+         against the old hash *)
+      let other =
+        Obs.Checkpoint.create
+          ~config:(Obs.Json.Obj [ ("n", Obs.Json.Int 4) ])
+          ~total_chunks:10
+      in
+      Alcotest.(check bool) "different config, different hash" false
+        (other.Obs.Checkpoint.config_hash = cp.Obs.Checkpoint.config_hash))
+
+let test_checkpoint_rejects_garbage () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "{\"schema\": \"ppcheckpoint/v1\", \"total_ch";
+      close_out oc;
+      match Obs.Checkpoint.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated snapshot must not load")
+
+let test_checkpoint_writer_flush () =
+  with_temp_file (fun path ->
+      let cp =
+        Obs.Checkpoint.create
+          ~config:(Obs.Json.Obj [ ("n", Obs.Json.Int 2) ])
+          ~total_chunks:5
+      in
+      (* huge thresholds: only note_done's threshold crossing or flush
+         may write *)
+      let w = Obs.Checkpoint.writer ~every_chunks:1000 ~every_s:1e9 ~path cp in
+      Obs.Checkpoint.note_done w 2 Obs.Json.Null;
+      Obs.Checkpoint.flush w;
+      match Obs.Checkpoint.load path with
+      | Error msg -> Alcotest.failf "load after flush: %s" msg
+      | Ok cp' ->
+        Alcotest.(check int) "flushed chunk present" 1
+          (Obs.Checkpoint.num_done cp');
+        Alcotest.(check bool) "chunk 2 done" true (Obs.Checkpoint.is_done cp' 2))
+
+(* -- shutdown ------------------------------------------------------------- *)
+
+let test_shutdown_install_idempotent () =
+  Obs.Shutdown.install ();
+  Obs.Shutdown.install ();
+  Alcotest.(check bool) "no signal yet" false (Obs.Shutdown.requested ());
+  Alcotest.(check bool) "no exit code yet" true (Obs.Shutdown.exit_code () = None);
+  (* nesting with_graceful must restore the depth on both paths *)
+  let r =
+    Obs.Shutdown.with_graceful (fun () ->
+        Obs.Shutdown.with_graceful (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "nested graceful regions" 42 r;
+  (match
+     Obs.Shutdown.with_graceful (fun () -> raise (Failure "boom"))
+   with
+   | _ -> Alcotest.fail "exception swallowed"
+   | exception Failure _ -> ());
+  Obs.Shutdown.exit_if_requested ()
+
 (* -- clock ---------------------------------------------------------------- *)
 
 let test_clock_monotone () =
@@ -467,6 +603,26 @@ let () =
           Alcotest.test_case "throttling" `Quick test_progress_throttles;
           Alcotest.test_case "disabled is silent" `Quick
             test_progress_disabled_is_silent;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "Exceeded carries stats" `Quick
+            test_budget_exceeded_carries_stats;
+          Alcotest.test_case "deadlines" `Quick test_budget_deadline;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_checkpoint_save_load;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_checkpoint_rejects_garbage;
+          Alcotest.test_case "writer flush" `Quick test_checkpoint_writer_flush;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "install is idempotent, graceful nests" `Quick
+            test_shutdown_install_idempotent;
         ] );
       ("clock", [ Alcotest.test_case "monotone" `Quick test_clock_monotone ]);
       ( "determinism",

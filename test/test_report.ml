@@ -130,27 +130,36 @@ let ledger_roundtrip_prop =
           try Unix.rmdir dir with Unix.Unix_error _ -> ())
       @@ fun () ->
       List.iter (fun r -> Obs.History.append ~dir r) runs;
-      Obs.History.load_ledger dir = Ok runs)
+      Obs.History.load_ledger dir = Ok (runs, 0))
 
+(* a crash mid-append leaves a truncated/garbage tail line; the good
+   runs around it must stay readable, with the bad lines counted *)
 let test_ledger_bad_line () =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () ->
       (try Sys.remove (Obs.History.ledger_file dir) with Sys_error _ -> ());
       try Unix.rmdir dir with Unix.Unix_error _ -> ())
   @@ fun () ->
-  Obs.History.append ~dir
-    { Obs.History.meta = None; sections = []; timings = [] };
+  let a = { Obs.History.meta = None; sections = []; timings = [] } in
+  let b =
+    { Obs.History.meta = None; sections = []; timings = [ ("t", 1.0) ] }
+  in
+  Obs.History.append ~dir a;
   let oc =
     Out_channel.open_gen
       [ Open_append; Open_text ] 0o644 (Obs.History.ledger_file dir)
   in
+  (* a valid line truncated mid-object, then plain garbage *)
+  Out_channel.output_string oc "{\"schema\": \"ppbench/v2\", \"sect\n";
   Out_channel.output_string oc "not json\n";
   Out_channel.close oc;
+  Obs.History.append ~dir b;
   match Obs.History.load_ledger dir with
-  | Error e ->
-    Alcotest.(check bool) "error names the line" true
-      (String.length e > 0)
-  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error e -> Alcotest.fail e
+  | Ok (runs, skipped) ->
+    Alcotest.(check int) "both good runs survive" 2 (List.length runs);
+    Alcotest.(check bool) "order preserved" true (runs = [ a; b ]);
+    Alcotest.(check int) "bad lines counted" 2 skipped
 
 (* -- medians -------------------------------------------------------------- *)
 
