@@ -133,6 +133,89 @@ let e5 () =
       "threshold-binary-3"; "threshold-binary-5"; "threshold-unary-3"; "mod-2-0";
     ]
 
+(* ----------------------------------------------------------------- E4p *)
+
+let e4p () =
+  (* fixed jobs matrix (not Domain.recommended_domain_count): the
+     section's summed work counters must be machine-independent so the
+     regression gate can require them exactly; speedup is informational
+     and only meaningful on a multi-core host *)
+  section "E4p"
+    "Parallel backward coverability: stable-set fixpoints over the domain pool";
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    (r, Obs.Clock.elapsed_s t0)
+  in
+  row "%-22s %-8s %-10s %-10s %-8s\n" "protocol" "jobs" "wall (s)" "speedup"
+    "det-ok";
+  List.iter
+    (fun name ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        let base = ref None in
+        List.iter
+          (fun jobs ->
+            let a, wall = time (fun () -> Stable_sets.analyse ~jobs p) in
+            let a0, wall0 =
+              match !base with
+              | Some x -> x
+              | None ->
+                base := Some (a, wall);
+                (a, wall)
+            in
+            (* the acceptance check of the parallel expansion: the
+               bases agree byte-for-byte whatever the domain count *)
+            let det_ok =
+              Downset.equal a.Stable_sets.stable0 a0.Stable_sets.stable0
+              && Downset.equal a.Stable_sets.stable1 a0.Stable_sets.stable1
+              && Upset.equal a.Stable_sets.unstable0 a0.Stable_sets.unstable0
+              && Upset.equal a.Stable_sets.unstable1 a0.Stable_sets.unstable1
+            in
+            row "%-22s %-8d %-10.2f %-10.2f %b\n" name jobs wall (wall0 /. wall)
+              det_ok)
+          [ 1; 2; 4 ])
+    [ "flock-succinct-5"; "threshold-binary-37" ]
+
+(* ----------------------------------------------------------------- E5p *)
+
+let e5p () =
+  section "E5p"
+    "Parallel Hilbert bases: Contejean–Devie completion over the domain pool";
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    (r, Obs.Clock.elapsed_s t0)
+  in
+  row "%-22s %-8s %-10s %-10s %-8s\n" "protocol" "jobs" "wall (s)" "speedup"
+    "det-ok";
+  List.iter
+    (fun name ->
+      match Catalog.build name with
+      | None -> ()
+      | Some e ->
+        let p = e.Catalog.build () in
+        let base = ref None in
+        List.iter
+          (fun jobs ->
+            let b, wall = time (fun () -> Potential.basis ~jobs p) in
+            let b0, wall0 =
+              match !base with
+              | Some x -> x
+              | None ->
+                base := Some (b, wall);
+                (b, wall)
+            in
+            (* the acceptance check of the two-phase completion round:
+               the basis agrees byte-for-byte whatever the domain
+               count *)
+            row "%-22s %-8d %-10.2f %-10.2f %b\n" name jobs wall (wall0 /. wall)
+              (b = b0))
+          [ 1; 2; 4 ])
+    [ "threshold-unary-7"; "mod-5-2" ]
+
 (* ------------------------------------------------------------------ E6 *)
 
 let e6 () =
@@ -542,7 +625,8 @@ let ablations () =
                   ~max_candidates:400_000 sys
               with
               | basis -> Printf.sprintf "%d elements" (List.length basis)
-              | exception Failure _ -> "diverges (400k-candidate budget hit)")
+              | exception Obs.Budget.Exceeded _ ->
+                "diverges (400k-candidate budget hit)")
         in
         let cand_without = Obs.Metrics.value c_cand - cand1 in
         row
@@ -643,7 +727,8 @@ let timings () =
 
 let experiments =
   [
-    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4p", e4p); ("E5", e5);
+    ("E5p", e5p); ("E6", e6);
     ("E7", e7); ("E7p", e7p); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15);
     ("ablations", ablations); ("timings", timings);

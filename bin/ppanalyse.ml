@@ -15,7 +15,7 @@ let load ~name ~file =
   | None, Some f -> Protocol_syntax.parse_file f
   | _ -> Error "exactly one of --protocol and --file is required"
 
-let run name file max_input () =
+let run name file max_input jobs () =
   match load ~name ~file with
   | Error e ->
     prerr_endline e;
@@ -25,7 +25,7 @@ let run name file max_input () =
     Format.printf "%a@." Population.pp p;
 
     Format.printf "@.-- stable sets (Definition 2, Lemma 3.2) --@.";
-    let analysis = Stable_sets.analyse p in
+    let analysis = Stable_sets.analyse ~jobs p in
     Format.printf "%a@." Stable_sets.pp_summary analysis;
     Format.printf "SC_0 = %a@." (Downset.pp ~names) analysis.Stable_sets.stable0;
     Format.printf "SC_1 = %a@." (Downset.pp ~names) analysis.Stable_sets.stable1;
@@ -60,7 +60,7 @@ let run name file max_input () =
        | Error msg -> Format.printf "saturation: %s@." msg);
 
       Format.printf "@.-- potentially realisable multisets (Cor. 5.7) --@.";
-      let basis = Potential.basis p in
+      let basis = Potential.basis ~jobs p in
       Format.printf "Pottier basis: %d elements; Corollary 5.7 bounds hold: %b@."
         (List.length basis)
         (Potential.check_corollary_5_7 p basis);
@@ -97,9 +97,15 @@ let file_arg =
 let max_input_arg =
   Arg.(value & opt int 12 & info [ "max-input" ] ~doc:"Search cutoff.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the stable-set fixpoints and the Pottier \
+               basis completion. Results are identical for any value.")
+
 let cmd =
   Cmd.v
     (Cmd.info "ppanalyse" ~doc:"State-complexity analysis of a population protocol")
-    Term.(const run $ name_arg $ file_arg $ max_input_arg $ Obs_cli.term)
+    Term.(const run $ name_arg $ file_arg $ max_input_arg $ jobs_arg
+          $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -27,7 +27,8 @@ let print_witness p v =
     Format.printf "reached: %a@." (Population.pp_config p) c
   | None -> Format.printf "no accepting configuration is reachable@."
 
-let run name file input max_input max_configs wall_budget witness () =
+let run name file input max_input max_configs wall_budget witness jobs stable ()
+    =
   let deadline =
     Option.map (Obs.Budget.deadline_in ~source:"ppverify") wall_budget
   in
@@ -63,8 +64,8 @@ let run name file input max_input max_configs wall_budget witness () =
        end
        else begin
          try
-           (match Eta_search.find ~max_configs ?wall_budget_s:wall_budget p
-                    ~max_input with
+           (match Eta_search.find ~max_configs ?wall_budget_s:wall_budget ~jobs
+                    ~stable:(if stable then `Memo else `Off) p ~max_input with
             | Eta_search.Eta eta ->
               Format.printf "threshold protocol: eta = %d (inputs up to %d)@." eta max_input
             | r -> Format.printf "%a@." Eta_search.pp_result r);
@@ -110,11 +111,25 @@ let witness_arg =
   Arg.(value & flag & info [ "w"; "witness" ]
          ~doc:"With --input: print a shortest trace to an accepting configuration.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel verification paths (threshold \
+               search with --stable-sets). Results are identical for any \
+               value.")
+
+let stable_arg =
+  Arg.(value & flag & info [ "stable-sets" ]
+         ~doc:"During threshold search, decide inputs whose initial \
+               configuration already lies in a stable set (Definition 2) \
+               without exploring their configuration graph; the stable-set \
+               analysis is computed once and memoized.")
+
 let cmd =
   Cmd.v
     (Cmd.info "ppverify" ~doc:"Exact verification of population protocols")
     Term.(
       const run $ name_arg $ file_arg $ input_arg $ max_input_arg
-      $ max_configs_arg $ wall_budget_arg $ witness_arg $ Obs_cli.term)
+      $ max_configs_arg $ wall_budget_arg $ witness_arg $ jobs_arg $ stable_arg
+      $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

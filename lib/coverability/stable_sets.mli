@@ -16,7 +16,19 @@ type t = {
   stable1 : Downset.t;   (** [SC_1] *)
 }
 
-val analyse : Population.t -> t
+val analyse : ?jobs:int -> ?chunk:int -> Population.t -> t
+(** [jobs]/[chunk] parallelise the two backward fixpoints (see
+    {!Backward.pre_star}); the analysis is identical for any setting. *)
+
+val analyse_memo : ?jobs:int -> ?chunk:int -> Population.t -> t
+(** {!analyse}, memoized in a bounded process-wide cache keyed by a
+    structural fingerprint of the protocol (name excluded), so repeated
+    sweeps — e.g. one {!val:analyse} per eta candidate — pay for the
+    backward fixpoints once. Thread-safe. Publishes
+    ["stable_sets.memo_hits"]/["stable_sets.memo_misses"]. *)
+
+val memo_clear : unit -> unit
+(** Empty the {!analyse_memo} cache (tests use this for isolation). *)
 
 val stable : t -> bool -> Downset.t
 val unstable : t -> bool -> Upset.t

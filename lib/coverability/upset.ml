@@ -26,7 +26,14 @@ let is_empty u = u.minimal = []
 let add m u =
   if mem m u then None
   else
-    let minimal = minimize (m :: List.filter (fun m' -> not (Mset.leq m m')) u.minimal) in
+    (* [m] is below no survivor (they'd have been filtered) and above
+       none (mem returned false), so the filtered list extended with [m]
+       is already an antichain: sorting alone restores canonical form,
+       no quadratic re-minimization needed. *)
+    let minimal =
+      List.sort_uniq Mset.compare
+        (m :: List.filter (fun m' -> not (Mset.leq m m')) u.minimal)
+    in
     Some { u with minimal }
 
 let union a b =

@@ -38,6 +38,205 @@ let publish name s =
   if s.wall_s > 0.0 then
     Obs.Metrics.set (Obs.Metrics.gauge (name ^ ".utilization")) (utilization s)
 
+(* Iterated fan-out over driver-computed rounds: the worker domains
+   persist across rounds (no per-generation spawn/join), separated by a
+   barrier. The driver alone runs [next] — which reduces the previous
+   round's slots and stages the next round's tasks — so callers get the
+   same determinism contract as [run]: fixed chunk partition per round,
+   index-ordered reduction on the driver, aggregates independent of
+   [jobs]. A task exception cancels the batch and re-raises after every
+   domain is joined (first failing chunk of the earliest round wins); an
+   exception escaping [next] (e.g. a budget raised during reduction)
+   likewise joins all domains before propagating. *)
+let run_rounds ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~next f =
+  let jobs = Stdlib.max 1 jobs in
+  let chunk = Stdlib.max 1 chunk in
+  let span = name ^ ".chunk" in
+  if jobs = 1 then begin
+    (* Sequential driver: same rounds, same chunk partition, no domains. *)
+    let t0 = Obs.Clock.now_ns () in
+    let chunks = ref 0 in
+    let rec go r =
+      match next () with
+      | None -> ()
+      | Some tasks ->
+        let lo = ref 0 in
+        while !lo < tasks do
+          let hi = Stdlib.min tasks (!lo + chunk) in
+          Obs.Trace.with_span span ~cat:"pool"
+            ~args:
+              [ ("round", string_of_int r); ("lo", string_of_int !lo);
+                ("hi", string_of_int (hi - 1)) ]
+            (fun () -> f ~round:r ~lo:!lo ~hi);
+          incr chunks;
+          lo := hi
+        done;
+        go (r + 1)
+    in
+    go 0;
+    let wall = Obs.Clock.elapsed_s t0 in
+    let stats =
+      {
+        jobs = 1;
+        wall_s = wall;
+        chunks = [| !chunks |];
+        busy_s = [| wall |];
+        task_errors = 0;
+        failures = [];
+        cancelled = false;
+      }
+    in
+    if Obs.Metrics.enabled () then publish name stats;
+    stats
+  end
+  else begin
+    let mutex = Mutex.create () in
+    let cond = Condition.create () in
+    (* Barrier state, all under [mutex]: [round] is the id of the round
+       currently open for claiming (0 = none yet), [finished] counts
+       helper domains that exhausted it. *)
+    let round = ref 0 in
+    let tasks = ref 0 in
+    let finished = ref 0 in
+    let shutdown = ref false in
+    let next_idx = Atomic.make 0 in
+    let cancelled = Atomic.make false in
+    let task_errors = Atomic.make 0 in
+    let first_failure = Atomic.make None in
+    let record_first fail =
+      let rec go () =
+        let cur = Atomic.get first_failure in
+        match cur with
+        | Some f when f.chunk_index <= fail.chunk_index -> ()
+        | _ ->
+          if not (Atomic.compare_and_set first_failure cur (Some fail)) then
+            go ()
+      in
+      go ()
+    in
+    let chunks_claimed = Array.make jobs 0 in
+    let busy_ns = Array.make jobs 0L in
+    (* Claim chunks of the current round until it drains. Task
+       exceptions are confined here, exactly as in [run]; the failing
+       chunk index is offset by the round so the earliest round's
+       failure wins deterministically. *)
+    let work w r r_tasks =
+      let rec loop () =
+        if not (Atomic.get cancelled) then begin
+          let lo = Atomic.fetch_and_add next_idx chunk in
+          if lo < r_tasks then begin
+            let hi = Stdlib.min r_tasks (lo + chunk) in
+            let ci = lo / chunk in
+            let c0_ns = Obs.Clock.now_ns () in
+            (match
+               Obs.Trace.with_span span ~cat:"pool"
+                 ~args:
+                   [ ("round", string_of_int r); ("lo", string_of_int lo);
+                     ("hi", string_of_int (hi - 1)) ]
+                 (fun () -> f ~round:r ~lo ~hi)
+             with
+            | () -> ()
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Atomic.incr task_errors;
+              record_first
+                { chunk_index = (r * 1_000_000) + ci; error = e; backtrace = bt };
+              Atomic.set cancelled true);
+            chunks_claimed.(w) <- chunks_claimed.(w) + 1;
+            busy_ns.(w) <-
+              Int64.add busy_ns.(w) (Int64.sub (Obs.Clock.now_ns ()) c0_ns);
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let helper w =
+      let my_round = ref 0 in
+      let continue = ref true in
+      while !continue do
+        Mutex.lock mutex;
+        while (not !shutdown) && !round = !my_round do
+          Condition.wait cond mutex
+        done;
+        if !shutdown then begin
+          continue := false;
+          Mutex.unlock mutex
+        end
+        else begin
+          let r = !round and t = !tasks in
+          Mutex.unlock mutex;
+          my_round := r;
+          work w r t;
+          Mutex.lock mutex;
+          incr finished;
+          Condition.broadcast cond;
+          Mutex.unlock mutex
+        end
+      done
+    in
+    let t0 = Obs.Clock.now_ns () in
+    let pool =
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> helper (i + 1)))
+    in
+    let join_all () =
+      Mutex.lock mutex;
+      shutdown := true;
+      Condition.broadcast cond;
+      Mutex.unlock mutex;
+      let escaped =
+        List.filter_map
+          (fun d ->
+            try
+              Domain.join d;
+              None
+            with e -> Some (e, Printexc.get_raw_backtrace ()))
+          pool
+      in
+      match escaped with
+      | [] -> ()
+      | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+    in
+    Fun.protect ~finally:join_all (fun () ->
+        let rec go r =
+          if not (Atomic.get cancelled) then
+            match next () with
+            | None -> ()
+            | Some 0 -> go r
+            | Some t ->
+              Mutex.lock mutex;
+              Atomic.set next_idx 0;
+              tasks := t;
+              finished := 0;
+              round := r + 1;
+              Condition.broadcast cond;
+              Mutex.unlock mutex;
+              work 0 (r + 1) t;
+              Mutex.lock mutex;
+              while !finished < jobs - 1 do
+                Condition.wait cond mutex
+              done;
+              Mutex.unlock mutex;
+              go (r + 1)
+        in
+        go 0);
+    let stats =
+      {
+        jobs;
+        wall_s = Obs.Clock.elapsed_s t0;
+        chunks = chunks_claimed;
+        busy_s = Array.map Obs.Clock.ns_to_s busy_ns;
+        task_errors = Atomic.get task_errors;
+        failures = [];
+        cancelled = Atomic.get cancelled;
+      }
+    in
+    if Obs.Metrics.enabled () then publish name stats;
+    match Atomic.get first_failure with
+    | Some fail -> Printexc.raise_with_backtrace fail.error fail.backtrace
+    | None -> stats
+  end
+
 let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ?(on_task_error = `Fail)
     ?should_stop ?skip_chunk ?on_chunk_done ~tasks f =
   if tasks < 0 then invalid_arg "Pool.run: tasks >= 0 required";

@@ -80,5 +80,41 @@ val run :
     ["<name>.task_errors"]; every chunk runs inside a ["<name>.chunk"]
     trace span (default [name]: ["pool"]). *)
 
+val run_rounds :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?name:string ->
+  next:(unit -> int option) ->
+  (round:int -> lo:int -> hi:int -> unit) ->
+  stats
+(** [run_rounds ~jobs ~chunk ~name ~next f] drives an {e iterated}
+    fan-out — a worklist algorithm whose frontier is expanded in
+    generations — over a pool of [jobs] persistent domains (spawned
+    once, separated by a barrier between rounds; worker 0 is the
+    calling domain).
+
+    The driver alone calls [next ()] before each round: it reduces the
+    previous round's per-task slots (in index order — this is where
+    determinism lives) and stages the next round, returning
+    [Some tasks] to fan out [f ~round ~lo ~hi] over the chunked range
+    [0 .. tasks-1], or [None] to finish. [Some 0] rounds are skipped
+    without waking the pool. As with {!run}, the chunk partition of
+    each round is a pure function of its task count and [chunk], so
+    slot-per-task accumulation plus index-ordered reduction in [next]
+    yields results byte-identical for every [jobs] value; with
+    [jobs = 1] the same rounds run inline on the calling domain.
+
+    Writes staged by [next] are visible to the workers of the round it
+    opens, and the workers' slot writes are visible to the following
+    [next] (the round barrier synchronises both directions).
+
+    Fault contract: a task exception cancels the batch and re-raises
+    after {e every} domain is joined — the failure in the earliest
+    (round, chunk) wins, independent of scheduling; an exception
+    escaping [next] itself (e.g. {!Obs.Budget.Exceeded} raised during
+    reduction) likewise joins all domains before propagating. Publishes
+    the same ["<name>.*"] metrics as {!run}, accumulated over all
+    rounds. *)
+
 val utilization : stats -> float
 (** Total busy time over [jobs * wall] — 1.0 is a perfectly packed pool. *)

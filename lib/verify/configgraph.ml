@@ -31,6 +31,7 @@ module Grow = struct
     g.len <- g.len + 1
 
   let get g i = g.data.(i)
+  let set g i x = g.data.(i) <- x
   let to_array g = Array.sub g.data 0 g.len
 end
 
@@ -38,6 +39,123 @@ let m_explorations = Obs.Metrics.counter "configgraph.explorations"
 let m_configs = Obs.Metrics.counter "configgraph.configs"
 let m_edges = Obs.Metrics.counter "configgraph.edges"
 let m_packed = Obs.Metrics.counter "configgraph.packed_explorations"
+let m_lazy = Obs.Metrics.counter "configgraph.lazy_explorations"
+
+(* -- incremental exploration with on-the-fly SCC detection ------------- *)
+
+exception Stopped
+
+(* Iterative Tarjan where a node's successors are computed the first
+   time the DFS enters it ([expand], which interns new nodes as it
+   goes), so strongly connected components complete — and bottom ones
+   are reported — while the graph is still being discovered. When an
+   SCC pops, every successor of its members already has a component
+   (its own, or an earlier-popped one), so bottomness is one membership
+   scan; [on_bottom] returning [`Stop] abandons the rest of the
+   exploration. Node 0 must exist and reach every node ever interned.
+   Returns the number of SCCs popped. *)
+let lazy_sccs ~expand ~on_bottom =
+  (* All bookkeeping lives in flat parallel arrays and int stacks: this
+     runs once per configuration of a multi-million-node scan, so the
+     only per-node heap allocation is the successor array [expand]
+     returns (and a member list per *bottom* component). *)
+  let idx = Grow.create (-1) in
+  let low = Grow.create 0 in
+  let onstk = Grow.create false in
+  let comp = Grow.create (-1) in
+  let succs = Grow.create [||] in
+  let ensure n =
+    while idx.Grow.len <= n do
+      Grow.push idx (-1);
+      Grow.push low 0;
+      Grow.push onstk false;
+      Grow.push comp (-1);
+      Grow.push succs [||]
+    done
+  in
+  let stack = Grow.create 0 in
+  (* DFS frames as parallel (node, next-child) int stacks *)
+  let fnode = Grow.create 0 in
+  let fchild = Grow.create 0 in
+  let entries = ref 0 in
+  let ncomps = ref 0 in
+  let enter v =
+    ensure v;
+    Grow.set idx v !entries;
+    Grow.set low v !entries;
+    incr entries;
+    Grow.push stack v;
+    Grow.set onstk v true;
+    Grow.set succs v (expand v);
+    Grow.push fnode v;
+    Grow.push fchild 0
+  in
+  let pop_component v =
+    let id = !ncomps in
+    incr ncomps;
+    (* the component is the stack segment from [v]'s slot to the top *)
+    let top = stack.Grow.len in
+    let base = ref (top - 1) in
+    while Grow.get stack !base <> v do
+      decr base
+    done;
+    let base = !base in
+    for k = base to top - 1 do
+      let w = Grow.get stack k in
+      Grow.set onstk w false;
+      Grow.set comp w id
+    done;
+    stack.Grow.len <- base;
+    let bottom = ref true in
+    let k = ref base in
+    while !bottom && !k < top do
+      let ss = Grow.get succs (Grow.get stack !k) in
+      let j = ref 0 in
+      while !bottom && !j < Array.length ss do
+        if Grow.get comp ss.(!j) <> id then bottom := false;
+        incr j
+      done;
+      incr k
+    done;
+    if !bottom then begin
+      let members = ref [] in
+      for k = top - 1 downto base do
+        members := Grow.get stack k :: !members
+      done;
+      match on_bottom !members with `Stop -> raise Stopped | `Continue -> ()
+    end
+  in
+  let rec loop () =
+    if fnode.Grow.len > 0 then begin
+      let fi = fnode.Grow.len - 1 in
+      let v = Grow.get fnode fi in
+      let ss = Grow.get succs v in
+      let ci = Grow.get fchild fi in
+      if ci < Array.length ss then begin
+        Grow.set fchild fi (ci + 1);
+        let w = ss.(ci) in
+        ensure w;
+        if Grow.get idx w = -1 then enter w
+        else if Grow.get onstk w then
+          Grow.set low v (Stdlib.min (Grow.get low v) (Grow.get idx w))
+      end
+      else begin
+        fnode.Grow.len <- fi;
+        fchild.Grow.len <- fi;
+        if fi > 0 then begin
+          let parent = Grow.get fnode (fi - 1) in
+          Grow.set low parent (Stdlib.min (Grow.get low parent) (Grow.get low v))
+        end;
+        if Grow.get low v = Grow.get idx v then pop_component v
+      end;
+      loop ()
+    end
+  in
+  (try
+     enter 0;
+     loop ()
+   with Stopped -> ());
+  !ncomps
 
 let check_deadline deadline ~configs ~edges =
   match deadline with
@@ -146,6 +264,59 @@ let can_reach_config g ~src c =
   match find g c with
   | None -> false
   | Some i -> i = src || (reachable_from g src).(i)
+
+let explore_sccs ?(max_configs = 2_000_000) ?deadline p c0 ~on_bottom =
+  let index = H.create 1024 in
+  let configs = Grow.create (Mset.zero 0) in
+  let edges = ref 0 in
+  let sccs = ref 0 in
+  let progress = Obs.Progress.create "configgraph.explore_sccs" in
+  let intern c =
+    match H.find_opt index c with
+    | Some i -> i
+    | None ->
+      if configs.Grow.len >= max_configs then
+        raise (Too_many_configs max_configs);
+      let i = configs.Grow.len in
+      H.add index c i;
+      Grow.push configs c;
+      i
+  in
+  let expand v =
+    if v land 255 = 0 then
+      check_deadline deadline ~configs:configs.Grow.len ~edges:!edges;
+    Obs.Progress.tick progress (fun () ->
+        Printf.sprintf "%d configs discovered, %d edges, %d sccs"
+          configs.Grow.len !edges !sccs);
+    let c = Grow.get configs v in
+    let idxs =
+      List.sort_uniq Stdlib.compare
+        (List.map intern (Population.distinct_successors p c))
+      |> List.filter (fun j -> j <> v)
+    in
+    edges := !edges + List.length idxs;
+    Array.of_list idxs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr m_explorations;
+        Obs.Metrics.incr m_lazy;
+        Obs.Metrics.add m_configs configs.Grow.len;
+        Obs.Metrics.add m_edges !edges
+      end)
+    (fun () ->
+      Obs.Trace.with_span "configgraph.explore_sccs" ~cat:"verify"
+        ~args:[ ("protocol", p.Population.name) ]
+        (fun () ->
+          ignore (intern c0);
+          sccs :=
+            lazy_sccs ~expand ~on_bottom:(fun members ->
+                on_bottom (List.map (Grow.get configs) members));
+          Obs.Progress.finish progress (fun () ->
+              Printf.sprintf "%d configs, %d edges, %d sccs" configs.Grow.len
+                !edges !sccs);
+          !sccs))
 
 (* ---------------------------------------------------------------------- *)
 (* The packed fast path: configurations as immediate ints.
@@ -343,4 +514,145 @@ module Packed = struct
               root;
               lookup;
             }))
+
+  let explore_sccs ?(max_configs = 2_000_000) ?deadline p c0 ~on_bottom =
+    if not (applicable p c0) then
+      invalid_arg
+        "Configgraph.Packed.explore_sccs: protocol/configuration not packable";
+    let nt = Population.num_transitions p in
+    let pre_a = Array.make nt 0 in
+    let pre_b = Array.make nt 0 in
+    let pdelta = Array.make nt 0 in
+    Array.iteri
+      (fun t { Population.pre = a, b; _ } ->
+        pre_a.(t) <- 8 * a;
+        pre_b.(t) <- 8 * b;
+        pdelta.(t) <- Mset.pack_delta (Population.displacement p t))
+      p.Population.transitions;
+    let cap = ref 256 in
+    let keys = ref (Array.make !cap (-1)) in
+    let ids = ref (Array.make !cap 0) in
+    let slot_of keys cap c =
+      let mask = cap - 1 in
+      let s = ref (hash c land mask) in
+      while
+        let k = keys.(!s) in
+        k <> -1 && k <> c
+      do
+        s := (!s + 1) land mask
+      done;
+      !s
+    in
+    let grow () =
+      let cap' = 2 * !cap in
+      let keys' = Array.make cap' (-1) in
+      let ids' = Array.make cap' 0 in
+      for s = 0 to !cap - 1 do
+        let k = !keys.(s) in
+        if k <> -1 then begin
+          let s' = slot_of keys' cap' k in
+          keys'.(s') <- k;
+          ids'.(s') <- !ids.(s)
+        end
+      done;
+      cap := cap';
+      keys := keys';
+      ids := ids'
+    in
+    let configs = Grow.create 0 in
+    let edges = ref 0 in
+    let sccs = ref 0 in
+    let progress = Obs.Progress.create "configgraph.explore_sccs" in
+    let intern c =
+      let s = slot_of !keys !cap c in
+      if !keys.(s) <> -1 then !ids.(s)
+      else begin
+        if configs.Grow.len >= max_configs then
+          raise (Too_many_configs max_configs);
+        let i = configs.Grow.len in
+        !keys.(s) <- c;
+        !ids.(s) <- i;
+        Grow.push configs c;
+        if 2 * i >= !cap then grow ();
+        i
+      end
+    in
+    let vals = Array.make (Stdlib.max 1 nt) 0 in
+    let idxs = Array.make (Stdlib.max 1 nt) 0 in
+    let expand v =
+      if v land 1023 = 0 then begin
+        check_deadline deadline ~configs:configs.Grow.len ~edges:!edges;
+        Obs.Progress.tick progress (fun () ->
+            Printf.sprintf "%d configs discovered, %d edges, %d sccs"
+              configs.Grow.len !edges !sccs)
+      end;
+      let c = Grow.get configs v in
+      let nvals = ref 0 in
+      for t = 0 to nt - 1 do
+        let sa = pre_a.(t) and sb = pre_b.(t) in
+        let enabled =
+          if sa = sb then (c lsr sa) land 0xff >= 2
+          else (c lsr sa) land 0xff >= 1 && (c lsr sb) land 0xff >= 1
+        in
+        if enabled then begin
+          let c' = c + pdelta.(t) in
+          let dup = ref false in
+          for k = 0 to !nvals - 1 do
+            if vals.(k) = c' then dup := true
+          done;
+          if not !dup then begin
+            vals.(!nvals) <- c';
+            incr nvals
+          end
+        end
+      done;
+      let n = !nvals in
+      for k = 0 to n - 1 do
+        idxs.(k) <- intern vals.(k)
+      done;
+      for k = 1 to n - 1 do
+        let x = idxs.(k) in
+        let j = ref (k - 1) in
+        while !j >= 0 && idxs.(!j) > x do
+          idxs.(!j + 1) <- idxs.(!j);
+          decr j
+        done;
+        idxs.(!j + 1) <- x
+      done;
+      let m = ref 0 in
+      for k = 0 to n - 1 do
+        if idxs.(k) <> v && (k = 0 || idxs.(k - 1) <> idxs.(k)) then incr m
+      done;
+      let out = Array.make !m 0 in
+      let w = ref 0 in
+      for k = 0 to n - 1 do
+        if idxs.(k) <> v && (k = 0 || idxs.(k - 1) <> idxs.(k)) then begin
+          out.(!w) <- idxs.(k);
+          incr w
+        end
+      done;
+      edges := !edges + !m;
+      out
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        if Obs.Metrics.enabled () then begin
+          Obs.Metrics.incr m_explorations;
+          Obs.Metrics.incr m_packed;
+          Obs.Metrics.incr m_lazy;
+          Obs.Metrics.add m_configs configs.Grow.len;
+          Obs.Metrics.add m_edges !edges
+        end)
+      (fun () ->
+        Obs.Trace.with_span "configgraph.explore_sccs" ~cat:"verify"
+          ~args:[ ("protocol", p.Population.name) ]
+          (fun () ->
+            ignore (intern (Mset.pack c0));
+            sccs :=
+              lazy_sccs ~expand ~on_bottom:(fun members ->
+                  on_bottom (List.map (Grow.get configs) members));
+            Obs.Progress.finish progress (fun () ->
+                Printf.sprintf "%d configs, %d edges, %d sccs" configs.Grow.len
+                  !edges !sccs);
+            !sccs))
 end

@@ -29,6 +29,21 @@ val explore :
     (checked every 256 nodes); the exception reports the configs/edges
     consumed so far. *)
 
+val explore_sccs :
+  ?max_configs:int -> ?deadline:Obs.Budget.deadline -> Population.t ->
+  Mset.t -> on_bottom:(Mset.t list -> [ `Continue | `Stop ]) -> int
+(** Incremental exploration with on-the-fly (Tarjan) SCC detection:
+    nodes are discovered by DFS and a strongly connected component is
+    complete — and, if no edge leaves it, reported to [on_bottom] with
+    its member configurations — as soon as it pops, while the rest of
+    the graph is still unexplored. [on_bottom] returning [`Stop]
+    abandons the exploration immediately; this is how
+    {!Fair_semantics.decide} stops at the first decisive bottom SCC
+    instead of materialising the whole graph. Returns the number of
+    SCCs detected before finishing (or stopping). Same budget/deadline
+    behaviour as {!explore}; node numbering is DFS discovery order, not
+    {!explore}'s BFS order. *)
+
 val num_configs : t -> int
 
 val find : t -> Mset.t -> int option
@@ -74,6 +89,12 @@ module Packed : sig
   (** @raise Too_many_configs and @raise Obs.Budget.Exceeded as
       {!val:explore} (deadline checked every 1024 nodes).
       @raise Invalid_argument when not {!applicable}. *)
+
+  val explore_sccs :
+    ?max_configs:int -> ?deadline:Obs.Budget.deadline -> Population.t ->
+    Mset.t -> on_bottom:(int list -> [ `Continue | `Stop ]) -> int
+  (** As {!val:explore_sccs}, on packed configurations — [on_bottom]
+      receives the bottom component's members as packed ints. *)
 
   val num_configs : graph -> int
   val find : graph -> int -> int option

@@ -14,14 +14,51 @@ let pp_result fmt = function
       Fair_semantics.pp_verdict verdict
 
 let m_inputs = Obs.Metrics.counter "eta_search.inputs_checked"
+let m_stable_hits = Obs.Metrics.counter "eta_search.stable_hits"
 
-let find ?max_configs ?wall_budget_s ?packed p ~max_input =
+let find ?max_configs ?wall_budget_s ?packed ?incremental ?(jobs = 1)
+    ?(stable = `Off) p ~max_input =
   if Array.length p.Population.input_vars <> 1 then
     invalid_arg "Eta_search.find: single-input protocols only";
   (* one deadline spans the whole scan, not one per input: the budget
      bounds the total time spent on this protocol *)
   let deadline =
     Option.map (Obs.Budget.deadline_in ~source:"eta_search.find") wall_budget_s
+  in
+  (* Stable-set shortcut: the analysis is a property of the protocol,
+     not of the input, so [`Memo] pays for the two backward fixpoints
+     once and answers every subsequent input from the cache; the
+     [`Per_input] strawman recomputes them per input (the tests compare
+     the two by counter to certify the memoization saves real work). If
+     [IC(i)] already lies in [SC_b], every fair execution from it stays
+     in consensus [b] (Definition 2), so the verdict is [Decides b]
+     without building the configuration graph. *)
+  let analysis =
+    match stable with
+    | `Off -> None
+    | `Per_input -> Some (fun () -> Stable_sets.analyse ~jobs p)
+    | `Memo -> Some (fun () -> Stable_sets.analyse_memo ~jobs p)
+  in
+  let decide_input i =
+    let c0 = Population.initial_config p [| i |] in
+    let shortcut =
+      match analysis with
+      | None -> None
+      | Some get ->
+        let a = get () in
+        if Downset.mem c0 a.Stable_sets.stable1 then
+          Some (Fair_semantics.Decides true)
+        else if Downset.mem c0 a.Stable_sets.stable0 then
+          Some (Fair_semantics.Decides false)
+        else None
+    in
+    match shortcut with
+    | Some verdict ->
+      Obs.Metrics.incr m_stable_hits;
+      verdict
+    | None ->
+      Fair_semantics.decide_config ?max_configs ?deadline ?packed ?incremental p
+        c0
   in
   let inputs = Fair_semantics.valid_inputs_single p ~max:max_input in
   let total = List.length inputs in
@@ -39,7 +76,7 @@ let find ?max_configs ?wall_budget_s ?packed p ~max_input =
       Obs.Progress.tick progress (fun () ->
           Printf.sprintf "input %d (%d/%d checked)" i checked total);
       Obs.Metrics.incr m_inputs;
-      (match Fair_semantics.decide ?max_configs ?deadline ?packed p [| i |] with
+      (match decide_input i with
        | Fair_semantics.Decides true ->
          let flipped = match flipped with Some _ -> flipped | None -> Some i in
          go (checked + 1) flipped rest

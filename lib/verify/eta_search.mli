@@ -16,16 +16,32 @@ type result =
       (** some input breaks the 0*1* threshold pattern, or is undecided *)
 
 val find :
-  ?max_configs:int -> ?wall_budget_s:float -> ?packed:bool -> Population.t ->
+  ?max_configs:int -> ?wall_budget_s:float -> ?packed:bool ->
+  ?incremental:bool -> ?jobs:int ->
+  ?stable:[ `Off | `Per_input | `Memo ] -> Population.t ->
   max_input:int -> result
 (** [find p ~max_input] decides every valid input [<= max_input] of a
     single-input-variable protocol. [?packed] selects the
-    configuration-graph representation (see
-    {!Fair_semantics.decide_config}); the result is identical either
-    way. [?wall_budget_s] bounds the {e total} wall-clock time spent on
+    configuration-graph representation and [?incremental] the
+    exploration strategy (see {!Fair_semantics.decide_config}); the
+    result is identical either way — incremental exploration stops as
+    soon as a consensus-free bottom component is found, which pays on
+    non-threshold protocols, while eager exploration has less
+    per-node machinery and is the better fit for decide-heavy
+    workloads like the busy-beaver scan. [?wall_budget_s] bounds the {e total} wall-clock time spent on
     this protocol (one deadline spans all its configuration-graph
     explorations); note a wall budget makes aborts machine-dependent, so
     leave it off when byte-identical reruns matter.
+
+    [?stable] (default [`Off]) consults the stable sets of Definition 2
+    before exploring: when [IC(i) ∈ SC_b] the input is decided [b]
+    outright (counter ["eta_search.stable_hits"]), since a [b]-stable
+    initial configuration can only ever reach consensus-[b]
+    configurations. [`Memo] computes the analysis once per protocol via
+    {!Stable_sets.analyse_memo}; [`Per_input] recomputes it for every
+    input (a strawman kept for the differential tests). [?jobs]
+    parallelises the analysis' backward fixpoints. The result is
+    identical for every [stable]/[jobs] setting.
     @raise Invalid_argument if the protocol has several input variables.
     @raise Obs.Budget.Exceeded when the wall budget expires. *)
 

@@ -12,42 +12,77 @@ let m_decisions = Obs.Metrics.counter "fair.decisions"
 let m_sccs = Obs.Metrics.counter "fair.sccs"
 let m_bottom_sccs = Obs.Metrics.counter "fair.bottom_sccs"
 
+(* Consensus output of a whole component: Some b if every member
+   configuration has output b. *)
+let component_output ~output_of_node members =
+  let rec go members acc =
+    match members with
+    | [] -> acc
+    | v :: rest ->
+      (match output_of_node v with
+       | None -> None
+       | Some b ->
+         (match acc with
+          | None -> go rest (Some b)
+          | Some b' -> if b = b' then go rest acc else None))
+  in
+  go members None
+
 (* Shared bottom-SCC consensus logic, abstracted over the configuration
    representation: [output_of_node] is the consensus output of one
    configuration (None when its agents disagree). Every node of the
    graph is reachable from the root by construction, so every bottom SCC
-   is relevant; a finite non-empty graph has at least one. *)
+   is relevant; a finite non-empty graph has at least one.
+
+   The verdict is canonical — No_consensus over Conflicting over
+   Decides, independent of the order components are examined — so the
+   eager path here and the incremental path (which pops bottom SCCs in
+   its own DFS order) always agree. *)
 let verdict_of_bottom ~output_of_node (scc : Scc.t) bottom =
-  (* Consensus output of a whole component: Some b if every member
-     configuration has output b. *)
-  let component_output members =
-    let rec go members acc =
-      match members with
-      | [] -> acc
-      | v :: rest ->
-        (match output_of_node v with
-         | None -> None
-         | Some b ->
-           (match acc with
-            | None -> go rest (Some b)
-            | Some b' -> if b = b' then go rest acc else None))
-    in
-    go members None
-  in
-  let rec go seen = function
+  let rec go seen conflict = function
     | [] ->
-      (match seen with
-       | Some b -> Decides b
-       | None -> assert false)
+      if conflict then Conflicting
+      else (match seen with Some b -> Decides b | None -> assert false)
     | comp :: rest ->
-      (match component_output scc.Scc.members.(comp) with
+      (match component_output ~output_of_node scc.Scc.members.(comp) with
        | None -> No_consensus
        | Some b ->
          (match seen with
-          | None -> go (Some b) rest
-          | Some b' -> if b = b' then go seen rest else Conflicting))
+          | None -> go (Some b) conflict rest
+          | Some b' -> go seen (conflict || b <> b') rest))
   in
-  go None bottom
+  go None false bottom
+
+(* The incremental counterpart: fed one bottom component at a time by
+   {!Configgraph.explore_sccs}. A component without consensus decides
+   the (canonically maximal) verdict No_consensus outright, so the
+   exploration can stop there; agreeing components merely accumulate. *)
+type incremental = {
+  mutable seen : bool option;
+  mutable conflict : bool;
+  mutable undecided : bool;
+  mutable bottoms : int;
+}
+
+let incremental_start () =
+  { seen = None; conflict = false; undecided = false; bottoms = 0 }
+
+let incremental_step st = function
+  | None ->
+    st.bottoms <- st.bottoms + 1;
+    st.undecided <- true;
+    `Stop
+  | Some b ->
+    st.bottoms <- st.bottoms + 1;
+    (match st.seen with
+     | None -> st.seen <- Some b
+     | Some b' -> if b <> b' then st.conflict <- true);
+    `Continue
+
+let incremental_verdict st =
+  if st.undecided then No_consensus
+  else if st.conflict then Conflicting
+  else match st.seen with Some b -> Decides b | None -> assert false
 
 let publish_scc (scc : Scc.t) bottom =
   if Obs.Metrics.enabled () then begin
@@ -76,28 +111,60 @@ let support_output_table p =
   done;
   tbl
 
-let decide_config ?max_configs ?deadline ?(packed = true) p c0 =
+(* Output of a packed configuration: project its support bitmask and
+   index the table. *)
+let packed_output ~num_states tbl c =
+  let mask = ref 0 in
+  for s = 0 to num_states - 1 do
+    if (c lsr (8 * s)) land 0xff <> 0 then mask := !mask lor (1 lsl s)
+  done;
+  match Bytes.get tbl !mask with
+  | '\001' -> Some false
+  | '\002' -> Some true
+  | _ -> None
+
+let decide_config ?max_configs ?deadline ?(packed = true) ?(incremental = true)
+    p c0 =
   Obs.Trace.with_span "fair_semantics.decide" ~cat:"verify"
     ~args:[ ("protocol", p.Population.name) ]
     (fun () ->
-      if packed && Configgraph.Packed.applicable p c0 then begin
+      if incremental then begin
+        (* Lazy path: bottom SCCs are judged as Tarjan pops them, and a
+           consensus-free one — canonically the maximal verdict — stops
+           the exploration before the rest of the graph is built. *)
+        let st = incremental_start () in
+        let sccs =
+          if packed && Configgraph.Packed.applicable p c0 then begin
+            let tbl = support_output_table p in
+            let output_of_node =
+              packed_output ~num_states:(Population.num_states p) tbl
+            in
+            Configgraph.Packed.explore_sccs ?max_configs ?deadline p c0
+              ~on_bottom:(fun members ->
+                incremental_step st (component_output ~output_of_node members))
+          end
+          else
+            let output_of_node = Population.output_of_config p in
+            Configgraph.explore_sccs ?max_configs ?deadline p c0
+              ~on_bottom:(fun members ->
+                incremental_step st (component_output ~output_of_node members))
+        in
+        if Obs.Metrics.enabled () then begin
+          Obs.Metrics.incr m_decisions;
+          Obs.Metrics.add m_sccs sccs;
+          Obs.Metrics.add m_bottom_sccs st.bottoms
+        end;
+        incremental_verdict st
+      end
+      else if packed && Configgraph.Packed.applicable p c0 then begin
         let g = Configgraph.Packed.explore ?max_configs ?deadline p c0 in
         let scc = Scc.compute g.Configgraph.Packed.succ in
         let bottom = Scc.bottom_components scc in
         publish_scc scc bottom;
-        let d = Population.num_states p in
         let tbl = support_output_table p in
         let configs = g.Configgraph.Packed.configs in
         let output_of_node v =
-          let c = configs.(v) in
-          let mask = ref 0 in
-          for s = 0 to d - 1 do
-            if (c lsr (8 * s)) land 0xff <> 0 then mask := !mask lor (1 lsl s)
-          done;
-          match Bytes.get tbl !mask with
-          | '\001' -> Some false
-          | '\002' -> Some true
-          | _ -> None
+          packed_output ~num_states:(Population.num_states p) tbl configs.(v)
         in
         verdict_of_bottom ~output_of_node scc bottom
       end
@@ -112,8 +179,9 @@ let decide_config ?max_configs ?deadline ?(packed = true) p c0 =
         verdict_of_bottom ~output_of_node scc bottom
       end)
 
-let decide ?max_configs ?deadline ?packed p v =
-  decide_config ?max_configs ?deadline ?packed p (Population.initial_config p v)
+let decide ?max_configs ?deadline ?packed ?incremental p v =
+  decide_config ?max_configs ?deadline ?packed ?incremental p
+    (Population.initial_config p v)
 
 type check_result =
   | Ok_all of int

@@ -14,18 +14,28 @@ type verdict =
 
 val decide_config :
   ?max_configs:int -> ?deadline:Obs.Budget.deadline -> ?packed:bool ->
-  Population.t -> Mset.t -> verdict
+  ?incremental:bool -> Population.t -> Mset.t -> verdict
 (** Verdict for a concrete initial configuration. When the instance fits
     the packed representation ({!Configgraph.Packed.applicable}) the
     graph is explored on immediate ints — same graph, same verdict,
     several times faster; [~packed:false] forces the reference multiset
     exploration (the two are compared differentially in the tests).
+
+    [incremental] (default [true]) judges bottom SCCs on the fly as
+    Tarjan pops them ({!Configgraph.explore_sccs}) and stops at the
+    first consensus-free one; [~incremental:false] materialises the full
+    graph first (the eager reference path). The verdict is canonical —
+    [No_consensus] if {e any} reachable bottom SCC lacks consensus, else
+    [Conflicting] if uniform bottom SCCs disagree, else [Decides b] — so
+    the two paths always return the same verdict; only the
+    [fair.sccs]/[fair.bottom_sccs] counters reflect how much of the
+    graph the lazy path skipped.
     @raise Configgraph.Too_many_configs if the graph exceeds the budget.
     @raise Obs.Budget.Exceeded if [deadline] expires mid-exploration. *)
 
 val decide :
   ?max_configs:int -> ?deadline:Obs.Budget.deadline -> ?packed:bool ->
-  Population.t -> int array -> verdict
+  ?incremental:bool -> Population.t -> int array -> verdict
 (** Verdict for input [v] (starting from [IC(v)]). *)
 
 type check_result =
