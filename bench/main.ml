@@ -591,6 +591,68 @@ let e15 () =
   row "(leaderless f stays tiny — consistent with f(n) ∈ 2^O(n) [10]; the\n\
        non-elementary growth the paper cites needs leaders, out of enumeration reach)\n"
 
+(* ------------------------------------------------------------------ E16 *)
+
+(* The cost of the observability stack itself: the same scan bare, with
+   the structured event log + sampling profiler (the low-overhead pair
+   meant to stay on for long runs — the <5% acceptance number), and
+   with the trace sink added on top (which writes one JSON line per
+   span, so its cost scales with span count and dominates). Aggregates
+   must be identical in every configuration — the instrumentation may
+   not perturb results. Each configuration is timed twice and the
+   minimum kept, squeezing scheduler noise out of the ratios. *)
+let e16 () =
+  section "E16"
+    "Instrumentation overhead: scan bare vs --events + --profile vs + --trace";
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    (r, Obs.Clock.elapsed_s t0)
+  in
+  let best_of_2 f =
+    let r, w1 = time f in
+    let _, w2 = time f in
+    (r, Float.min w1 w2)
+  in
+  let scan () = Busy_beaver.scan ~n:3 ~sample:(20_000, 11) () in
+  let aggregates (r : Busy_beaver.scan_result) =
+    ( r.Busy_beaver.num_protocols, r.Busy_beaver.num_threshold,
+      r.Busy_beaver.num_reject_all, r.Busy_beaver.best_eta,
+      r.Busy_beaver.histogram )
+  in
+  let r_bare, w_bare = best_of_2 scan in
+  let events_f = Filename.temp_file "ppbench-e16" ".events.jsonl" in
+  let trace_f = Filename.temp_file "ppbench-e16" ".trace.json" in
+  let profile_f = Filename.temp_file "ppbench-e16" ".folded" in
+  Obs.Events.start_file events_f;
+  Obs.Profile.start ~path:profile_f ();
+  let r_ep, w_ep = best_of_2 scan in
+  Obs.Trace.start_file trace_f;
+  let r_full, w_full = best_of_2 scan in
+  ignore (Obs.Trace.stop ());
+  Obs.Profile.stop ();
+  Obs.Events.stop ();
+  let lines path =
+    In_channel.with_open_text path (fun ic ->
+        let n = ref 0 in
+        String.iter (fun c -> if c = '\n' then incr n) (In_channel.input_all ic);
+        !n)
+  in
+  let overhead w = 100.0 *. ((w /. w_bare) -. 1.0) in
+  row
+    "n=3, 20k sample: bare %.2fs; --events --profile %.2fs (%+.1f%%); \
+     + --trace %.2fs (%+.1f%%)\n"
+    w_bare w_ep (overhead w_ep) w_full (overhead w_full);
+  row "aggregates identical across all configurations: %b\n"
+    (aggregates r_bare = aggregates r_ep
+    && aggregates r_bare = aggregates r_full);
+  row "recorded: %d event lines, %d trace lines, %d profile stacks (%d samples)\n"
+    (lines events_f) (lines trace_f) (lines profile_f)
+    (Obs.Profile.samples ());
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ events_f; trace_f; profile_f ]
+
 (* ------------------------------------------------------------ ablations *)
 
 let ablations () =
@@ -730,7 +792,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E4p", e4p); ("E5", e5);
     ("E5p", e5p); ("E6", e6);
     ("E7", e7); ("E7p", e7p); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("ablations", ablations); ("timings", timings);
   ]
 
@@ -753,6 +815,14 @@ let () =
            timings section, which must measure the instrumentation's
            disabled-by-default cost *)
         Obs.Metrics.set_enabled (name <> "timings");
+        (* hermetic sections: zero every metric cell and the
+           cross-section stable-set memo, so a section's diff — and
+           with it the regression gate — does not depend on which
+           sections ran before it. In particular the last-writer
+           stable_sets.{basis,norm}*_size gauges appear in a section
+           exactly when that section wrote them. *)
+        Obs.Metrics.reset ();
+        Stable_sets.memo_clear ();
         let before = Obs.Metrics.snapshot () in
         let t0 = Obs.Clock.now_ns () in
         f ();

@@ -1,10 +1,12 @@
-(* ppreport: the run-history and regression toolkit over the JSON the
-   bench harness emits (ppbench/v1 and /v2).
+(* ppreport: the run-history, regression and trace-analytics toolkit
+   over the JSON the bench harness and the obs layer emit (ppbench/v1
+   and /v2, Chrome trace-event files).
 
      ppreport diff BENCH_results.json bench-new.json
      ppreport history --ledger bench/history --markdown
      ppreport check --baseline BENCH_results.json bench-new.json
-     ppreport check --history-median bench/history --sections E2,E10 new.json *)
+     ppreport check --history-median bench/history --sections E2,E10 new.json
+     ppreport trace bb-trace.json --json trace-report.json *)
 
 let load_run path =
   match Obs.History.load_file path with
@@ -103,6 +105,24 @@ let check_run baseline_path ledger wall_tol gauge_tol ignores no_default_ignores
   print_string (Obs.Regress.render_verdict verdict);
   if Obs.Regress.failed verdict then 1 else 0
 
+(* --------------------------------------------------------------- trace *)
+
+let trace_run trace_path json_out () =
+  match Obs.Trace_stats.load trace_path with
+  | Error e ->
+    Printf.eprintf "ppreport: cannot analyse %s: %s\n" trace_path e;
+    2
+  | Ok report ->
+    print_string (Obs.Trace_stats.to_markdown report);
+    (match json_out with
+     | None -> ()
+     | Some path ->
+       Out_channel.with_open_bin path (fun oc ->
+           Out_channel.output_string oc
+             (Obs.Json.to_string (Obs.Trace_stats.to_json report));
+           Out_channel.output_char oc '\n'));
+    0
+
 (* ----------------------------------------------------------------- CLI *)
 
 open Cmdliner
@@ -124,7 +144,7 @@ let diff_cmd =
     (Cmd.info "diff"
        ~doc:"Show every wall-clock, counter, gauge and histogram drift \
              between two bench runs (no tolerances; informational).")
-    Term.(const diff_run $ sections_arg $ old_arg $ new_arg $ const ())
+    Term.(const diff_run $ sections_arg $ old_arg $ new_arg $ Obs_cli.term)
 
 let history_cmd =
   let ledger_arg =
@@ -143,7 +163,7 @@ let history_cmd =
        ~doc:"Per-section wall-clock and counter series across the ledger, \
              with sparklines; drifting counters are called out.")
     Term.(const history_run $ ledger_arg $ markdown_arg $ sections_arg
-          $ const ())
+          $ Obs_cli.term)
 
 let check_cmd =
   let baseline_arg =
@@ -191,12 +211,31 @@ let check_cmd =
              Exits 1 on regression, naming the section and metric.")
     Term.(const check_run $ baseline_arg $ ledger_arg $ wall_tol_arg
           $ gauge_tol_arg $ ignore_arg $ no_default_ignores_arg $ sections_arg
-          $ candidate_arg $ const ())
+          $ candidate_arg $ Obs_cli.term)
+
+let trace_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the machine-readable report \
+                   (pptrace-report/v1) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Analyse a recorded --trace file: per-phase self/total time, \
+             per-domain utilization timelines, the critical path through \
+             the span forest, and pool chunk straggler detection. Markdown \
+             on stdout; --json FILE for the archivable form.")
+    Term.(const trace_run $ trace_arg $ json_arg $ Obs_cli.term)
 
 let cmd =
   Cmd.group
     (Cmd.info "ppreport"
-       ~doc:"Run ledger, diffing and regression gating for the bench harness")
-    [ diff_cmd; history_cmd; check_cmd ]
+       ~doc:"Run ledger, diffing, regression gating and trace analytics for \
+             the bench harness and the obs layer")
+    [ diff_cmd; history_cmd; check_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' cmd)

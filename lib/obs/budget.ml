@@ -15,6 +15,15 @@ let m_exceeded = Metrics.counter "budget.exceeded"
 
 let exceeded ?(partial = No_partial) ~source ~resource ~limit ~consumed () =
   if Metrics.enabled () then Metrics.incr m_exceeded;
+  if Events.enabled () then
+    Events.emit ~severity:Warn "budget.exceeded"
+      ~data:
+        ([
+           ("source", Json.String source);
+           ("resource", Json.String resource);
+           ("limit", Json.Float limit);
+         ]
+         @ List.map (fun (k, v) -> ("consumed_" ^ k, Json.Float v)) consumed);
   Exceeded { source; resource; limit; consumed; partial }
 
 (* Budgets are almost always integral counts; print them without the

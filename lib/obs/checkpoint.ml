@@ -150,6 +150,16 @@ let locked w f =
   Mutex.lock w.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) f
 
+let snapshot_event w =
+  if Events.enabled () then
+    Events.emit "checkpoint.snapshot"
+      ~data:
+        [
+          ("path", Json.String w.path);
+          ("done", Json.Int (num_done w.t));
+          ("total", Json.Int w.t.total_chunks);
+        ]
+
 let note_done w i state =
   locked w (fun () ->
       mark_done w.t i state;
@@ -161,7 +171,10 @@ let note_done w i state =
       then begin
         (* a full disk must not kill the scan; the data survives in the
            accumulators and the next flush can still succeed *)
-        (try save ~path:w.path w.t with Sys_error _ -> ());
+        (try
+           save ~path:w.path w.t;
+           snapshot_event w
+         with Sys_error _ -> ());
         w.pending <- 0;
         w.last_write_ns <- now
       end)
@@ -169,5 +182,6 @@ let note_done w i state =
 let flush w =
   locked w (fun () ->
       save ~path:w.path w.t;
+      snapshot_event w;
       w.pending <- 0;
       w.last_write_ns <- Clock.now_ns ())

@@ -1,0 +1,89 @@
+type severity = Debug | Info | Warn | Error
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let schema = "ppevents/v1"
+
+type sink = { oc : out_channel; t0_ns : int64; lock : Mutex.t }
+
+(* Same start/stop discipline as the Trace and Metrics globals: the
+   sink is installed from the main domain around the instrumented work;
+   a racy read at the boundary drops an event, never corrupts one. *)
+let current : sink option ref = ref None
+
+let enabled () = !current <> None
+
+let utc_string t =
+  let tm = Unix.gmtime t in
+  let ms = int_of_float (Float.rem t 1.0 *. 1000.0) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec ms
+
+let write_line s line =
+  Mutex.lock s.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.lock)
+    (fun () ->
+      (* a full disk or closed channel must not kill the run; each line
+         is flushed so [tail -f] and a crash both see complete records *)
+      try
+        output_string s.oc line;
+        output_char s.oc '\n';
+        flush s.oc
+      with Sys_error _ -> ())
+
+let emit ?(severity = Info) ?(data = []) name =
+  match !current with
+  | None -> ()
+  | Some s ->
+    let ts_s = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) s.t0_ns) in
+    let fields =
+      [
+        ("ts_s", Json.Float ts_s);
+        ("utc", Json.String (utc_string (Unix.gettimeofday ())));
+        ("sev", Json.String (severity_to_string severity));
+        ("dom", Json.Int (Domain.self () :> int));
+      ]
+      @ (match Trace.current_span_id () with
+         | 0 -> []
+         | sid -> [ ("span", Json.Int sid) ])
+      @ [ ("ev", Json.String name) ]
+      @ (match data with [] -> [] | d -> [ ("data", Json.Obj d) ])
+    in
+    write_line s (Json.to_string (Json.Obj fields))
+
+let stop () =
+  match !current with
+  | None -> ()
+  | Some s ->
+    emit "events.stop";
+    current := None;
+    Trace.untrack_stacks ();
+    (try close_out s.oc with Sys_error _ -> ())
+
+let start_channel oc =
+  stop ();
+  let s = { oc; t0_ns = Clock.now_ns (); lock = Mutex.create () } in
+  write_line s
+    (Json.to_string
+       (Json.Obj
+          [
+            ("schema", Json.String schema);
+            ("t0_utc", Json.String (utc_string (Unix.gettimeofday ())));
+          ]));
+  Trace.track_stacks ();
+  current := Some s
+
+let start_file path = start_channel (open_out path)

@@ -1,0 +1,53 @@
+(** Structured JSONL event log ([ppevents/v1]) — the one channel for
+    everything that previously went to ad-hoc side channels: progress
+    lines, checkpoint snapshots, shutdown signals, budget trips, pool
+    task errors and chunk lease/complete/retry events.
+
+    The file starts with a header line
+    [{"schema":"ppevents/v1","t0_utc":...}] followed by one JSON object
+    per line:
+
+    {v
+    {"ts_s":1.23,"utc":"2026-08-07T12:00:00.123Z","sev":"info",
+     "dom":4,"span":812,"ev":"pool.lease","data":{...}}
+    v}
+
+    [ts_s] is monotonic-clock seconds since the sink started (use it
+    for ordering and latency math), [utc] wall-clock for correlating
+    with the outside world, [dom] the emitting domain, and [span] the
+    innermost open {!Trace} span of that domain — the correlation id
+    tying an event to the trace file recorded alongside. Lines are
+    mutex-serialised and flushed individually, so [tail -f] works and a
+    crash loses at most the line being written.
+
+    Off by default; {!emit} with no sink is one load and a branch.
+    Binaries enable it with [--events FILE] ({!Obs_cli}). *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+val schema : string
+
+val enabled : unit -> bool
+
+val start_file : string -> unit
+(** Open the file, write the header line and start logging. Replaces
+    any active sink (stopping it first). Also acquires
+    {!Trace.track_stacks} so events carry span correlation ids even
+    when no trace sink is recording. *)
+
+val start_channel : out_channel -> unit
+(** As {!start_file} on an already-open channel (tests). *)
+
+val stop : unit -> unit
+(** Emit a final ["events.stop"] record, close the sink (when it owns
+    a file) and release stack tracking. No-op when nothing is
+    active. *)
+
+val emit : ?severity:severity -> ?data:(string * Json.t) list -> string -> unit
+(** [emit name ~data] appends one event record. [data] becomes the
+    ["data"] object (omitted when empty). Severity defaults to
+    [Info]. Callers on hot paths should guard with {!enabled} before
+    building [data]. *)

@@ -20,11 +20,30 @@ let escape_label v =
     v;
   Buffer.contents buf
 
+(* HELP text escaping per the exposition format: backslash and newline
+   only (quotes are not special outside label values) *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let prometheus_of_snapshot ?meta s =
   let buf = Buffer.create 1024 in
+  let help pname orig =
+    Printf.bprintf buf "# HELP %s Registry metric %s.\n" pname
+      (escape_help orig)
+  in
   (match meta with
    | None -> ()
    | Some m ->
+     Printf.bprintf buf
+       "# HELP pp_build_info Build and run provenance (value is always 1).\n";
      Printf.bprintf buf "# TYPE pp_build_info gauge\n";
      Printf.bprintf buf
        "pp_build_info{git_rev=\"%s\",hostname=\"%s\",ocaml_version=\"%s\",jobs=\"%d\"} 1\n"
@@ -37,10 +56,13 @@ let prometheus_of_snapshot ?meta s =
       let pname = "pp_" ^ sanitize name in
       match v with
       | Metrics.Counter n ->
+        help pname name;
         Printf.bprintf buf "# TYPE %s counter\n%s %d\n" pname pname n
       | Metrics.Gauge f ->
+        help pname name;
         Printf.bprintf buf "# TYPE %s gauge\n%s %.17g\n" pname pname f
       | Metrics.Histogram { bounds; counts; sum; count } ->
+        help pname name;
         Printf.bprintf buf "# TYPE %s histogram\n" pname;
         let cum = ref 0 in
         Array.iteri

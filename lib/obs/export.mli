@@ -14,9 +14,11 @@
 
 val prometheus_of_snapshot : ?meta:Run_meta.t -> Metrics.snapshot -> string
 (** Prometheus exposition text: names are prefixed [pp_] and
-    sanitized ([.] becomes [_]), histograms render cumulative
-    [_bucket{le="..."}] series plus [_sum]/[_count], and [meta]
-    becomes a [pp_build_info] gauge with label values. *)
+    sanitized ([.] becomes [_]), every family gets [# HELP] and
+    [# TYPE] lines, histograms render cumulative [_bucket{le="..."}]
+    series (ending in [le="+Inf"], equal to [_count]) plus
+    [_sum]/[_count], and [meta] becomes a [pp_build_info] gauge with
+    escaped label values. *)
 
 val snapshot_json : ?meta:Run_meta.t -> elapsed_s:float -> Metrics.snapshot -> Json.t
 

@@ -11,7 +11,8 @@ let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write nested timing spans to $(docv) in the Chrome \
-                 trace-event format (open in chrome://tracing or Perfetto).")
+                 trace-event format (open in chrome://tracing or Perfetto, \
+                 or summarise with ppreport trace).")
 
 let metrics_out_arg =
   Arg.(value & opt (some string) None
@@ -19,13 +20,35 @@ let metrics_out_arg =
            ~doc:"Periodically export the live metric registry to $(docv): an \
                  atomic (tmp+rename) JSON snapshot, plus the Prometheus text \
                  format in the sibling .prom file. Implies metric recording; \
-                 stdout stays byte-identical to an uninstrumented run.")
+                 stdout stays byte-identical to an uninstrumented run. Watch \
+                 it live with pptop.")
 
 let metrics_every_arg =
   Arg.(value & opt float 5.0
        & info [ "metrics-every" ] ~docv:"SECONDS"
            ~doc:"Interval between live metric exports (with --metrics-out). \
                  Default 5s.")
+
+let events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Append structured JSONL events (ppevents/v1) to $(docv): \
+                 progress lines, checkpoint snapshots, pool chunk \
+                 lease/complete/retry and task errors, budget trips and \
+                 shutdown signals, each with monotonic+UTC timestamps, \
+                 severity, domain and span correlation ids.")
+
+let profile_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Sample every domain's span stack from a background domain \
+                 and write folded stacks (flamegraph.pl / speedscope format) \
+                 to $(docv) on exit.")
+
+let profile_interval_arg =
+  Arg.(value & opt float 0.001
+       & info [ "profile-interval" ] ~docv:"SECONDS"
+           ~doc:"Sampling interval for --profile. Default 1ms.")
 
 let progress_arg =
   Arg.(value & flag
@@ -36,10 +59,11 @@ let progress_arg =
 let no_progress_arg =
   Arg.(value & flag & info [ "no-progress" ] ~doc:"Suppress progress lines.")
 
-let setup metrics trace metrics_out metrics_every progress no_progress =
+let setup metrics trace metrics_out metrics_every events profile
+    profile_interval progress no_progress =
   (* arm clean shutdown in every binary: outside a graceful region a
      SIGINT/SIGTERM exits through Stdlib.exit, running the at_exit
-     flushes registered below (metrics export, trace file) *)
+     flushes registered below (metrics export, trace file, event log) *)
   Obs.Shutdown.install ();
   if metrics || metrics_out <> None then Obs.Metrics.set_enabled true;
   if metrics then
@@ -57,9 +81,26 @@ let setup metrics trace metrics_out metrics_every progress no_progress =
      Obs.Trace.start_file file;
      at_exit (fun () -> ignore (Obs.Trace.stop ()))
    | None -> ());
-  let tty = try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false in
-  Obs.Progress.set_enabled ((progress || tty) && not no_progress)
+  (match events with
+   | Some file ->
+     Obs.Events.start_file file;
+     (* at_exit runs LIFO: the signal record (if any) lands before the
+        sink closes *)
+     at_exit Obs.Events.stop;
+     at_exit Obs.Shutdown.signal_event;
+     Obs.Events.emit "run.start"
+       ~data:[ ("argv", Obs.Json.String (String.concat " " (Array.to_list Sys.argv))) ]
+   | None -> ());
+  (match profile with
+   | Some file ->
+     Obs.Profile.start ~interval_s:profile_interval ~path:file ();
+     at_exit Obs.Profile.stop
+   | None -> ());
+  if no_progress then Obs.Progress.set_enabled false
+  else if progress then Obs.Progress.set_enabled true
+  else Obs.Progress.set_auto ()
 
 let term =
   Term.(const setup $ metrics_arg $ trace_arg $ metrics_out_arg
-        $ metrics_every_arg $ progress_arg $ no_progress_arg)
+        $ metrics_every_arg $ events_arg $ profile_arg $ profile_interval_arg
+        $ progress_arg $ no_progress_arg)

@@ -1,5 +1,6 @@
 (** Cmdliner glue shared by every binary: the [--metrics], [--trace],
-    [--metrics-out FILE]/[--metrics-every S] and
+    [--metrics-out FILE]/[--metrics-every S], [--events FILE],
+    [--profile FILE]/[--profile-interval S] and
     [--progress]/[--no-progress] flags and their side effects. *)
 
 val term : unit Cmdliner.Term.t
@@ -13,8 +14,18 @@ val term : unit Cmdliner.Term.t
       {!Obs.Export} periodic writer — atomic JSON snapshots at FILE
       plus Prometheus text in the sibling [.prom] file, every
       [--metrics-every] seconds (default 5), finalised at exit — so a
-      long scan can be watched or scraped mid-flight;
+      long scan can be watched ([pptop FILE]) or scraped mid-flight;
     - [--trace FILE]: starts a {!Obs.Trace} file sink, finalised at
-      exit into a Chrome-trace-event JSON file;
-    - progress lines ({!Obs.Progress}) are enabled when [--progress]
-      is given or stderr is a TTY, and disabled by [--no-progress]. *)
+      exit into a Chrome-trace-event JSON file (summarise with
+      [ppreport trace FILE]);
+    - [--events FILE]: starts the {!Obs.Events} JSONL log
+      ([ppevents/v1]) — progress, checkpoint, pool, budget and
+      shutdown records with span correlation ids; a
+      ["shutdown.signal"] record is appended from an [at_exit] hook
+      when a SIGINT/SIGTERM interrupted the run, before the sink
+      closes;
+    - [--profile FILE]: starts the {!Obs.Profile} sampler (interval
+      [--profile-interval], default 1ms), writing folded stacks at
+      exit;
+    - progress lines ({!Obs.Progress}) default to automatic TTY
+      detection; [--progress] forces them on, [--no-progress] off. *)

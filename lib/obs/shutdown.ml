@@ -43,5 +43,32 @@ let with_graceful f =
   Atomic.incr graceful_depth;
   Fun.protect ~finally:(fun () -> Atomic.decr graceful_depth) f
 
+(* The event is emitted from observation points (exit paths, at_exit
+   hooks), never from the signal handler itself: the event sink takes a
+   mutex the interrupted code may already hold. Emitting is idempotent
+   so both a graceful drain and the at_exit hook can call it. *)
+let event_emitted = Atomic.make false
+
+let signal_event () =
+  match signal_name () with
+  | None -> ()
+  | Some name ->
+    if
+      Events.enabled ()
+      && not (Atomic.exchange event_emitted true)
+    then
+      Events.emit ~severity:Warn "shutdown.signal"
+        ~data:
+          [
+            ("signal", Json.String name);
+            ( "exit_code",
+              match exit_code () with Some c -> Json.Int c | None -> Json.Null
+            );
+          ]
+
 let exit_if_requested () =
-  match exit_code () with Some c -> Stdlib.exit c | None -> ()
+  match exit_code () with
+  | Some c ->
+    signal_event ();
+    Stdlib.exit c
+  | None -> ()

@@ -30,4 +30,11 @@ val with_graceful : (unit -> 'a) -> 'a
 
 val exit_if_requested : unit -> unit
 (** [Stdlib.exit] with the signal's code if one was received (runs the
-    [at_exit] flushes); otherwise a no-op. *)
+    [at_exit] flushes); otherwise a no-op. Records the signal in the
+    {!Events} log first (see {!signal_event}). *)
+
+val signal_event : unit -> unit
+(** Record a ["shutdown.signal"] event (severity [Warn]) if a signal
+    has been received, at most once per process. Called from exit
+    paths and [at_exit] hooks — never from the signal handler, whose
+    interrupted code may hold the event sink's mutex. *)

@@ -2,14 +2,23 @@
     trace-event format (load the file in [chrome://tracing] or
     {{:https://ui.perfetto.dev}Perfetto}).
 
-    Tracing is off by default: [with_span] with no active sink runs its
-    thunk directly (one load and a branch). A file sink streams one
-    complete event ([ph = "X"]) per line inside a JSON array — valid
-    JSON once {!stop} writes the footer, and still loadable by Chrome
-    if the process dies mid-trace. Threads of the trace are OCaml
-    domains ([tid] = domain id), so an ensemble run shows per-domain
-    utilization lanes. Writes are mutex-serialised; an in-memory sink
-    is provided for tests. *)
+    Tracing is off by default: [with_span] with no active sink (and no
+    stack consumer, see below) runs its thunk directly — one load and a
+    branch. A file sink streams one complete event ([ph = "X"]) per
+    line inside a JSON array — valid JSON once {!stop} writes the
+    footer, and still loadable by Chrome if the process dies mid-trace.
+    Threads of the trace are OCaml domains ([tid] = domain id), so an
+    ensemble run shows per-domain utilization lanes. Writes are
+    mutex-serialised; an in-memory sink is provided for tests.
+
+    Every span carries a process-unique id ([sid]) and the id of its
+    enclosing span ([parent], [0] at top level), emitted as top-level
+    ["sid"]/["parent"] JSON fields (Chrome and Perfetto ignore unknown
+    keys), so {!Trace_stats} can rebuild the span forest — self times,
+    critical path — without guessing nesting from timestamps. The
+    per-domain span stacks behind those ids are shared infrastructure:
+    {!Events} reads {!current_span_id} for correlation ids and
+    {!Profile} reads {!sample_stacks} from its sampler domain. *)
 
 type event = {
   name : string;
@@ -17,6 +26,8 @@ type event = {
   ts_ns : int64;                    (** start, relative to the sink start *)
   dur_ns : int64;
   tid : int;                        (** domain id *)
+  sid : int;                        (** unique span id; [0] for instants *)
+  parent : int;                     (** enclosing span id; [0] = root *)
   args : (string * string) list;
 }
 
@@ -42,3 +53,29 @@ val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -
 
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** A zero-duration marker event (e.g. "new best protocol found"). *)
+
+(** {2 Span-stack tracking}
+
+    Consumers other than a trace sink (the event log, the profiler)
+    can keep the per-domain span stacks alive without recording
+    events. The refcount makes enabling idempotent per consumer. *)
+
+val track_stacks : unit -> unit
+(** Acquire a reference on span-stack tracking. While held, every
+    [with_span] pushes/pops a frame (two [Atomic.set]s per span). *)
+
+val untrack_stacks : unit -> unit
+(** Release one reference (never below zero). *)
+
+val stacks_tracked : unit -> bool
+
+val current_span_id : unit -> int
+(** The innermost open span of the calling domain, [0] when none (or
+    when tracking is off). *)
+
+val sample_stacks : unit -> (int * string list) list
+(** Snapshot every domain's current span stack — [(domain id, span
+    names outermost first)], domains with an empty stack omitted,
+    sorted by domain id. Safe to call from any domain; each stack is
+    read with a single atomic load, so a sample observes every stack
+    at (close to) one instant without blocking the workers. *)

@@ -38,6 +38,46 @@ let publish name s =
   if s.wall_s > 0.0 then
     Obs.Metrics.set (Obs.Metrics.gauge (name ^ ".utilization")) (utilization s)
 
+(* Chunk lifecycle records for the structured event log. The set of
+   lease/complete/error events depends only on the fixed chunk
+   partition (and the caller's deterministic [f]), so canonicalised
+   event streams are jobs-invariant; only interleaving and timestamps
+   move. Guarded so an un-instrumented run pays one load per chunk. *)
+let lease_event ~name ~round ~ci ~lo ~hi =
+  if Obs.Events.enabled () then
+    Obs.Events.emit "pool.lease"
+      ~data:
+        ([ ("pool", Obs.Json.String name); ("chunk", Obs.Json.Int ci) ]
+         @ (if round >= 0 then [ ("round", Obs.Json.Int round) ] else [])
+         @ [ ("lo", Obs.Json.Int lo); ("hi", Obs.Json.Int (hi - 1)) ])
+
+let done_event ~name ~round ~ci =
+  if Obs.Events.enabled () then
+    Obs.Events.emit "pool.chunk_done"
+      ~data:
+        ([ ("pool", Obs.Json.String name); ("chunk", Obs.Json.Int ci) ]
+         @ if round >= 0 then [ ("round", Obs.Json.Int round) ] else [])
+
+let error_event ~name ~ci e =
+  if Obs.Events.enabled () then
+    Obs.Events.emit ~severity:Error "pool.task_error"
+      ~data:
+        [
+          ("pool", Obs.Json.String name);
+          ("chunk", Obs.Json.Int ci);
+          ("error", Obs.Json.String (Printexc.to_string e));
+        ]
+
+let retry_event ~name ~ci ~remaining =
+  if Obs.Events.enabled () then
+    Obs.Events.emit ~severity:Warn "pool.retry"
+      ~data:
+        [
+          ("pool", Obs.Json.String name);
+          ("chunk", Obs.Json.Int ci);
+          ("remaining", Obs.Json.Int remaining);
+        ]
+
 (* Iterated fan-out over driver-computed rounds: the worker domains
    persist across rounds (no per-generation spawn/join), separated by a
    barrier. The driver alone runs [next] — which reduces the previous
@@ -63,11 +103,14 @@ let run_rounds ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~next f =
         let lo = ref 0 in
         while !lo < tasks do
           let hi = Stdlib.min tasks (!lo + chunk) in
+          let ci = !lo / chunk in
+          lease_event ~name ~round:r ~ci ~lo:!lo ~hi;
           Obs.Trace.with_span span ~cat:"pool"
             ~args:
-              [ ("round", string_of_int r); ("lo", string_of_int !lo);
-                ("hi", string_of_int (hi - 1)) ]
+              [ ("round", string_of_int r); ("chunk", string_of_int ci);
+                ("lo", string_of_int !lo); ("hi", string_of_int (hi - 1)) ]
             (fun () -> f ~round:r ~lo:!lo ~hi);
+          done_event ~name ~round:r ~ci;
           incr chunks;
           lo := hi
         done;
@@ -128,17 +171,19 @@ let run_rounds ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~next f =
             let hi = Stdlib.min r_tasks (lo + chunk) in
             let ci = lo / chunk in
             let c0_ns = Obs.Clock.now_ns () in
+            lease_event ~name ~round:r ~ci ~lo ~hi;
             (match
                Obs.Trace.with_span span ~cat:"pool"
                  ~args:
-                   [ ("round", string_of_int r); ("lo", string_of_int lo);
-                     ("hi", string_of_int (hi - 1)) ]
+                   [ ("round", string_of_int r); ("chunk", string_of_int ci);
+                     ("lo", string_of_int lo); ("hi", string_of_int (hi - 1)) ]
                  (fun () -> f ~round:r ~lo ~hi)
              with
-            | () -> ()
+            | () -> done_event ~name ~round:r ~ci
             | exception e ->
               let bt = Printexc.get_raw_backtrace () in
               Atomic.incr task_errors;
+              error_event ~name ~ci e;
               record_first
                 { chunk_index = (r * 1_000_000) + ci; error = e; backtrace = bt };
               Atomic.set cancelled true);
@@ -300,24 +345,32 @@ let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ?(on_task_error = `Fail)
           let skip = match skip_chunk with Some g -> g ci | None -> false in
           if not skip then begin
             let c0_ns = Obs.Clock.now_ns () in
+            lease_event ~name ~round:(-1) ~ci ~lo ~hi;
             let rec attempt remaining =
               match
                 Obs.Trace.with_span span ~cat:"pool"
                   ~args:
-                    [ ("lo", string_of_int lo); ("hi", string_of_int (hi - 1)) ]
+                    [ ("chunk", string_of_int ci); ("lo", string_of_int lo);
+                      ("hi", string_of_int (hi - 1)) ]
                   (fun () -> f ~lo ~hi)
               with
-              | () -> ( match on_chunk_done with Some g -> g ci | None -> ())
+              | () ->
+                done_event ~name ~round:(-1) ~ci;
+                (match on_chunk_done with Some g -> g ci | None -> ())
               | exception e ->
                 let bt = Printexc.get_raw_backtrace () in
                 Atomic.incr task_errors;
+                error_event ~name ~ci e;
                 let fail = { chunk_index = ci; error = e; backtrace = bt } in
                 (match on_task_error with
                  | `Fail ->
                    record_first fail;
                    Atomic.set cancelled true
                  | `Skip | `Retry _ ->
-                   if remaining > 0 then attempt (remaining - 1)
+                   if remaining > 0 then begin
+                     retry_event ~name ~ci ~remaining;
+                     attempt (remaining - 1)
+                   end
                    else begin
                      Mutex.lock failures_lock;
                      failures := fail :: !failures;

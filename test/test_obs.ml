@@ -563,6 +563,426 @@ let test_metrics_do_not_perturb_ensemble () =
   Alcotest.(check string)
     "aggregate summary is byte-identical with metrics enabled" plain instrumented
 
+(* -- span ids ------------------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let span_forest_prop =
+  prop "sid/parent ids form a forest mirroring the nesting" ~count:50
+    (QCheck.make QCheck.Gen.(list_size (int_bound 4) span_tree_gen))
+    (fun trees ->
+      Obs.Trace.start_memory ();
+      run_spans trees;
+      let events = Obs.Trace.stop () in
+      let sids = List.map (fun e -> e.Obs.Trace.sid) events in
+      let by_sid = List.map (fun e -> (e.Obs.Trace.sid, e)) events in
+      let contained c p =
+        Int64.compare p.Obs.Trace.ts_ns c.Obs.Trace.ts_ns <= 0
+        && Int64.compare
+             (Int64.add c.Obs.Trace.ts_ns c.Obs.Trace.dur_ns)
+             (Int64.add p.Obs.Trace.ts_ns p.Obs.Trace.dur_ns)
+           <= 0
+      in
+      (* ids are positive and unique, every non-root parent id names a
+         recorded span on the same domain whose interval contains the
+         child, and there is exactly one root per top-level span *)
+      List.for_all (fun s -> s > 0) sids
+      && List.length (List.sort_uniq compare sids) = List.length sids
+      && List.for_all
+           (fun e ->
+             e.Obs.Trace.parent = 0
+             ||
+             match List.assoc_opt e.Obs.Trace.parent by_sid with
+             | None -> false
+             | Some p -> p.Obs.Trace.tid = e.Obs.Trace.tid && contained e p)
+           events
+      && List.length (List.filter (fun e -> e.Obs.Trace.parent = 0) events)
+         = List.length trees)
+
+(* -- events --------------------------------------------------------------- *)
+
+let read_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+
+let with_events f =
+  let path = Filename.temp_file "obs_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Events.start_file path;
+      let r = Fun.protect ~finally:Obs.Events.stop f in
+      (r, read_lines path))
+
+let obj_of_line l =
+  match Obs.Json.parse l with
+  | Ok (Obs.Json.Obj fields) -> fields
+  | _ -> Alcotest.failf "event line is not a JSON object: %s" l
+
+let ev_name fields =
+  match List.assoc_opt "ev" fields with
+  | Some (Obs.Json.String s) -> s
+  | _ -> "?"
+
+let test_events_format () =
+  let (), lines =
+    with_events (fun () ->
+        Obs.Events.emit "test.plain";
+        Obs.Events.emit ~severity:Obs.Events.Warn
+          ~data:[ ("k", Obs.Json.Int 7) ]
+          "test.warn";
+        Obs.Trace.with_span "evspan" (fun () -> Obs.Events.emit "test.inside"))
+  in
+  match lines with
+  | [] -> Alcotest.fail "empty events file"
+  | header :: rest ->
+    let h = obj_of_line header in
+    Alcotest.(check bool) "header carries the schema" true
+      (List.assoc_opt "schema" h = Some (Obs.Json.String "ppevents/v1"));
+    Alcotest.(check bool) "header has t0_utc" true (List.mem_assoc "t0_utc" h);
+    let recs = List.map obj_of_line rest in
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "record has ts_s" true (List.mem_assoc "ts_s" r);
+        Alcotest.(check bool) "record has utc" true (List.mem_assoc "utc" r);
+        Alcotest.(check bool) "record has sev" true (List.mem_assoc "sev" r))
+      recs;
+    let find name = List.find_opt (fun r -> ev_name r = name) recs in
+    (match find "test.warn" with
+     | None -> Alcotest.fail "test.warn not recorded"
+     | Some r ->
+       Alcotest.(check bool) "severity renders as \"warn\"" true
+         (List.assoc_opt "sev" r = Some (Obs.Json.String "warn"));
+       (match List.assoc_opt "data" r with
+        | Some (Obs.Json.Obj d) ->
+          Alcotest.(check bool) "data payload survives" true
+            (List.assoc_opt "k" d = Some (Obs.Json.Int 7))
+        | _ -> Alcotest.fail "test.warn lost its data object"));
+    (match find "test.inside" with
+     | None -> Alcotest.fail "test.inside not recorded"
+     | Some r ->
+       Alcotest.(check bool) "span correlation id inside with_span" true
+         (match List.assoc_opt "span" r with
+          | Some (Obs.Json.Int s) -> s > 0
+          | _ -> false));
+    (match find "test.plain" with
+     | None -> Alcotest.fail "test.plain not recorded"
+     | Some r ->
+       Alcotest.(check bool) "no span field outside any span" true
+         (not (List.mem_assoc "span" r)));
+    (match List.rev recs with
+     | last :: _ ->
+       Alcotest.(check string) "final record is events.stop" "events.stop"
+         (ev_name last)
+     | [] -> Alcotest.fail "no event records after the header")
+
+let test_events_capture_budget_and_checkpoint () =
+  let (), lines =
+    with_events (fun () ->
+        ignore
+          (Obs.Budget.exceeded ~source:"test.ev" ~resource:"nodes" ~limit:1.0
+             ~consumed:[ ("nodes", 2.0) ]
+             ());
+        with_temp_file (fun path ->
+            let cp =
+              Obs.Checkpoint.create
+                ~config:(Obs.Json.Obj [ ("n", Obs.Json.Int 2) ])
+                ~total_chunks:3
+            in
+            let w =
+              Obs.Checkpoint.writer ~every_chunks:1000 ~every_s:1e9 ~path cp
+            in
+            Obs.Checkpoint.note_done w 1 Obs.Json.Null;
+            Obs.Checkpoint.flush w))
+  in
+  let names = List.map (fun l -> ev_name (obj_of_line l)) (List.tl lines) in
+  Alcotest.(check bool) "budget.exceeded recorded" true
+    (List.mem "budget.exceeded" names);
+  Alcotest.(check bool) "checkpoint.snapshot recorded" true
+    (List.mem "checkpoint.snapshot" names)
+
+(* the chunk partition of a scan is fixed by (space, chunk size), so the
+   multiset of pool lease/done events must not depend on the domain
+   count: only timestamps, domains and interleaving may differ *)
+let canonical_events path =
+  List.tl (read_lines path)
+  |> List.filter_map (fun l ->
+         let fields = obj_of_line l in
+         if ev_name fields = "progress" then None
+           (* progress is timer-driven: line count varies run to run *)
+         else
+           Some
+             (Obs.Json.to_string
+                (Obs.Json.Obj
+                   (List.filter
+                      (fun (k, _) ->
+                        not (List.mem k [ "ts_s"; "utc"; "dom"; "span" ]))
+                      fields))))
+  |> List.sort compare
+
+let test_events_jobs_invariant () =
+  let run jobs =
+    let path = Filename.temp_file "obs_ev_jobs" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Obs.Events.start_file path;
+        let r =
+          Fun.protect ~finally:Obs.Events.stop (fun () ->
+              Busy_beaver.scan ~n:2 ~jobs ~chunk:7 ~sample:(300, 11) ())
+        in
+        (r.Busy_beaver.best_eta, canonical_events path))
+  in
+  let eta1, ev1 = run 1 in
+  let eta3, ev3 = run 3 in
+  Alcotest.(check int) "scan aggregates agree across jobs" eta1 eta3;
+  Alcotest.(check bool) "pool chunk events were recorded" true
+    (List.exists (fun l -> contains l "pool.lease") ev1);
+  Alcotest.(check (list string))
+    "events are jobs-invariant modulo timestamps" ev1 ev3
+
+(* -- profiler ------------------------------------------------------------- *)
+
+let test_profile_folded_output () =
+  let path = Filename.temp_file "obs_profile" ".folded" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Profile.start ~interval_s:0.0005 ~path ();
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Obs.Profile.samples () = 0 && Unix.gettimeofday () < deadline do
+        Obs.Trace.with_span "prof_outer" (fun () ->
+            Obs.Trace.with_span "prof_inner" (fun () -> Unix.sleepf 0.002))
+      done;
+      let sampled = Obs.Profile.samples () in
+      Obs.Profile.stop ();
+      Alcotest.(check bool) "sampler observed at least one stack" true
+        (sampled > 0);
+      let lines = read_lines path in
+      Alcotest.(check bool) "folded output is non-empty" true (lines <> []);
+      List.iter
+        (fun l ->
+          match String.rindex_opt l ' ' with
+          | None -> Alcotest.failf "malformed folded line: %s" l
+          | Some i ->
+            Alcotest.(check bool)
+              (Printf.sprintf "count parses in %S" l)
+              true
+              (int_of_string_opt
+                 (String.sub l (i + 1) (String.length l - i - 1))
+               <> None))
+        lines;
+      Alcotest.(check bool) "stacks name the test span" true
+        (List.exists (fun l -> contains l "prof_outer") lines))
+
+(* -- progress auto mode --------------------------------------------------- *)
+
+let test_progress_auto_respects_tty () =
+  let path = Filename.temp_file "obs_progress_auto" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Progress.set_enabled false;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Progress.set_auto ();
+      let out = Out_channel.open_text path in
+      Fun.protect
+        ~finally:(fun () -> Out_channel.close out)
+        (fun () ->
+          let t = Obs.Progress.create ~interval_s:0.0 ~out "auto" in
+          for _ = 1 to 5 do
+            Obs.Progress.tick t (fun () ->
+                Alcotest.fail "thunk forced on a redirected auto reporter")
+          done;
+          Obs.Progress.finish t (fun () -> "nor the final line");
+          Alcotest.(check int) "auto mode is silent on a non-tty channel" 0
+            (Obs.Progress.lines t);
+          Obs.Progress.set_enabled true;
+          let t' = Obs.Progress.create ~interval_s:0.0 ~out "forced" in
+          Obs.Progress.tick t' (fun () -> "line");
+          Alcotest.(check int) "--progress forces output to the same channel"
+            1 (Obs.Progress.lines t')))
+
+let test_progress_records_events_when_redirected () =
+  let (), lines =
+    with_events (fun () ->
+        Obs.Progress.set_auto ();
+        let path = Filename.temp_file "obs_progress_ev" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let out = Out_channel.open_text path in
+            Fun.protect
+              ~finally:(fun () -> Out_channel.close out)
+              (fun () ->
+                let t = Obs.Progress.create ~interval_s:0.0 ~out "ev" in
+                Obs.Progress.tick t (fun () -> "recorded");
+                Alcotest.(check int) "still no display lines" 0
+                  (Obs.Progress.lines t))))
+  in
+  let msgs =
+    List.filter_map
+      (fun l ->
+        let fields = obj_of_line l in
+        if ev_name fields <> "progress" then None
+        else
+          match List.assoc_opt "data" fields with
+          | Some (Obs.Json.Obj d) ->
+            (match List.assoc_opt "msg" d with
+             | Some (Obs.Json.String m) -> Some m
+             | _ -> None)
+          | _ -> None)
+      (List.tl lines)
+  in
+  Alcotest.(check (list string)) "tick recorded as a progress event"
+    [ "recorded" ] msgs
+
+(* -- prometheus exposition ------------------------------------------------ *)
+
+let test_prometheus_conformance () =
+  let snap =
+    [
+      ("scan.configs", Obs.Metrics.Counter 42);
+      ("pool.queue depth-now", Obs.Metrics.Gauge 1.5);
+      ( "verify.latency_s",
+        Obs.Metrics.Histogram
+          {
+            bounds = [| 0.1; 1.0 |];
+            counts = [| 2; 3; 1 |];
+            sum = 3.25;
+            count = 6;
+          } );
+    ]
+  in
+  let meta =
+    {
+      Obs.Run_meta.git_rev = "v1.0-\"quoted\"\\slash";
+      hostname = "host\nname";
+      ocaml_version = "5.1.1";
+      jobs = 3;
+      timestamp = "2026-08-07T00:00:00Z";
+    }
+  in
+  let text = Obs.Export.prometheus_of_snapshot ~meta snap in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  List.iter
+    (fun fam ->
+      Alcotest.(check bool) (fam ^ " has a HELP line") true
+        (List.exists
+           (fun l -> String.starts_with ~prefix:("# HELP " ^ fam ^ " ") l)
+           lines);
+      Alcotest.(check bool) (fam ^ " has a TYPE line") true
+        (List.exists
+           (fun l -> String.starts_with ~prefix:("# TYPE " ^ fam ^ " ") l)
+           lines))
+    [
+      "pp_scan_configs";
+      "pp_pool_queue_depth_now";
+      "pp_verify_latency_s";
+      "pp_build_info";
+    ];
+  (* every non-comment sample line belongs to a family introduced by
+     HELP + TYPE above it *)
+  let declared = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | "#" :: "TYPE" :: fam :: _ -> Hashtbl.replace declared fam ()
+      | _ when String.starts_with ~prefix:"# HELP " l -> ()
+      | name_and_labels :: _ ->
+        let fam =
+          match String.index_opt name_and_labels '{' with
+          | Some i -> String.sub name_and_labels 0 i
+          | None -> name_and_labels
+        in
+        let base f suffix =
+          if Filename.check_suffix f suffix then
+            String.sub f 0 (String.length f - String.length suffix)
+          else f
+        in
+        let fam = base (base (base fam "_bucket") "_sum") "_count" in
+        Alcotest.(check bool)
+          (Printf.sprintf "sample %s declared via TYPE" l)
+          true (Hashtbl.mem declared fam)
+      | [] -> ())
+    lines;
+  Alcotest.(check bool) "counter sample" true (List.mem "pp_scan_configs 42" lines);
+  Alcotest.(check bool) "gauge name is sanitized" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:"pp_pool_queue_depth_now " l)
+       lines);
+  let buckets =
+    List.filter_map
+      (fun l ->
+        if String.starts_with ~prefix:"pp_verify_latency_s_bucket" l then
+          match String.split_on_char ' ' l with
+          | [ _; n ] -> int_of_string_opt n
+          | _ -> None
+        else None)
+      lines
+  in
+  Alcotest.(check (list int)) "buckets are cumulative and nondecreasing"
+    [ 2; 5; 6 ] buckets;
+  Alcotest.(check bool) "+Inf bucket equals _count" true
+    (List.mem "pp_verify_latency_s_bucket{le=\"+Inf\"} 6" lines
+    && List.mem "pp_verify_latency_s_count 6" lines);
+  Alcotest.(check bool) "_sum present" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:"pp_verify_latency_s_sum " l)
+       lines);
+  match List.find_opt (fun l -> String.starts_with ~prefix:"pp_build_info{" l) lines with
+  | None -> Alcotest.fail "pp_build_info sample missing"
+  | Some build ->
+    Alcotest.(check bool) "quotes and backslashes escaped in labels" true
+      (contains build "v1.0-\\\"quoted\\\"\\\\slash");
+    Alcotest.(check bool) "newline escaped in labels" true
+      (contains build "host\\nname")
+
+(* -- trace analytics ------------------------------------------------------ *)
+
+let test_trace_report_golden () =
+  match Obs.Trace_stats.load "data/mini_trace.json" with
+  | Error e -> Alcotest.failf "mini trace: %s" e
+  | Ok report ->
+    Alcotest.(check bool) "straggler detected" true
+      (List.exists
+         (fun g -> g.Obs.Trace_stats.g_straggler)
+         report.Obs.Trace_stats.chunk_groups);
+    let expected =
+      In_channel.with_open_text "data/mini_trace_report.md"
+        In_channel.input_all
+    in
+    Alcotest.(check string) "ppreport trace markdown matches the golden file"
+      expected
+      (Obs.Trace_stats.to_markdown report)
+
+let test_trace_report_json_schema () =
+  match Obs.Trace_stats.load "data/mini_trace.json" with
+  | Error e -> Alcotest.failf "mini trace: %s" e
+  | Ok report ->
+    (match Obs.Trace_stats.to_json report with
+     | Obs.Json.Obj fields ->
+       Alcotest.(check bool) "schema tag" true
+         (List.assoc_opt "schema" fields
+          = Some (Obs.Json.String "pptrace-report/v1"));
+       (* busy time must equal the self-time sum for a parent-linked
+          trace (the acceptance criterion behind `ppreport trace`) *)
+       let f name =
+         match List.assoc_opt name fields with
+         | Some (Obs.Json.Float x) -> x
+         | _ -> Alcotest.failf "missing float field %s" name
+       in
+       let busy = f "busy_s" and self_sum = f "self_sum_s" in
+       Alcotest.(check bool) "self times sum to busy time (within 2%)" true
+         (Float.abs (busy -. self_sum) <= 0.02 *. busy)
+     | _ -> Alcotest.fail "report is not a JSON object")
+
 let () =
   Alcotest.run "obs"
     [
@@ -593,16 +1013,46 @@ let () =
       ( "trace",
         [
           span_nesting_prop;
+          span_forest_prop;
           Alcotest.test_case "spans emit on exceptions" `Quick
             test_span_emits_on_exception;
           Alcotest.test_case "trace file is valid JSON" `Quick
             test_trace_file_is_valid_json;
+        ] );
+      ( "trace_stats",
+        [
+          Alcotest.test_case "markdown matches the golden report" `Quick
+            test_trace_report_golden;
+          Alcotest.test_case "JSON report schema and self-time closure" `Quick
+            test_trace_report_json_schema;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "JSONL format and correlation ids" `Quick
+            test_events_format;
+          Alcotest.test_case "budget and checkpoint events land" `Quick
+            test_events_capture_budget_and_checkpoint;
+          Alcotest.test_case "jobs-invariant modulo timestamps" `Slow
+            test_events_jobs_invariant;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "folded stacks" `Quick test_profile_folded_output;
         ] );
       ( "progress",
         [
           Alcotest.test_case "throttling" `Quick test_progress_throttles;
           Alcotest.test_case "disabled is silent" `Quick
             test_progress_disabled_is_silent;
+          Alcotest.test_case "auto mode respects the tty" `Quick
+            test_progress_auto_respects_tty;
+          Alcotest.test_case "redirected runs record progress events" `Quick
+            test_progress_records_events_when_redirected;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus exposition conformance" `Quick
+            test_prometheus_conformance;
         ] );
       ( "budget",
         [
