@@ -3,23 +3,111 @@
 
      bbsearch -n 2
      bbsearch -n 3 --jobs 4
-     bbsearch -n 3 --sample 50000 --seed 9 *)
+     bbsearch -n 3 --sample 50000 --seed 9
+     bbsearch -n 3 --workers 4 --checkpoint scan.ckpt        # fork workers
+     bbsearch -n 3 --serve 7171 --checkpoint scan.ckpt       # TCP coordinator
+     bbsearch --connect host:7171                            # TCP worker *)
 
-let run n max_input sample seed jobs chunk no_prune no_packed eta_budget
-    checkpoint ckpt_chunks ckpt_secs resume on_error print_best () =
+let print_result n max_input print_best (r : Busy_beaver.scan_result) =
+  Printf.printf
+    "scanned %d protocols with %d states (space: %d)\n"
+    r.Busy_beaver.num_protocols n
+    (Busy_beaver.num_deterministic_protocols n);
+  Printf.printf "threshold protocols: %d, reject-all: %d\n" r.Busy_beaver.num_threshold
+    r.Busy_beaver.num_reject_all;
+  if r.Busy_beaver.num_aborted > 0 then
+    Printf.printf "verdict unknown (budget): %d\n" r.Busy_beaver.num_aborted;
+  if r.Busy_beaver.task_errors > 0 then
+    Printf.printf "chunk failures tolerated: %d\n" r.Busy_beaver.task_errors;
+  Printf.printf "apparent BB(%d) = %d (inputs up to %d)\n" n r.Busy_beaver.best_eta
+    max_input;
+  List.iter
+    (fun (eta, count) -> Printf.printf "  eta=%-4d %d protocols\n" eta count)
+    r.Busy_beaver.histogram;
+  match (print_best, r.Busy_beaver.best) with
+  | true, Some p ->
+    print_newline ();
+    print_string (Protocol_syntax.to_string p)
+  | _ -> ()
+
+(* --connect mode: serve chunks for a remote coordinator; everything
+   about the scan (including n) comes over the wire, local scan flags
+   are ignored *)
+let run_worker (host, port) chaos_kill =
+  match
+    Distributed_scan.connect_worker ?chaos_kill ~host ~port ()
+  with
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "bbsearch: worker: %s\n" e;
+    1
+
+let run n max_input sample seed jobs chunk schedule no_prune no_packed
+    eta_budget checkpoint ckpt_chunks ckpt_secs resume on_error print_best
+    workers serve connect chaos_kill chaos_worker () =
+  match connect with
+  | Some hp -> run_worker hp chaos_kill
+  | None ->
   let sample = Option.map (fun count -> (count, seed)) sample in
   let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let distributed = workers > 0 || serve <> None in
   (* inside the graceful region a SIGINT/SIGTERM only sets the
-     cancellation flag: the pool drains, the checkpoint flushes, and we
-     exit below with the conventional 128+signum code *)
+     cancellation flag: the pool (or the coordinator loop) drains, the
+     checkpoint flushes, and we exit below with the conventional
+     128+signum code *)
   let r =
     try
       Obs.Shutdown.with_graceful (fun () ->
-          Busy_beaver.scan ?sample ~jobs ~chunk ~prune:(not no_prune)
-            ~packed:(not no_packed) ?eta_budget_s:eta_budget ?checkpoint
-            ~checkpoint_every_chunks:ckpt_chunks ~checkpoint_every_s:ckpt_secs
-            ~resume ~on_task_error:on_error ~max_input ~n ())
-    with Invalid_argument msg ->
+          if distributed then begin
+            (* under `Guided the partition is shaped by the worker
+               count; single-process --jobs plays no other role here *)
+            let pjobs = if workers > 0 then workers else jobs in
+            let plan =
+              Busy_beaver.plan ?sample ~jobs:pjobs ~chunk ~schedule
+                ~prune:(not no_prune) ~packed:(not no_packed)
+                ?eta_budget_s:eta_budget ~max_input ~n ()
+            in
+            let serve_fd =
+              Option.map (fun port -> Distributed_scan.listen ~port ()) serve
+            in
+            let chaos =
+              Option.map (fun k -> (chaos_worker, k)) chaos_kill
+            in
+            let o =
+              Fun.protect
+                ~finally:(fun () ->
+                  match serve_fd with
+                  | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+                  | None -> ())
+                (fun () ->
+                  Distributed_scan.coordinate ~workers ?serve:serve_fd
+                    ?checkpoint ~checkpoint_every_chunks:ckpt_chunks
+                    ~checkpoint_every_s:ckpt_secs ~resume ?chaos_kill:chaos
+                    ~plan ())
+            in
+            let s = o.Distributed_scan.stats in
+            (* stderr, so the stdout report stays byte-identical to a
+               single-process run *)
+            Printf.eprintf
+              "bbsearch: distributed: %d workers seen, %d lost, %d chunks \
+               scanned, %d reassigned, %d stale dropped\n%!"
+              s.Dist.Coordinator.workers_seen s.Dist.Coordinator.workers_lost
+              s.Dist.Coordinator.chunks_done s.Dist.Coordinator.reassigned
+              s.Dist.Coordinator.stale_dropped;
+            o.Distributed_scan.result
+          end
+          else
+            Busy_beaver.scan ?sample ~jobs ~chunk ~schedule
+              ~prune:(not no_prune) ~packed:(not no_packed)
+              ?eta_budget_s:eta_budget ?checkpoint
+              ~checkpoint_every_chunks:ckpt_chunks ~checkpoint_every_s:ckpt_secs
+              ~resume ~on_task_error:on_error ~max_input ~n ())
+    with
+    | Obs.Checkpoint.Mismatch { path; diff } ->
+      (* which flag changed, not just that two hashes differ *)
+      prerr_endline (Obs.Checkpoint.mismatch_message ~path diff);
+      exit 1
+    | Invalid_argument msg ->
       prerr_endline msg;
       exit 1
   in
@@ -43,26 +131,7 @@ let run n max_input sample seed jobs chunk no_prune no_packed eta_budget
     (* interrupted by a non-signal cancellation: still no results *)
     exit 1
   end;
-  Printf.printf
-    "scanned %d protocols with %d states (space: %d)\n"
-    r.Busy_beaver.num_protocols n
-    (Busy_beaver.num_deterministic_protocols n);
-  Printf.printf "threshold protocols: %d, reject-all: %d\n" r.Busy_beaver.num_threshold
-    r.Busy_beaver.num_reject_all;
-  if r.Busy_beaver.num_aborted > 0 then
-    Printf.printf "verdict unknown (budget): %d\n" r.Busy_beaver.num_aborted;
-  if r.Busy_beaver.task_errors > 0 then
-    Printf.printf "chunk failures tolerated: %d\n" r.Busy_beaver.task_errors;
-  Printf.printf "apparent BB(%d) = %d (inputs up to %d)\n" n r.Busy_beaver.best_eta
-    max_input;
-  List.iter
-    (fun (eta, count) -> Printf.printf "  eta=%-4d %d protocols\n" eta count)
-    r.Busy_beaver.histogram;
-  (match (print_best, r.Busy_beaver.best) with
-   | true, Some p ->
-     print_newline ();
-     print_string (Protocol_syntax.to_string p)
-   | _ -> ());
+  print_result n max_input print_best r;
   0
 
 open Cmdliner
@@ -90,6 +159,27 @@ let chunk_arg =
                result; smaller chunks balance better, larger ones have \
                less overhead.")
 
+let schedule_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "fixed" -> Ok `Fixed
+    | "guided" -> Ok `Guided
+    | _ -> Error (`Msg "expected fixed or guided")
+  in
+  let print fmt (s : Pool.schedule) =
+    Format.pp_print_string fmt
+      (match s with `Fixed -> "fixed" | `Guided -> "guided")
+  in
+  Arg.conv (parse, print)
+
+let schedule_arg =
+  Arg.(value & opt schedule_conv `Fixed & info [ "schedule" ] ~docv:"KIND"
+         ~doc:"Chunk size schedule: $(b,fixed) (every chunk --chunk codes, \
+               the default) or $(b,guided) (sizes descend from --chunk to \
+               1, cutting the straggler tail; the chunk partition — and so \
+               the checkpoint fingerprint — then depends on the worker \
+               count). Aggregates are byte-identical either way.")
+
 let no_prune_arg =
   Arg.(value & flag & info [ "no-prune" ]
          ~doc:"Disable symmetry pruning (scan every code instead of one \
@@ -112,7 +202,9 @@ let checkpoint_arg =
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
          ~doc:"Periodically snapshot completed chunks to $(docv) \
                (atomic tmp+rename), and flush a final snapshot on \
-               SIGINT/SIGTERM or crash.")
+               SIGINT/SIGTERM or crash. In distributed mode this is the \
+               shared ledger: it also records the live lease table and \
+               the coordinator epoch.")
 
 let ckpt_chunks_arg =
   Arg.(value & opt int 64 & info [ "checkpoint-every-chunks" ] ~docv:"N"
@@ -158,12 +250,60 @@ let on_error_arg =
 let best_arg =
   Arg.(value & flag & info [ "print-best" ] ~doc:"Print the best protocol found.")
 
+let workers_arg =
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+         ~doc:"Distributed mode: fork $(docv) local worker processes and \
+               coordinate them over socketpairs. A worker that dies (even \
+               SIGKILL) has its leased chunks reassigned; the final report \
+               is byte-identical to a single-process run.")
+
+let serve_arg =
+  Arg.(value & opt (some int) None & info [ "serve" ] ~docv:"PORT"
+         ~doc:"Distributed mode: listen on 127.0.0.1:$(docv) and \
+               coordinate workers that join with $(b,--connect). May be \
+               combined with $(b,--workers).")
+
+let host_port_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i ->
+      let host = String.sub s 0 i in
+      (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+       | Some port when port > 0 && host <> "" -> Ok (host, port)
+       | _ -> Error (`Msg "expected HOST:PORT"))
+    | None -> Error (`Msg "expected HOST:PORT")
+  in
+  let print fmt (h, p) = Format.fprintf fmt "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let connect_arg =
+  Arg.(value & opt (some host_port_conv) None & info [ "connect" ]
+         ~docv:"HOST:PORT"
+         ~doc:"Worker mode: join the coordinator at $(docv) and serve \
+               chunks until it shuts the scan down. The entire scan \
+               configuration comes from the coordinator; local scan flags \
+               are ignored.")
+
+(* fault-injection hooks for tests and CI — deliberately undocumented
+   in the manpage *)
+let chaos_kill_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chaos-kill" ] ~docv:"K" ~docs:Manpage.s_none
+           ~doc:"Kill one worker with SIGKILL after it completes $(docv) \
+                 chunks (fault-injection test hook).")
+
+let chaos_worker_arg =
+  Arg.(value & opt int 0
+       & info [ "chaos-worker" ] ~docv:"W" ~docs:Manpage.s_none
+           ~doc:"Which forked worker index $(b,--chaos-kill) applies to.")
+
 let cmd =
   Cmd.v (Cmd.info "bbsearch" ~doc:"Busy-beaver search over small protocols")
     Term.(
       const run $ n_arg $ max_input_arg $ sample_arg $ seed_arg $ jobs_arg
-      $ chunk_arg $ no_prune_arg $ no_packed_arg $ eta_budget_arg
-      $ checkpoint_arg $ ckpt_chunks_arg $ ckpt_secs_arg $ resume_arg
-      $ on_error_arg $ best_arg $ Obs_cli.term)
+      $ chunk_arg $ schedule_arg $ no_prune_arg $ no_packed_arg
+      $ eta_budget_arg $ checkpoint_arg $ ckpt_chunks_arg $ ckpt_secs_arg
+      $ resume_arg $ on_error_arg $ best_arg $ workers_arg $ serve_arg
+      $ connect_arg $ chaos_kill_arg $ chaos_worker_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -41,6 +41,7 @@ type scan_result = {
 val scan :
   ?jobs:int ->
   ?chunk:int ->
+  ?schedule:Pool.schedule ->
   ?prune:bool ->
   ?packed:bool ->
   ?max_input:int ->
@@ -65,7 +66,12 @@ val scan :
 
     [?jobs] (default 1) domains share the scan; [?chunk] (default 1024)
     is the dynamic-scheduling granule. Any setting of either produces
-    byte-identical aggregates. [?prune] (default true) enables symmetry
+    byte-identical aggregates. [?schedule] (default [`Fixed]) selects
+    the {!Pool.schedule}: under [`Guided] chunk sizes descend from
+    [chunk] to 1 (cutting the straggler tail on wide chunks) — the
+    aggregate is still byte-identical, but the chunk partition (and so
+    the checkpoint fingerprint) then depends on [jobs].
+    [?prune] (default true) enables symmetry
     pruning: with it, [num_protocols] still counts the {e full} space
     (orbit-weighted), and [best] may be any member of the best orbit.
     [?packed] (default true) selects the packed configuration-graph
@@ -92,9 +98,79 @@ val scan :
     accumulators restored, and the finished aggregate is byte-identical
     to an uninterrupted run — chunk content depends only on the code
     index, and the reduce is in chunk-index order.
-    @raise Invalid_argument when resuming from a snapshot whose
+    @raise Obs.Checkpoint.Mismatch when resuming from a snapshot whose
     configuration fingerprint (n, cutoffs, chunk, sample seed/count, …)
-    does not match. *)
+    does not match — the exception carries a field-level diff of the
+    two configurations.
+    @raise Invalid_argument when the snapshot file is unreadable or
+    malformed. *)
+
+(** {2 Range-addressed scanning}
+
+    The distributed scan's entry points: a {!plan} pins the entire scan
+    configuration (code space, cutoffs, pruning, sampling, chunk
+    partition), {!scan_chunk} runs one chunk of it to a serialised
+    accumulator, and {!result_of_chunks} merges per-chunk accumulators
+    — local or received over the wire — in index order. Two processes
+    holding equal plans compute byte-identical accumulators for equal
+    chunk indices, so a coordinator can hand chunk ranges to worker
+    processes (fork or TCP), collect the JSON states, and reproduce the
+    single-process [scan ~jobs:1] result byte for byte. {!scan} itself
+    is built on the same functions. *)
+
+type plan
+
+val plan :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?schedule:Pool.schedule ->
+  ?prune:bool ->
+  ?packed:bool ->
+  ?max_input:int ->
+  ?max_configs:int ->
+  ?eta_budget_s:float ->
+  ?sample:int * int ->
+  n:int ->
+  unit ->
+  plan
+(** Same defaults as {!scan}. [jobs] shapes the partition only under
+    [`Guided]. *)
+
+val plan_config : plan -> Obs.Json.t
+(** The canonical configuration object — what {!scan} fingerprints into
+    checkpoints and what a coordinator sends to joining workers. *)
+
+val plan_of_config : Obs.Json.t -> (plan, string) result
+(** Rebuild a plan from {!plan_config} output: a worker process derives
+    its entire scan — sample codes included — from the coordinator's
+    welcome message, so the two cannot disagree. *)
+
+val plan_chunks : plan -> int
+(** Number of chunks in the partition. *)
+
+val plan_total : plan -> int
+(** Number of codes scanned (the task count). *)
+
+val plan_chunk_range : plan -> int -> int * int
+(** [plan_chunk_range p ci] is the code-index range [\[lo, hi)] of
+    chunk [ci]. *)
+
+val scan_chunk : plan -> int -> Obs.Json.t
+(** Run chunk [ci] from a fresh accumulator and serialise the result —
+    deterministic: equal plans and indices give byte-equal JSON in any
+    process. *)
+
+val result_of_chunks :
+  ?interrupted:bool ->
+  ?task_errors:int ->
+  plan ->
+  Obs.Json.t option array ->
+  scan_result
+(** Merge one accumulator slot per chunk ([None] = chunk not run) in
+    index order. With every slot filled by {!scan_chunk} output, the
+    result equals the [scan ~jobs:1] result byte for byte.
+    @raise Invalid_argument on a malformed accumulator or a slot-count
+    mismatch. *)
 
 val num_deterministic_protocols : int -> int
 (** [P^P · 2^n] (may overflow for [n >= 5]; the busy beaver of

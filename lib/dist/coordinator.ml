@@ -1,0 +1,230 @@
+type stats = {
+  chunks_done : int;
+  duplicates : int;
+  stale_dropped : int;
+  reassigned : int;
+  workers_seen : int;
+  workers_lost : int;
+  interrupted : bool;
+}
+
+type conn = {
+  rd : Wire.reader;
+  mutable name : string option;  (** set by the worker's [Hello] *)
+}
+
+let m_done = Obs.Metrics.counter "dist.chunks_done"
+let m_dup = Obs.Metrics.counter "dist.duplicates"
+let m_stale = Obs.Metrics.counter "dist.stale_dropped"
+let m_reassigned = Obs.Metrics.counter "dist.reassigned"
+let m_lost = Obs.Metrics.counter "dist.workers_lost"
+let g_workers = Obs.Metrics.gauge "dist.workers"
+
+let now_s () =
+  (* lease timestamps only ever feed interval comparisons *)
+  Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
+
+let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
+    ?(should_stop = fun () -> false) ?(on_grant = fun ~worker:_ ~lo:_ ~hi:_ -> ())
+    ?(on_reclaim = fun ~worker:_ ~chunks:_ -> ()) ~config ~config_hash ~epoch
+    ~total_chunks ~completed ~on_result () =
+  let lease = Lease.create ~max_batch ~total:total_chunks ~completed () in
+  let conns = ref (List.map (fun fd -> { rd = Wire.reader fd; name = None }) fds) in
+  let chunks_done = ref 0 in
+  let duplicates = ref 0 in
+  let stale_dropped = ref 0 in
+  let reassigned = ref 0 in
+  let workers_seen = ref 0 in
+  let workers_lost = ref 0 in
+  let interrupted = ref false in
+  let emit ?severity ev data =
+    if Obs.Events.enabled () then Obs.Events.emit ?severity ~data ("dist." ^ ev)
+  in
+  let send_safe c msg =
+    (* a peer that died between select rounds raises EPIPE here; its
+       EOF is about to surface on the read side, which owns the
+       cleanup — so swallow the write error *)
+    try Wire.send (Wire.reader_fd c.rd) msg
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
+  in
+  let grant_to c name =
+    match Lease.grant lease ~worker:name with
+    | None -> ()
+    | Some (lo_chunk, hi_chunk) ->
+        send_safe c (Wire.Grant { lo_chunk; hi_chunk; epoch });
+        on_grant ~worker:name ~lo:lo_chunk ~hi:hi_chunk;
+        emit "lease"
+          [
+            ("worker", Obs.Json.String name);
+            ("lo_chunk", Obs.Json.Int lo_chunk);
+            ("hi_chunk", Obs.Json.Int hi_chunk);
+            ("epoch", Obs.Json.Int epoch);
+          ]
+  in
+  (* top up every named worker that is out of leased chunks *)
+  let feed_idle () =
+    List.iter
+      (fun c ->
+        match c.name with
+        | Some name when Lease.leases_of lease ~worker:name = [] -> grant_to c name
+        | _ -> ())
+      !conns
+  in
+  let drop_conn ?(lost = true) c reason =
+    (match c.name with
+    | Some name ->
+        let reclaimed = Lease.fail_worker lease ~worker:name in
+        if lost then begin
+          incr workers_lost;
+          Obs.Metrics.incr m_lost;
+          emit ~severity:Obs.Events.Warn "worker_lost"
+            [
+              ("worker", Obs.Json.String name);
+              ("reason", Obs.Json.String reason);
+              ("leased", Obs.Json.Int (List.length reclaimed));
+            ]
+        end;
+        if reclaimed <> [] then begin
+          reassigned := !reassigned + List.length reclaimed;
+          Obs.Metrics.add m_reassigned (List.length reclaimed);
+          on_reclaim ~worker:name ~chunks:reclaimed;
+          emit "reassign"
+            [
+              ("worker", Obs.Json.String name);
+              ("chunks", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) reclaimed));
+            ]
+        end
+    | None -> if lost then incr workers_lost);
+    (try Unix.close (Wire.reader_fd c.rd) with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c' != c) !conns;
+    Obs.Metrics.set g_workers (float_of_int (List.length !conns))
+  in
+  let handle_msg c = function
+    | Wire.Hello { worker; pid } ->
+        c.name <- Some worker;
+        incr workers_seen;
+        Lease.register lease ~worker ~now:(now_s ());
+        Obs.Metrics.set g_workers (float_of_int (List.length !conns));
+        emit "worker_join"
+          [ ("worker", Obs.Json.String worker); ("pid", Obs.Json.Int pid) ];
+        send_safe c (Wire.Welcome { config; config_hash; epoch; total_chunks });
+        grant_to c worker
+    | Wire.Heartbeat { worker } -> Lease.heartbeat lease ~worker ~now:(now_s ())
+    | Wire.Result { chunk; epoch = e; state } ->
+        (match c.name with
+        | Some worker -> Lease.heartbeat lease ~worker ~now:(now_s ())
+        | None -> ());
+        if e <> epoch then begin
+          incr stale_dropped;
+          Obs.Metrics.incr m_stale;
+          emit ~severity:Obs.Events.Warn "stale_result"
+            [
+              ("chunk", Obs.Json.Int chunk);
+              ("result_epoch", Obs.Json.Int e);
+              ("epoch", Obs.Json.Int epoch);
+            ]
+        end
+        else if chunk < 0 || chunk >= total_chunks then
+          raise (Wire.Protocol_error (Printf.sprintf "chunk %d out of range" chunk))
+        else begin
+          match Lease.complete lease ~chunk with
+          | `Duplicate ->
+              incr duplicates;
+              Obs.Metrics.incr m_dup
+          | `Fresh ->
+              on_result ~chunk state;
+              incr chunks_done;
+              Obs.Metrics.incr m_done;
+              emit "chunk_done"
+                [
+                  ("chunk", Obs.Json.Int chunk);
+                  ( "worker",
+                    match c.name with
+                    | Some w -> Obs.Json.String w
+                    | None -> Obs.Json.Null );
+                ]
+        end;
+        (* stream the next batch as soon as this one is finished *)
+        (match c.name with
+        | Some name when Lease.leases_of lease ~worker:name = [] -> grant_to c name
+        | _ -> ())
+    | Wire.Welcome _ | Wire.Grant _ | Wire.Shutdown ->
+        raise (Wire.Protocol_error "coordinator-bound stream carried a coordinator message")
+  in
+  let tick_timeout = Stdlib.min 1.0 (heartbeat_timeout /. 2.0) in
+  let finished () = Lease.is_complete lease in
+  while (not (finished ())) && not !interrupted do
+    if should_stop () then interrupted := true
+    else if accept = None && !conns = [] then begin
+      (* no worker left and none can ever arrive: drain rather than hang *)
+      emit ~severity:Obs.Events.Error "orphaned" [];
+      interrupted := true
+    end
+    else begin
+      let read_fds =
+        (match accept with Some fd -> [ fd ] | None -> [])
+        @ List.map (fun c -> Wire.reader_fd c.rd) !conns
+      in
+      let readable, _, _ =
+        try Unix.select read_fds [] [] tick_timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      (* new TCP workers *)
+      (match accept with
+      | Some afd when List.memq afd readable ->
+          let wfd, _addr = Unix.accept afd in
+          conns := { rd = Wire.reader wfd; name = None } :: !conns
+      | _ -> ());
+      (* worker traffic; snapshot the list — handlers mutate it *)
+      List.iter
+        (fun c ->
+          if List.memq (Wire.reader_fd c.rd) readable then
+            match Wire.drain c.rd with
+            | exception Wire.Protocol_error e -> drop_conn c ("protocol error: " ^ e)
+            | msgs, eof ->
+                (try List.iter (handle_msg c) msgs
+                 with Wire.Protocol_error e -> drop_conn c ("protocol error: " ^ e));
+                if eof && List.memq c !conns then drop_conn c "eof")
+        !conns;
+      (* wedged-worker backup path *)
+      List.iter
+        (fun (worker, reclaimed) ->
+          incr workers_lost;
+          Obs.Metrics.incr m_lost;
+          reassigned := !reassigned + List.length reclaimed;
+          Obs.Metrics.add m_reassigned (List.length reclaimed);
+          on_reclaim ~worker ~chunks:reclaimed;
+          emit ~severity:Obs.Events.Warn "worker_lost"
+            [
+              ("worker", Obs.Json.String worker);
+              ("reason", Obs.Json.String "heartbeat timeout");
+              ("leased", Obs.Json.Int (List.length reclaimed));
+            ];
+          emit "reassign"
+            [
+              ("worker", Obs.Json.String worker);
+              ("chunks", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) reclaimed));
+            ];
+          (* close the wedged worker's socket too, if still connected *)
+          match List.find_opt (fun c -> c.name = Some worker) !conns with
+          | Some c -> drop_conn ~lost:false c "expired"
+          | None -> ())
+        (Lease.expire lease ~now:(now_s ()) ~timeout:heartbeat_timeout);
+      (* reclaimed (or newly-arrived) chunks go to whoever is hungry *)
+      feed_idle ()
+    end
+  done;
+  List.iter (fun c -> send_safe c Wire.Shutdown) !conns;
+  List.iter
+    (fun c -> try Unix.close (Wire.reader_fd c.rd) with Unix.Unix_error _ -> ())
+    !conns;
+  Obs.Metrics.set g_workers 0.0;
+  {
+    chunks_done = !chunks_done;
+    duplicates = !duplicates;
+    stale_dropped = !stale_dropped;
+    reassigned = !reassigned;
+    workers_seen = !workers_seen;
+    workers_lost = !workers_lost;
+    interrupted = !interrupted;
+  }

@@ -1,0 +1,73 @@
+(** The coordinator side of the distributed scan: a single-threaded
+    [select(2)] event loop that welcomes workers, leases them chunk
+    ranges, collects their per-chunk accumulators, and reassigns the
+    leases of workers that die.
+
+    Worker death is detected two ways: the fast path is fd EOF — a
+    SIGKILLed worker's socket closes immediately — and the backup is a
+    heartbeat timeout, which catches workers that are wedged rather
+    than dead. Either way the worker's leased chunks return to the
+    todo pool and the next hungry worker picks them up; a chunk is
+    only ever {e recorded} once, so a resurrection race produces a
+    dropped duplicate, never a double count.
+
+    Every accepted result is handed to [on_result] in arrival order —
+    the caller stores it in its per-chunk slot (and typically notes it
+    in a {!Obs.Checkpoint.writer}); the index-ordered merge at the end
+    is the caller's job, which is what makes the distributed aggregate
+    byte-identical to a single-process run.
+
+    Emits [dist.*] events ({!Obs.Events}) — [worker_join], [lease],
+    [chunk_done], [worker_lost], [reassign], [stale_result] — and
+    mirrors the totals in [dist.*] metrics ({!Obs.Metrics}). *)
+
+type stats = {
+  chunks_done : int;  (** fresh results recorded this run *)
+  duplicates : int;  (** results for already-done chunks, dropped *)
+  stale_dropped : int;  (** results stamped with a previous epoch *)
+  reassigned : int;  (** chunk leases reclaimed from dead workers *)
+  workers_seen : int;
+  workers_lost : int;  (** EOF or heartbeat-expired while leasing *)
+  interrupted : bool;  (** [should_stop] fired before completion *)
+}
+
+val run :
+  ?accept:Unix.file_descr ->
+  ?fds:Unix.file_descr list ->
+  ?heartbeat_timeout:float ->
+  ?max_batch:int ->
+  ?should_stop:(unit -> bool) ->
+  ?on_grant:(worker:string -> lo:int -> hi:int -> unit) ->
+  ?on_reclaim:(worker:string -> chunks:int list -> unit) ->
+  config:Obs.Json.t ->
+  config_hash:string ->
+  epoch:int ->
+  total_chunks:int ->
+  completed:(int -> bool) ->
+  on_result:(chunk:int -> Obs.Json.t -> unit) ->
+  unit ->
+  stats
+(** Run the ledger to completion. [fds] are already-connected worker
+    sockets (the fork topology); [accept] is a listening socket whose
+    connections are welcomed as they arrive (the TCP topology) — at
+    least one source must eventually produce a worker or the loop
+    waits forever. [config]/[config_hash] are what joining workers
+    receive in their {!Wire.Welcome}; [epoch] stamps every grant, and
+    results carrying any other epoch are dropped as stale.
+    [completed] seeds the ledger from a resumed checkpoint.
+    [heartbeat_timeout] (default 10s) bounds how long a wedged worker
+    can sit on a lease; [max_batch] (default 16) caps grant sizes
+    (see {!Lease}). [should_stop] (polled every loop tick, with
+    {!Obs.Shutdown.requested} checked alongside by the caller if
+    desired) drains the loop early: workers get a {!Wire.Shutdown} and
+    [interrupted] is set.
+
+    [on_grant]/[on_reclaim] mirror every lease movement — this is how
+    the caller keeps the {!Obs.Checkpoint} lease table in step with
+    the live ledger, so snapshots show who held what at a crash.
+    ([mark_done] releases a completed chunk's lease on its own.)
+
+    Returns when every chunk is done (or on early stop); all worker
+    fds are closed on exit, [accept] is left open (the caller owns
+    it). A worker whose connection raises {!Wire.Protocol_error} is
+    dropped like a dead worker. *)

@@ -1,0 +1,133 @@
+type chunk_state = Todo | Leased of string | Done
+
+type worker_info = { mutable last_beat : float; mutable held : int }
+
+type t = {
+  chunks : chunk_state array;
+  max_batch : int;
+  mutable todo : int;  (** chunks in [Todo] *)
+  mutable dones : int;  (** chunks in [Done] *)
+  mutable scan_from : int;  (** no [Todo] chunk below this index *)
+  workers : (string, worker_info) Hashtbl.t;
+  mutable order : string list;  (** registration order, reversed *)
+}
+
+let create ?(max_batch = 16) ~total ~completed () =
+  if total < 0 then invalid_arg "Lease.create: negative total";
+  let chunks =
+    Array.init total (fun i -> if completed i then Done else Todo)
+  in
+  let dones = Array.fold_left (fun n c -> if c = Done then n + 1 else n) 0 chunks in
+  {
+    chunks;
+    max_batch = Stdlib.max 1 max_batch;
+    todo = total - dones;
+    dones;
+    scan_from = 0;
+    workers = Hashtbl.create 8;
+    order = [];
+  }
+
+let register t ~worker ~now =
+  match Hashtbl.find_opt t.workers worker with
+  | Some w -> w.last_beat <- now
+  | None ->
+      Hashtbl.add t.workers worker { last_beat = now; held = 0 };
+      t.order <- worker :: t.order
+
+let live_workers t =
+  Hashtbl.length t.workers
+
+let grant t ~worker =
+  let w =
+    match Hashtbl.find_opt t.workers worker with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "Lease.grant: unknown worker %S" worker)
+  in
+  if t.todo = 0 then None
+  else begin
+    let n = Array.length t.chunks in
+    (* advance past non-Todo prefix *)
+    while t.scan_from < n && t.chunks.(t.scan_from) <> Todo do
+      t.scan_from <- t.scan_from + 1
+    done;
+    if t.scan_from >= n then None
+    else begin
+      let nw = Stdlib.max 1 (live_workers t) in
+      let batch =
+        Stdlib.max 1 (Stdlib.min t.max_batch ((t.todo + (2 * nw) - 1) / (2 * nw)))
+      in
+      let lo = t.scan_from in
+      let hi = ref lo in
+      while !hi < n && !hi - lo < batch && t.chunks.(!hi) = Todo do
+        t.chunks.(!hi) <- Leased worker;
+        incr hi
+      done;
+      let taken = !hi - lo in
+      t.todo <- t.todo - taken;
+      t.scan_from <- !hi;
+      w.held <- w.held + taken;
+      Some (lo, !hi)
+    end
+  end
+
+let complete t ~chunk =
+  match t.chunks.(chunk) with
+  | Done -> `Duplicate
+  | prev ->
+      (match prev with
+      | Leased holder -> (
+          match Hashtbl.find_opt t.workers holder with
+          | Some w -> w.held <- w.held - 1
+          | None -> ())
+      | Todo -> t.todo <- t.todo - 1
+      | Done -> ());
+      t.chunks.(chunk) <- Done;
+      t.dones <- t.dones + 1;
+      `Fresh
+
+let heartbeat t ~worker ~now =
+  match Hashtbl.find_opt t.workers worker with
+  | Some w -> w.last_beat <- now
+  | None -> ()
+
+let leases_of t ~worker =
+  let out = ref [] in
+  for i = Array.length t.chunks - 1 downto 0 do
+    if t.chunks.(i) = Leased worker then out := i :: !out
+  done;
+  !out
+
+let fail_worker t ~worker =
+  match Hashtbl.find_opt t.workers worker with
+  | None -> []
+  | Some _ ->
+      let held = leases_of t ~worker in
+      List.iter
+        (fun i ->
+          t.chunks.(i) <- Todo;
+          t.todo <- t.todo + 1;
+          if i < t.scan_from then t.scan_from <- i)
+        held;
+      Hashtbl.remove t.workers worker;
+      t.order <- List.filter (fun w -> w <> worker) t.order;
+      held
+
+let expire t ~now ~timeout =
+  let stale =
+    Hashtbl.fold
+      (fun name w acc ->
+        if w.held > 0 && now -. w.last_beat > timeout then name :: acc else acc)
+      t.workers []
+  in
+  List.filter_map
+    (fun name ->
+      match fail_worker t ~worker:name with
+      | [] -> None
+      | chunks -> Some (name, chunks))
+    (List.sort compare stale)
+
+let workers t = List.rev t.order
+let is_complete t = t.dones = Array.length t.chunks
+let done_count t = t.dones
+let todo_count t = t.todo

@@ -1,0 +1,62 @@
+(** The coordinator's in-memory view of the chunk ledger: which chunks
+    are done, which are leased to which worker, and which still need an
+    owner. Pure bookkeeping — no I/O, no clocks of its own (callers
+    pass [now]) — so the reassignment logic is unit- and
+    property-testable without processes.
+
+    Grant policy: the lowest-index run of contiguous todo chunks, with
+    a {e descending} batch size [max 1 (min max_batch
+    (ceil (todo / (2 * workers))))] — the same guided-self-scheduling
+    shape as {!Pool.boundaries}, applied at the lease level: early
+    grants are big (few round-trips), final grants are single chunks
+    (a straggler holds back one chunk, not a batch).
+
+    Reassignment: a worker that disconnects, or whose heartbeat is
+    older than the timeout {e while holding leases}, gets its leased
+    chunks returned to the todo pool; idle workers are never expired
+    (they have nothing to reclaim and may simply be waiting). *)
+
+type t
+
+val create : ?max_batch:int -> total:int -> completed:(int -> bool) -> unit -> t
+(** [total] chunks; [completed i] marks chunks a resumed checkpoint
+    already recorded (they are born done). [max_batch] (default 16)
+    caps grant sizes. *)
+
+val register : t -> worker:string -> now:float -> unit
+(** Add a worker (idempotent; re-registering refreshes its
+    heartbeat). *)
+
+val grant : t -> worker:string -> (int * int) option
+(** Lease the next batch to [worker]: [Some (lo_chunk, hi_chunk)]
+    covering chunks [lo_chunk .. hi_chunk - 1], or [None] when no todo
+    chunk remains (everything is done or leased out).
+    @raise Invalid_argument when [worker] is not registered. *)
+
+val complete : t -> chunk:int -> [ `Fresh | `Duplicate ]
+(** Mark a chunk done (releasing its lease). [`Duplicate] when it was
+    already done — a re-run chunk that raced its reassignment; the
+    caller drops the duplicate result. *)
+
+val heartbeat : t -> worker:string -> now:float -> unit
+(** Refresh a worker's liveness stamp (unknown workers ignored). *)
+
+val fail_worker : t -> worker:string -> int list
+(** Remove a worker, returning its leased chunks (index order) to the
+    todo pool — the caller re-grants them. Unknown workers yield []. *)
+
+val expire : t -> now:float -> timeout:float -> (string * int list) list
+(** Fail every worker whose heartbeat is older than [timeout] seconds
+    {e and} that holds at least one lease; returns the reclaimed
+    chunks per worker, as {!fail_worker} would. *)
+
+val leases_of : t -> worker:string -> int list
+(** Chunks currently leased to [worker], in index order. *)
+
+val workers : t -> string list
+(** Registered workers, in registration order. *)
+
+val is_complete : t -> bool
+val done_count : t -> int
+val todo_count : t -> int
+(** Chunks neither done nor leased. *)

@@ -1,0 +1,183 @@
+type msg =
+  | Hello of { worker : string; pid : int }
+  | Welcome of {
+      config : Obs.Json.t;
+      config_hash : string;
+      epoch : int;
+      total_chunks : int;
+    }
+  | Grant of { lo_chunk : int; hi_chunk : int; epoch : int }
+  | Result of { chunk : int; epoch : int; state : Obs.Json.t }
+  | Heartbeat of { worker : string }
+  | Shutdown
+
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error m -> Some (Printf.sprintf "Dist.Wire.Protocol_error: %s" m)
+    | _ -> None)
+
+let to_json msg =
+  let open Obs.Json in
+  match msg with
+  | Hello { worker; pid } ->
+      Obj [ ("msg", String "hello"); ("worker", String worker); ("pid", Int pid) ]
+  | Welcome { config; config_hash; epoch; total_chunks } ->
+      Obj
+        [
+          ("msg", String "welcome");
+          ("config", config);
+          ("config_hash", String config_hash);
+          ("epoch", Int epoch);
+          ("total_chunks", Int total_chunks);
+        ]
+  | Grant { lo_chunk; hi_chunk; epoch } ->
+      Obj
+        [
+          ("msg", String "grant");
+          ("lo_chunk", Int lo_chunk);
+          ("hi_chunk", Int hi_chunk);
+          ("epoch", Int epoch);
+        ]
+  | Result { chunk; epoch; state } ->
+      Obj
+        [
+          ("msg", String "result");
+          ("chunk", Int chunk);
+          ("epoch", Int epoch);
+          ("state", state);
+        ]
+  | Heartbeat { worker } ->
+      Obj [ ("msg", String "heartbeat"); ("worker", String worker) ]
+  | Shutdown -> Obj [ ("msg", String "shutdown") ]
+
+let of_json j =
+  let open Obs.Json in
+  let field name fields = List.assoc_opt name fields in
+  let str name fields =
+    match field name fields with
+    | Some (String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let int name fields =
+    match field name fields with
+    | Some (Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "missing int field %S" name)
+  in
+  let json name fields =
+    match field name fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  match j with
+  | Obj fields -> (
+      let* kind = str "msg" fields in
+      match kind with
+      | "hello" ->
+          let* worker = str "worker" fields in
+          let* pid = int "pid" fields in
+          Ok (Hello { worker; pid })
+      | "welcome" ->
+          let* config = json "config" fields in
+          let* config_hash = str "config_hash" fields in
+          let* epoch = int "epoch" fields in
+          let* total_chunks = int "total_chunks" fields in
+          Ok (Welcome { config; config_hash; epoch; total_chunks })
+      | "grant" ->
+          let* lo_chunk = int "lo_chunk" fields in
+          let* hi_chunk = int "hi_chunk" fields in
+          let* epoch = int "epoch" fields in
+          Ok (Grant { lo_chunk; hi_chunk; epoch })
+      | "result" ->
+          let* chunk = int "chunk" fields in
+          let* epoch = int "epoch" fields in
+          let* state = json "state" fields in
+          Ok (Result { chunk; epoch; state })
+      | "heartbeat" ->
+          let* worker = str "worker" fields in
+          Ok (Heartbeat { worker })
+      | "shutdown" -> Ok Shutdown
+      | k -> Error (Printf.sprintf "unknown message kind %S" k))
+  | _ -> Error "message is not a JSON object"
+
+let send fd msg =
+  let line = Obs.Json.to_string (to_json msg) ^ "\n" in
+  let b = Bytes.unsafe_of_string line in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let n =
+      try Unix.write fd b !pos (len - !pos)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    pos := !pos + n
+  done
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes received but not yet cut into lines *)
+  scratch : Bytes.t;
+  mutable pending : msg list;  (** parsed but not yet handed out *)
+}
+
+let reader fd =
+  { fd; buf = Buffer.create 4096; scratch = Bytes.create 65536; pending = [] }
+
+let reader_fd r = r.fd
+
+let parse_line line =
+  match Obs.Json.parse line with
+  | Error e -> raise (Protocol_error (Printf.sprintf "bad JSON line: %s" e))
+  | Ok j -> (
+      match of_json j with
+      | Ok m -> m
+      | Error e ->
+          raise (Protocol_error (Printf.sprintf "bad message: %s in %s" e line)))
+
+(* Move every complete line of [r.buf] onto [r.pending], keeping the
+   trailing partial line (if any) buffered. *)
+let cut_lines r =
+  let s = Buffer.contents r.buf in
+  let n = String.length s in
+  let msgs = ref [] in
+  let start = ref 0 in
+  (try
+     while true do
+       let nl = String.index_from s !start '\n' in
+       let line = String.sub s !start (nl - !start) in
+       if String.length line > 0 then msgs := parse_line line :: !msgs;
+       start := nl + 1
+     done
+   with Not_found -> ());
+  Buffer.clear r.buf;
+  if !start < n then Buffer.add_substring r.buf s !start (n - !start);
+  r.pending <- r.pending @ List.rev !msgs
+
+(* One read(2); -1 encodes EINTR (retryable, not EOF). *)
+let read_once r =
+  try Unix.read r.fd r.scratch 0 (Bytes.length r.scratch) with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+
+let drain r =
+  let n = read_once r in
+  if n > 0 then Buffer.add_subbytes r.buf r.scratch 0 n;
+  cut_lines r;
+  let msgs = r.pending in
+  r.pending <- [];
+  (msgs, n = 0)
+
+let rec recv r =
+  match r.pending with
+  | m :: rest ->
+      r.pending <- rest;
+      Some m
+  | [] -> (
+      match read_once r with
+      | 0 -> None
+      | n ->
+          if n > 0 then Buffer.add_subbytes r.buf r.scratch 0 n;
+          cut_lines r;
+          recv r)

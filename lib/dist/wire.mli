@@ -1,0 +1,70 @@
+(** The distributed scan's wire protocol: one [ppdist/v1] JSON object
+    per newline-terminated line, over any stream file descriptor — a
+    socketpair to a forked worker or a TCP connection to a remote one.
+    Reusing {!Obs.Json} keeps the whole protocol dependency-free.
+
+    The conversation is deliberately small:
+
+    - worker opens with {!Hello};
+    - coordinator replies {!Welcome}, carrying the {e complete} scan
+      configuration — the worker derives its whole plan (sample codes
+      included) from it, so the two processes cannot disagree on what a
+      chunk index means;
+    - coordinator sends {!Grant} ranges; worker streams back one
+      {!Result} per chunk, interleaved with {!Heartbeat}s;
+    - coordinator closes the scan with {!Shutdown}.
+
+    Every [Grant]/[Result] carries the coordinator's ledger {e epoch}:
+    results stamped with a previous life's epoch are recognisably stale
+    and dropped (see {!Obs.Checkpoint}). *)
+
+type msg =
+  | Hello of { worker : string; pid : int }
+  | Welcome of {
+      config : Obs.Json.t;  (** the full scan configuration object *)
+      config_hash : string;
+      epoch : int;
+      total_chunks : int;
+    }
+  | Grant of { lo_chunk : int; hi_chunk : int; epoch : int }
+      (** work order: run chunks [lo_chunk .. hi_chunk - 1] *)
+  | Result of { chunk : int; epoch : int; state : Obs.Json.t }
+      (** one chunk's serialised accumulator *)
+  | Heartbeat of { worker : string }
+  | Shutdown
+
+exception Protocol_error of string
+(** A line that is not valid JSON, or valid JSON that is not a known
+    message. Raised by {!drain}/{!recv}; the peer is beyond repair at
+    that point — drop the connection. *)
+
+val to_json : msg -> Obs.Json.t
+val of_json : Obs.Json.t -> (msg, string) result
+
+val send : Unix.file_descr -> msg -> unit
+(** Write one message line, looping over partial writes.
+    @raise Unix.Unix_error ([EPIPE] when the peer is gone — the caller
+    treats that as a dead worker, not a crash). *)
+
+(** {2 Buffered reading}
+
+    A [reader] owns the receive buffer of one fd and cuts it into
+    complete lines; partial lines wait for the next read. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+val reader_fd : reader -> Unix.file_descr
+
+val drain : reader -> msg list * bool
+(** One non-blocking-ish step for a select loop: a single [Unix.read]
+    (the caller knows the fd is readable, so it will not block),
+    returning every message completed by it plus [true] when the peer
+    closed the connection (EOF — a SIGKILLed worker's socket reads as
+    EOF, which is exactly how worker death is detected).
+    @raise Protocol_error on an unparseable line. *)
+
+val recv : reader -> msg option
+(** Blocking receive of the next single message; [None] on EOF. The
+    worker side's main loop.
+    @raise Protocol_error on an unparseable line. *)

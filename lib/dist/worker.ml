@@ -1,0 +1,45 @@
+let now_s () = Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
+
+let run ?(heartbeat_every = 2.0) ?(on_chunk_done = fun _ -> ()) ~name ~fd
+    ~runner () =
+  let rd = Wire.reader fd in
+  let last_sent = ref (now_s ()) in
+  let send msg =
+    Wire.send fd msg;
+    last_sent := now_s ()
+  in
+  let beat () =
+    if now_s () -. !last_sent >= heartbeat_every then
+      send (Wire.Heartbeat { worker = name })
+  in
+  try
+    send (Wire.Hello { worker = name; pid = Unix.getpid () });
+    match Wire.recv rd with
+    | None -> Error "coordinator closed the connection before Welcome"
+    | Some (Wire.Welcome { config; config_hash = _; epoch = _; total_chunks = _ })
+      -> (
+        match runner config with
+        | Error e -> Error (Printf.sprintf "rejected coordinator config: %s" e)
+        | Ok scan_chunk ->
+            let rec loop () =
+              match Wire.recv rd with
+              | None -> Error "coordinator vanished (EOF before Shutdown)"
+              | Some Wire.Shutdown -> Ok ()
+              | Some (Wire.Grant { lo_chunk; hi_chunk; epoch }) ->
+                  for chunk = lo_chunk to hi_chunk - 1 do
+                    beat ();
+                    let state = scan_chunk chunk in
+                    send (Wire.Result { chunk; epoch; state });
+                    on_chunk_done chunk
+                  done;
+                  loop ()
+              | Some (Wire.Heartbeat _) -> loop ()
+              | Some (Wire.Hello _ | Wire.Welcome _ | Wire.Result _) ->
+                  Error "worker-bound stream carried a worker message"
+            in
+            loop ())
+    | Some _ -> Error "expected Welcome as the first coordinator message"
+  with
+  | Wire.Protocol_error e -> Error e
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      Error "coordinator vanished (broken pipe)"

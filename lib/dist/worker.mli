@@ -1,0 +1,32 @@
+(** The worker side of the distributed scan: connect, learn the scan
+    from the coordinator's {!Wire.Welcome}, run granted chunks, stream
+    results back.
+
+    The worker carries {e no} scan configuration of its own — it hands
+    the Welcome's config object to the [runner] factory and scans
+    whatever comes back. That is the protocol's defence against flag
+    drift: a [--connect] worker launched with different CLI flags still
+    computes exactly the coordinator's chunks, because its entire plan
+    (sample codes included) is derived from the coordinator's bytes. *)
+
+val run :
+  ?heartbeat_every:float ->
+  ?on_chunk_done:(int -> unit) ->
+  name:string ->
+  fd:Unix.file_descr ->
+  runner:(Obs.Json.t -> (int -> Obs.Json.t, string) result) ->
+  unit ->
+  (unit, string) result
+(** [run ~name ~fd ~runner ()] speaks the {!Wire} protocol on [fd]
+    until the coordinator's {!Wire.Shutdown} ([Ok ()]) or a protocol
+    failure ([Error _]: EOF before shutdown, a bad message, or the
+    [runner] factory rejecting the coordinator's config).
+
+    [runner config] is called once, on the Welcome; the returned
+    function maps a chunk index to its serialised accumulator and is
+    called once per granted chunk, in grant order. A {!Wire.Heartbeat}
+    is sent before any chunk whenever [heartbeat_every] (default 2s)
+    has elapsed since the last send, so long chunk streaks keep the
+    lease alive. [on_chunk_done] fires after each chunk's Result is on
+    the wire — the chaos-kill test hook ([Unix.kill] yourself there to
+    simulate a crash at an exact chunk count). *)

@@ -1,11 +1,16 @@
+type lease = { holder : string; lease_epoch : int }
+
 type t = {
   config_hash : string;
   config : Json.t;
   total_chunks : int;
   state : Json.t option array;
+  mutable epoch : int;
+  leases : lease option array;
 }
 
-let schema = "ppcheckpoint/v1"
+let schema = "ppcheckpoint/v2"
+let schema_v1 = "ppcheckpoint/v1"
 let hash_config config = Digest.to_hex (Digest.string (Json.to_string config))
 
 let create ~config ~total_chunks =
@@ -15,6 +20,8 @@ let create ~config ~total_chunks =
     config;
     total_chunks;
     state = Array.make total_chunks None;
+    epoch = 0;
+    leases = Array.make total_chunks None;
   }
 
 let check_index who t i =
@@ -23,7 +30,8 @@ let check_index who t i =
 
 let mark_done t i state =
   check_index "mark_done" t i;
-  t.state.(i) <- Some state
+  t.state.(i) <- Some state;
+  t.leases.(i) <- None
 
 let is_done t i =
   check_index "is_done" t i;
@@ -35,6 +43,100 @@ let chunk_state t i =
 
 let num_done t =
   Array.fold_left (fun n s -> if s = None then n else n + 1) 0 t.state
+
+(* ---------------------------------------------------------------- leases *)
+
+let epoch t = t.epoch
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.epoch
+
+let set_lease t i ~holder =
+  check_index "set_lease" t i;
+  t.leases.(i) <- Some { holder; lease_epoch = t.epoch }
+
+let clear_lease t i =
+  check_index "clear_lease" t i;
+  t.leases.(i) <- None
+
+let lease t i =
+  check_index "lease" t i;
+  t.leases.(i)
+
+let leased_to t ~holder =
+  let acc = ref [] in
+  for i = t.total_chunks - 1 downto 0 do
+    match t.leases.(i) with
+    | Some l when l.holder = holder -> acc := i :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* ------------------------------------------------------- config mismatch *)
+
+type field_diff = {
+  field : string;
+  expected : string option;  (** in the running scan's configuration *)
+  found : string option;  (** in the snapshot on disk *)
+}
+
+exception Mismatch of { path : string; diff : field_diff list }
+
+(* Field-by-field diff of two configuration objects, rendered as JSON
+   snippets. Non-object configurations degrade to a single whole-value
+   entry; equal fields are omitted. *)
+let config_diff ~expected ~found =
+  match (expected, found) with
+  | Json.Obj evs, Json.Obj fvs ->
+    let keys =
+      List.map fst evs @ List.filter (fun k -> not (List.mem_assoc k evs)) (List.map fst fvs)
+    in
+    List.filter_map
+      (fun k ->
+        let e = List.assoc_opt k evs and f = List.assoc_opt k fvs in
+        if e = f then None
+        else
+          Some
+            {
+              field = k;
+              expected = Option.map Json.to_string e;
+              found = Option.map Json.to_string f;
+            })
+      keys
+  | e, f ->
+    if e = f then []
+    else
+      [
+        {
+          field = "config";
+          expected = Some (Json.to_string e);
+          found = Some (Json.to_string f);
+        };
+      ]
+
+let mismatch_message ~path diff =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "checkpoint %s was written by a different scan configuration:" path);
+  if diff = [] then
+    Buffer.add_string b " (configurations hash differently but no field-level \
+                         diff is available)"
+  else
+    List.iter
+      (fun d ->
+        Buffer.add_string b
+          (Printf.sprintf "\n  %-16s run has %s, snapshot has %s" d.field
+             (Option.value ~default:"(absent)" d.expected)
+             (Option.value ~default:"(absent)" d.found)))
+      diff;
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Mismatch { path; diff } -> Some (mismatch_message ~path diff)
+    | _ -> None)
 
 (* ----------------------------------------------------------------- JSON *)
 
@@ -48,21 +150,40 @@ let to_json t =
                Json.Obj [ ("index", Json.Int i); ("state", state) ])
              s)
   in
+  let leases =
+    Array.to_list t.leases
+    |> List.mapi (fun i l -> (i, l))
+    |> List.filter_map (fun (i, l) ->
+           Option.map
+             (fun { holder; lease_epoch } ->
+               Json.Obj
+                 [
+                   ("chunk", Json.Int i);
+                   ("holder", Json.String holder);
+                   ("epoch", Json.Int lease_epoch);
+                 ])
+             l)
+  in
   Json.Obj
     [
       ("schema", Json.String schema);
       ("config_hash", Json.String t.config_hash);
       ("config", t.config);
       ("total_chunks", Json.Int t.total_chunks);
+      ("epoch", Json.Int t.epoch);
       ("chunks", Json.List chunks);
+      ("leases", Json.List leases);
     ]
 
 let of_json = function
   | Json.Obj fields ->
     let ( let* ) = Result.bind in
+    (* v1 snapshots (no epoch, no lease table) read as epoch-0 ledgers
+       with every lease free — a resumed coordinator reassigns anything
+       not marked done anyway, so nothing is lost *)
     let* () =
       match List.assoc_opt "schema" fields with
-      | Some (Json.String s) when s = schema -> Ok ()
+      | Some (Json.String s) when s = schema || s = schema_v1 -> Ok ()
       | Some (Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
       | _ -> Error "missing \"schema\" field"
     in
@@ -100,7 +221,37 @@ let of_json = function
         go l
       | _ -> Error "missing \"chunks\" list"
     in
-    Ok { config_hash; config; total_chunks; state }
+    let epoch =
+      match List.assoc_opt "epoch" fields with
+      | Some (Json.Int e) when e >= 0 -> e
+      | _ -> 0
+    in
+    let leases = Array.make total_chunks None in
+    let* () =
+      match List.assoc_opt "leases" fields with
+      | None -> Ok ()  (* v1 *)
+      | Some (Json.List l) ->
+        let rec go = function
+          | [] -> Ok ()
+          | Json.Obj lf :: rest ->
+            (match
+               ( List.assoc_opt "chunk" lf,
+                 List.assoc_opt "holder" lf,
+                 List.assoc_opt "epoch" lf )
+             with
+             | Some (Json.Int i), Some (Json.String holder), Some (Json.Int e)
+               when i >= 0 && i < total_chunks ->
+               leases.(i) <- Some { holder; lease_epoch = e };
+               go rest
+             | Some (Json.Int i), _, _ when i < 0 || i >= total_chunks ->
+               Error (Printf.sprintf "lease chunk %d out of range" i)
+             | _ -> Error "lease entry needs \"chunk\", \"holder\", \"epoch\"")
+          | _ :: _ -> Error "lease entry must be an object"
+        in
+        go l
+      | Some _ -> Error "malformed \"leases\" list"
+    in
+    Ok { config_hash; config; total_chunks; state; epoch; leases }
   | _ -> Error "checkpoint must be a JSON object"
 
 (* ----------------------------------------------------------------- file *)

@@ -1,4 +1,5 @@
-(** Crash-safe checkpoint/resume snapshots for chunked scans.
+(** Crash-safe checkpoint/resume snapshots for chunked scans — and,
+    since v2, the shared ledger the distributed scan coordinates over.
 
     A checkpoint records, for one fixed chunk partition of a scan's
     task space, which chunks have completed and an opaque JSON blob of
@@ -11,17 +12,33 @@
     per-chunk work is index-deterministic — reproduces the
     uninterrupted aggregate byte for byte.
 
-    File format: one [ppcheckpoint/v1] JSON object per file. *)
+    v2 adds the coordination substrate: a {e lease table} (which worker
+    currently holds each incomplete chunk) and an {e epoch} counter
+    bumped every time a coordinator takes the ledger over, so results
+    from workers granted in a previous life are recognisably stale.
+    Leases on disk are advisory — a chunk not marked done is reassigned
+    by the next coordinator regardless — but they let tooling show who
+    was working on what at the moment of a crash.
+
+    File format: one [ppcheckpoint/v2] JSON object per file; v1 files
+    ([ppcheckpoint/v1], no epoch or lease table) still load. *)
+
+type lease = { holder : string; lease_epoch : int }
 
 type t = {
   config_hash : string;
   config : Json.t;  (** the hashed configuration, kept readable *)
   total_chunks : int;
   state : Json.t option array;  (** slot per chunk; [Some] = completed *)
+  mutable epoch : int;  (** coordinator take-over counter *)
+  leases : lease option array;  (** slot per chunk; [Some] = leased out *)
 }
 
 val schema : string
-(** ["ppcheckpoint/v1"]. *)
+(** ["ppcheckpoint/v2"]. *)
+
+val schema_v1 : string
+(** ["ppcheckpoint/v1"] — still accepted by {!of_json}/{!load}. *)
 
 val hash_config : Json.t -> string
 (** Hex digest of the canonical rendering of a configuration object. *)
@@ -30,11 +47,55 @@ val create : config:Json.t -> total_chunks:int -> t
 (** A fresh checkpoint with no completed chunks. *)
 
 val mark_done : t -> int -> Json.t -> unit
-(** Record chunk [i] as completed with the given accumulator state. *)
+(** Record chunk [i] as completed with the given accumulator state (and
+    release any lease on it). *)
 
 val is_done : t -> int -> bool
 val chunk_state : t -> int -> Json.t option
 val num_done : t -> int
+
+(** {2 Leases and epochs (v2)} *)
+
+val epoch : t -> int
+
+val bump_epoch : t -> int
+(** Increment the epoch — a coordinator does this once when it adopts
+    the ledger — and return the new value. *)
+
+val set_lease : t -> int -> holder:string -> unit
+(** Record chunk [i] as leased to [holder] at the current epoch. *)
+
+val clear_lease : t -> int -> unit
+
+val lease : t -> int -> lease option
+
+val leased_to : t -> holder:string -> int list
+(** Chunks currently leased to [holder], in index order. *)
+
+(** {2 Configuration mismatch}
+
+    A snapshot only resumes the scan configuration that wrote it. When
+    the fingerprints differ, callers raise {!Mismatch} carrying a
+    field-by-field diff so the user learns {e which} flag changed
+    instead of staring at two hashes. *)
+
+type field_diff = {
+  field : string;
+  expected : string option;  (** in the running scan's configuration *)
+  found : string option;  (** in the snapshot on disk *)
+}
+
+exception Mismatch of { path : string; diff : field_diff list }
+
+val config_diff : expected:Json.t -> found:Json.t -> field_diff list
+(** Top-level field diff of two configuration objects (equal fields
+    omitted; non-object configurations degrade to one whole-value
+    entry). Empty means the objects are equal — or differ only in ways
+    invisible at the top level. *)
+
+val mismatch_message : path:string -> field_diff list -> string
+(** Human-readable rendering, one line per differing field. Also
+    installed as the [Printexc] printer for {!Mismatch}. *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

@@ -146,6 +146,13 @@ let stop () =
     untrack_stacks ();
     finalise st
 
+let detach () =
+  match !current with
+  | None -> ()
+  | Some _ ->
+    current := None;
+    untrack_stacks ()
+
 let start sink =
   ignore (stop ());
   track_stacks ();

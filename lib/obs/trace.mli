@@ -46,6 +46,14 @@ val stop : unit -> event list
     in emission (i.e. span-completion) order. No-op, returning [[]],
     when nothing is active. *)
 
+val detach : unit -> unit
+(** Drop the active sink {e without} flushing or closing it. For forked
+    children that inherit the parent's trace channel: the channel (its
+    buffer included) still belongs to the parent, so the child must
+    neither write spans to it nor flush the inherited buffer copy —
+    either corrupts the parent's file. Call this first thing after
+    [Unix.fork] in the child. No-op when nothing is active. *)
+
 val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] times [f ()] and emits a complete event when a
     sink is active — also on exceptional exit, so spans stay

@@ -40,6 +40,11 @@ type chunk_group = {
   g_max_s : float;
   g_straggler : bool;
   g_worst : (string * float) list;
+  g_sized : bool;
+  g_size_spread : float;
+  g_task_median_s : float;
+  g_task_max_s : float;
+  g_task_straggler : bool;
 }
 
 type report = {
@@ -125,6 +130,17 @@ let section_of_name name =
   match String.rindex_opt name '.' with
   | Some i when Filename.check_suffix name ".chunk" -> String.sub name 0 i
   | _ -> name
+
+(* pool chunk spans record their task range as args lo/hi, hi
+   inclusive — the task count normalises chunk durations when the
+   schedule makes chunk sizes uneven (guided self-scheduling) *)
+let span_tasks sp =
+  match (List.assoc_opt "lo" sp.args, List.assoc_opt "hi" sp.args) with
+  | Some lo, Some hi ->
+    (match (int_of_string_opt lo, int_of_string_opt hi) with
+     | Some lo, Some hi when hi >= lo -> Some (hi - lo + 1)
+     | _ -> None)
+  | _ -> None
 
 let chunk_label sp =
   match List.assoc_opt "chunk" sp.args with
@@ -309,6 +325,30 @@ let analyse ?(source = "") ?(timeline_buckets = 48)
           |> List.filteri (fun i _ -> i < 3)
           |> List.map (fun sp -> (chunk_label sp, s_of_us sp.dur_us))
         in
+        (* size-normalised view: with every member carrying a task
+           range, per-task times separate "this chunk was bigger"
+           (schedule imbalance, what the guided schedule removes) from
+           "this chunk was slow" (a genuine straggler) *)
+        let tasked = List.filter_map (fun sp -> Option.map (fun t -> (sp, t)) (span_tasks sp)) members in
+        let sized = List.length tasked = List.length members && members <> [] in
+        let size_spread, task_median, task_mx =
+          if not sized then (1.0, 0.0, 0.0)
+          else begin
+            let counts = List.map snd tasked in
+            let mn = List.fold_left Stdlib.min max_int counts in
+            let mx_c = List.fold_left Stdlib.max 0 counts in
+            let per_task =
+              Array.of_list
+                (List.sort compare
+                   (List.map
+                      (fun (sp, t) -> sp.dur_us /. float_of_int t)
+                      tasked))
+            in
+            ( (if mn > 0 then float_of_int mx_c /. float_of_int mn else 1.0),
+              percentile per_task 0.5,
+              per_task.(Array.length per_task - 1) )
+          end
+        in
         {
           g_section = section_of_name name;
           g_count = List.length members;
@@ -317,6 +357,12 @@ let analyse ?(source = "") ?(timeline_buckets = 48)
           g_max_s = s_of_us mx;
           g_straggler = median > 0.0 && mx > straggler_factor *. median;
           g_worst = worst;
+          g_sized = sized;
+          g_size_spread = size_spread;
+          g_task_median_s = s_of_us task_median;
+          g_task_max_s = s_of_us task_mx;
+          g_task_straggler =
+            sized && task_median > 0.0 && task_mx > straggler_factor *. task_median;
         })
       groups
   in
@@ -400,21 +446,35 @@ let to_markdown r =
   if r.chunk_groups <> [] then begin
     Printf.bprintf buf "\n## Fan-out sections (chunk duration spread)\n\n";
     Printf.bprintf buf
-      "| section | chunks | median s | p99 s | max s | max/med | stragglers |\n|---|---:|---:|---:|---:|---:|---|\n";
+      "| section | chunks | median s | p99 s | max s | max/med | µs/task med | µs/task max | stragglers |\n|---|---:|---:|---:|---:|---:|---:|---:|---|\n";
     List.iter
       (fun g ->
         let ratio = if g.g_median_s > 0.0 then g.g_max_s /. g.g_median_s else 0.0 in
         let worst =
-          if g.g_straggler then
+          if g.g_straggler || g.g_task_straggler then
             String.concat ", "
               (List.map
                  (fun (label, d) -> Printf.sprintf "%s (%.3f s)" label d)
                  g.g_worst)
           else "-"
         in
-        Printf.bprintf buf "| %s | %d | %.4f | %.4f | %.4f | %.1fx | %s |\n"
-          g.g_section g.g_count g.g_median_s g.g_p99_s g.g_max_s ratio worst)
-      r.chunk_groups
+        let task_med, task_max =
+          if g.g_sized then
+            ( Printf.sprintf "%.2f" (g.g_task_median_s *. 1e6),
+              Printf.sprintf "%.2f" (g.g_task_max_s *. 1e6) )
+          else ("-", "-")
+        in
+        Printf.bprintf buf
+          "| %s | %d | %.4f | %.4f | %.4f | %.1fx | %s | %s | %s |\n"
+          g.g_section g.g_count g.g_median_s g.g_p99_s g.g_max_s ratio task_med
+          task_max worst)
+      r.chunk_groups;
+    if List.exists (fun g -> g.g_size_spread > 1.0) r.chunk_groups then
+      Printf.bprintf buf
+        "\nChunk sizes vary (descending-size schedule): the µs/task columns \
+         normalise the spread — a section whose raw max/med is high but \
+         whose per-task times are flat is schedule imbalance (what a guided \
+         schedule trims), not slow work.\n"
   end;
   Buffer.contents buf
 
@@ -484,6 +544,11 @@ let to_json r =
                    ("p99_s", Json.Float g.g_p99_s);
                    ("max_s", Json.Float g.g_max_s);
                    ("straggler", Json.Bool g.g_straggler);
+                   ("sized", Json.Bool g.g_sized);
+                   ("size_spread", Json.Float g.g_size_spread);
+                   ("task_median_s", Json.Float g.g_task_median_s);
+                   ("task_max_s", Json.Float g.g_task_max_s);
+                   ("task_straggler", Json.Bool g.g_task_straggler);
                    ( "worst",
                      Json.List
                        (List.map

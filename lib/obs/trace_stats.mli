@@ -53,6 +53,20 @@ type chunk_group = {
   g_worst : (string * float) list;
       (** up to 3 slowest members, labelled by chunk index (or task
           range) and duration *)
+  g_sized : bool;
+      (** every member span carries a task range ([lo]/[hi] args), so
+          the per-task columns below are meaningful *)
+  g_size_spread : float;
+      (** largest member task count over smallest — 1.0 under a fixed
+          chunk schedule, > 1 under guided self-scheduling *)
+  g_task_median_s : float;  (** median of duration / task count *)
+  g_task_max_s : float;
+  g_task_straggler : bool;
+      (** straggler {e after} normalising by chunk size: per-task max
+          exceeds [straggler_factor] x per-task median. A section
+          straggling raw but not per-task is schedule imbalance (big
+          chunks), which a descending-size schedule trims; straggling
+          per-task is genuinely slow work *)
 }
 
 type report = {

@@ -1,4 +1,46 @@
 type error_policy = [ `Fail | `Skip | `Retry of int ]
+type schedule = [ `Fixed | `Guided ]
+
+(* The chunk partition is precomputed, a pure function of
+   (schedule, tasks, jobs, chunk) — never of timing — so the set of
+   (chunk index, lo, hi) triples a run emits (lease/done events,
+   accumulator slots) is deterministic, and contiguous index-ordered
+   reduction over the slots equals the sequential left-to-right fold
+   whatever the chunk sizes are.
+
+   [`Fixed]: every chunk has [chunk] indices (the classic partition —
+   independent of [jobs], so aggregates AND event sets are
+   jobs-invariant). [`Guided]: guided self-scheduling — sizes start at
+   [chunk] and decay as [remaining / (2*jobs)] down to 1, so the last
+   chunks are tiny and a straggler near the end idles the other workers
+   for at most one small chunk, not a full-sized one. Guided boundaries
+   depend on [jobs]; aggregates stay jobs-invariant (ordered contiguous
+   reduce), but chunk indices/sizes — and thus event sets and
+   checkpoint slots — are only invariant per (tasks, jobs, chunk). *)
+let boundaries sched ~tasks ~jobs ~chunk =
+  let jobs = Stdlib.max 1 (Stdlib.min jobs (Stdlib.max 1 tasks)) in
+  let chunk = Stdlib.max 1 chunk in
+  match sched with
+  | `Fixed ->
+    Array.init
+      ((tasks + chunk - 1) / chunk)
+      (fun ci ->
+        let lo = ci * chunk in
+        (lo, Stdlib.min tasks (lo + chunk)))
+  | `Guided ->
+    let rec go lo acc =
+      if lo >= tasks then List.rev acc
+      else begin
+        let remaining = tasks - lo in
+        let size =
+          Stdlib.max 1
+            (Stdlib.min chunk ((remaining + (2 * jobs) - 1) / (2 * jobs)))
+        in
+        let hi = Stdlib.min tasks (lo + size) in
+        go hi ((lo, hi) :: acc)
+      end
+    in
+    Array.of_list (go 0 [])
 
 type failure = {
   chunk_index : int;
@@ -282,11 +324,13 @@ let run_rounds ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ~next f =
     | None -> stats
   end
 
-let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ?(on_task_error = `Fail)
-    ?should_stop ?skip_chunk ?on_chunk_done ~tasks f =
+let run ?(jobs = 1) ?(chunk = 1) ?(schedule = `Fixed) ?(name = "pool")
+    ?(on_task_error = `Fail) ?should_stop ?skip_chunk ?on_chunk_done ~tasks f =
   if tasks < 0 then invalid_arg "Pool.run: tasks >= 0 required";
   let jobs = Stdlib.max 1 (Stdlib.min jobs tasks) in
   let chunk = Stdlib.max 1 chunk in
+  let bounds = boundaries schedule ~tasks ~jobs ~chunk in
+  let num_slots = Array.length bounds in
   let retries = match on_task_error with `Retry n -> Stdlib.max 0 n | _ -> 0 in
   let next = Atomic.make 0 in
   (* Cancellation token: set by the first [`Fail] failure or when the
@@ -338,10 +382,9 @@ let run ?(jobs = 1) ?(chunk = 1) ?(name = "pool") ?(on_task_error = `Fail)
   let worker w =
     let rec loop () =
       if not (stop_requested ()) then begin
-        let lo = Atomic.fetch_and_add next chunk in
-        if lo < tasks then begin
-          let hi = Stdlib.min tasks (lo + chunk) in
-          let ci = lo / chunk in
+        let ci = Atomic.fetch_and_add next 1 in
+        if ci < num_slots then begin
+          let lo, hi = bounds.(ci) in
           let skip = match skip_chunk with Some g -> g ci | None -> false in
           if not skip then begin
             let c0_ns = Obs.Clock.now_ns () in

@@ -20,6 +20,26 @@ type error_policy =
   | `Retry of int  (** re-run the chunk up to [n] more times, then skip *)
   ]
 
+type schedule =
+  [ `Fixed  (** every chunk has [chunk] indices (jobs-invariant) *)
+  | `Guided
+    (** guided self-scheduling: chunk sizes descend from [chunk] as
+        [remaining / (2*jobs)] down to 1, cutting the straggler tail —
+        the last chunks are tiny, so a slow final chunk idles the other
+        workers briefly instead of for a full-sized chunk *)
+  ]
+
+val boundaries :
+  schedule -> tasks:int -> jobs:int -> chunk:int -> (int * int) array
+(** The precomputed chunk partition [run] uses: slot [ci] covers task
+    indices [\[lo, hi)]. A pure function of its arguments (with [jobs]
+    and [chunk] clamped exactly as [run] clamps them) — callers that
+    allocate one accumulator slot per chunk size their arrays with
+    this. Under [`Fixed] the partition is independent of [jobs]; under
+    [`Guided] it depends on [jobs], but index-ordered reduction over
+    any contiguous partition reproduces the sequential fold, so
+    {e aggregates} stay jobs-invariant either way. *)
+
 type failure = {
   chunk_index : int;
   error : exn;
@@ -43,6 +63,7 @@ type stats = {
 val run :
   ?jobs:int ->
   ?chunk:int ->
+  ?schedule:schedule ->
   ?name:string ->
   ?on_task_error:error_policy ->
   ?should_stop:(unit -> bool) ->
@@ -52,8 +73,10 @@ val run :
   (lo:int -> hi:int -> unit) ->
   stats
 (** [run ~jobs ~chunk ~name ~tasks f] calls [f ~lo ~hi] once for every
-    chunk [\[lo, hi)] of the task range, across a pool of [jobs] domains
-    (worker 0 is the calling domain; defaults: [jobs = 1], [chunk = 1]).
+    chunk [\[lo, hi)] of the task range — the partition given by
+    {!boundaries} for [schedule] (default [`Fixed]) — across a pool of
+    [jobs] domains (worker 0 is the calling domain; defaults:
+    [jobs = 1], [chunk = 1]).
     [f] must confine its writes to state owned by the claimed range.
 
     [on_task_error] (default [`Fail]) resolves chunks whose [f] raises:
@@ -69,7 +92,8 @@ val run :
     token for signal-driven shutdown: once it returns true no further
     chunks are claimed, in-flight chunks drain, and {!stats.cancelled}
     is set. [skip_chunk] (resume support) suppresses chunks — by chunk
-    index, i.e. [lo / chunk] — that a checkpoint already recorded;
+    index, i.e. the slot position in {!boundaries} ([lo / chunk] under
+    [`Fixed]) — that a checkpoint already recorded;
     skipped chunks are neither run nor counted. [on_chunk_done] fires
     in the worker after each successfully completed chunk (its writes
     to the chunk's slot are visible) — checkpoint writers hook here.

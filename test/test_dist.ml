@@ -1,0 +1,420 @@
+(* Tests for the distributed scan stack: the wire protocol round-trips
+   through arbitrary packet fragmentation, the lease table's
+   grant/complete/reassign bookkeeping is exact, v1 checkpoints still
+   load as v2 ledgers, and — the contract everything else exists for —
+   a scan distributed across workers that die at random moments merges
+   to the byte-identical single-process result. The simulation props
+   drive the exact code the real coordinator runs (Dist.Lease +
+   Busy_beaver.scan_chunk); a separate smoke test forks real worker
+   processes through Distributed_scan. *)
+
+let prop name ?(count = 50) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let result_eq (a : Busy_beaver.scan_result) (b : Busy_beaver.scan_result) =
+  a.Busy_beaver.num_protocols = b.Busy_beaver.num_protocols
+  && a.Busy_beaver.num_threshold = b.Busy_beaver.num_threshold
+  && a.Busy_beaver.num_reject_all = b.Busy_beaver.num_reject_all
+  && a.Busy_beaver.best_eta = b.Busy_beaver.best_eta
+  && a.Busy_beaver.histogram = b.Busy_beaver.histogram
+  && Option.map (fun p -> p.Population.name) a.Busy_beaver.best
+     = Option.map (fun p -> p.Population.name) b.Busy_beaver.best
+
+(* -- Wire: serialisation and framing ---------------------------------------- *)
+
+let sample_msgs =
+  [
+    Dist.Wire.Hello { worker = "w0"; pid = 4242 };
+    Dist.Wire.Welcome
+      {
+        config = Obs.Json.Obj [ ("n", Obs.Json.Int 2) ];
+        config_hash = "abc123";
+        epoch = 3;
+        total_chunks = 27;
+      };
+    Dist.Wire.Grant { lo_chunk = 4; hi_chunk = 9; epoch = 3 };
+    Dist.Wire.Result
+      {
+        chunk = 7;
+        epoch = 3;
+        state = Obs.Json.Obj [ ("scanned", Obs.Json.Int 16) ];
+      };
+    Dist.Wire.Heartbeat { worker = "w0" };
+    Dist.Wire.Shutdown;
+  ]
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun m ->
+      match Dist.Wire.of_json (Dist.Wire.to_json m) with
+      | Ok m' -> Alcotest.(check bool) "round-trips" true (m = m')
+      | Error e -> Alcotest.fail e)
+    sample_msgs
+
+(* the stream arrives in arbitrary fragments: write the same message
+   sequence through a pipe in pieces of every size and check the reader
+   reassembles it exactly *)
+let wire_fragmentation_prop =
+  prop "reader reassembles arbitrarily fragmented streams" ~count:50
+    QCheck.(int_range 1 40)
+    (fun piece ->
+      let rfd, wfd = Unix.pipe () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close rfd with Unix.Unix_error _ -> ());
+          try Unix.close wfd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let bytes =
+            String.concat ""
+              (List.map
+                 (fun m -> Obs.Json.to_string (Dist.Wire.to_json m) ^ "\n")
+                 sample_msgs)
+          in
+          let pos = ref 0 in
+          while !pos < String.length bytes do
+            let len = Stdlib.min piece (String.length bytes - !pos) in
+            let n =
+              Unix.write_substring wfd bytes !pos len
+            in
+            pos := !pos + n
+          done;
+          Unix.close wfd;
+          let rd = Dist.Wire.reader rfd in
+          let got = ref [] in
+          let rec pump () =
+            match Dist.Wire.recv rd with
+            | Some m ->
+              got := m :: !got;
+              pump ()
+            | None -> ()
+          in
+          pump ();
+          List.rev !got = sample_msgs))
+
+(* -- Lease table ------------------------------------------------------------- *)
+
+let now = 100.0
+
+let test_lease_grant_lowest_first () =
+  let t = Dist.Lease.create ~max_batch:4 ~total:20 ~completed:(fun i -> i < 3) () in
+  Dist.Lease.register t ~worker:"a" ~now;
+  (match Dist.Lease.grant t ~worker:"a" with
+   | Some (lo, hi) ->
+     Alcotest.(check int) "starts after the restored prefix" 3 lo;
+     Alcotest.(check bool) "batch is bounded" true (hi - lo <= 4 && hi > lo)
+   | None -> Alcotest.fail "no grant");
+  Alcotest.(check int) "restored chunks count as done" 3
+    (Dist.Lease.done_count t)
+
+let test_lease_batches_descend () =
+  let t = Dist.Lease.create ~max_batch:100 ~total:64 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"a" ~now;
+  let sizes = ref [] in
+  let rec go () =
+    match Dist.Lease.grant t ~worker:"a" with
+    | Some (lo, hi) ->
+      sizes := (hi - lo) :: !sizes;
+      for i = lo to hi - 1 do
+        ignore (Dist.Lease.complete t ~chunk:i)
+      done;
+      go ()
+    | None -> ()
+  in
+  go ();
+  let sizes = List.rev !sizes in
+  Alcotest.(check bool) "monotonically non-increasing" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) -> a >= b && mono rest
+       | _ -> true
+     in
+     mono sizes);
+  Alcotest.(check int) "covers all chunks" 64 (List.fold_left ( + ) 0 sizes);
+  Alcotest.(check int) "tail batches are single chunks" 1
+    (List.nth sizes (List.length sizes - 1));
+  Alcotest.(check bool) "scan completed" true (Dist.Lease.is_complete t)
+
+let test_lease_fail_worker_reclaims () =
+  let t = Dist.Lease.create ~max_batch:4 ~total:16 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"a" ~now;
+  Dist.Lease.register t ~worker:"b" ~now;
+  let a_lo, a_hi =
+    match Dist.Lease.grant t ~worker:"a" with
+    | Some r -> r
+    | None -> Alcotest.fail "no grant for a"
+  in
+  ignore (Dist.Lease.complete t ~chunk:a_lo);
+  let reclaimed = Dist.Lease.fail_worker t ~worker:"a" in
+  Alcotest.(check (list int)) "uncompleted leases come back"
+    (List.init (a_hi - a_lo - 1) (fun i -> a_lo + 1 + i))
+    reclaimed;
+  (* the reclaimed chunks are the lowest free ones, so b gets them next *)
+  (match Dist.Lease.grant t ~worker:"b" with
+   | Some (lo, _) ->
+     Alcotest.(check int) "reassigned to the next hungry worker" (a_lo + 1) lo
+   | None -> Alcotest.fail "no grant for b");
+  Alcotest.(check (list string)) "dead worker is gone" [ "b" ]
+    (Dist.Lease.workers t)
+
+let test_lease_expire_only_leaseholders () =
+  let t = Dist.Lease.create ~max_batch:2 ~total:8 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"busy" ~now;
+  Dist.Lease.register t ~worker:"idle" ~now;
+  ignore (Dist.Lease.grant t ~worker:"busy");
+  (* both heartbeats are equally stale, but only the leaseholder expires *)
+  let expired = Dist.Lease.expire t ~now:(now +. 60.0) ~timeout:10.0 in
+  Alcotest.(check (list string)) "only the lease-holding worker expires"
+    [ "busy" ] (List.map fst expired);
+  Alcotest.(check (list string)) "idle worker survives" [ "idle" ]
+    (Dist.Lease.workers t);
+  (* a fresh heartbeat protects a leaseholder *)
+  Dist.Lease.register t ~worker:"busy2" ~now:(now +. 60.0);
+  ignore (Dist.Lease.grant t ~worker:"busy2");
+  Dist.Lease.heartbeat t ~worker:"busy2" ~now:(now +. 100.0);
+  Alcotest.(check int) "heartbeat keeps the lease alive" 0
+    (List.length (Dist.Lease.expire t ~now:(now +. 105.0) ~timeout:10.0))
+
+let test_lease_duplicate_complete () =
+  let t = Dist.Lease.create ~total:4 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"a" ~now;
+  ignore (Dist.Lease.grant t ~worker:"a");
+  Alcotest.(check bool) "first completion is fresh" true
+    (Dist.Lease.complete t ~chunk:0 = `Fresh);
+  Alcotest.(check bool) "second completion is a duplicate" true
+    (Dist.Lease.complete t ~chunk:0 = `Duplicate)
+
+(* -- Checkpoint v1 -> v2 read compatibility ---------------------------------- *)
+
+let test_checkpoint_v1_reads_as_v2 () =
+  let v1 =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "ppcheckpoint/v1");
+        ("config_hash", Obs.Json.String "deadbeef");
+        ("config", Obs.Json.Obj [ ("n", Obs.Json.Int 2) ]);
+        ("total_chunks", Obs.Json.Int 5);
+        ( "chunks",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("index", Obs.Json.Int 2);
+                  ("state", Obs.Json.Obj [ ("scanned", Obs.Json.Int 7) ]);
+                ];
+            ] );
+      ]
+  in
+  match Obs.Checkpoint.of_json v1 with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+    Alcotest.(check int) "v1 loads at epoch 0" 0 (Obs.Checkpoint.epoch c);
+    Alcotest.(check int) "completed chunks survive" 1 (Obs.Checkpoint.num_done c);
+    Alcotest.(check bool) "lease table is empty" true
+      (List.init 5 (fun i -> Obs.Checkpoint.lease c i)
+       |> List.for_all (( = ) None));
+    (* and re-saving emits v2, which round-trips with leases *)
+    ignore (Obs.Checkpoint.bump_epoch c);
+    Obs.Checkpoint.set_lease c 3 ~holder:"w1";
+    (match Obs.Checkpoint.of_json (Obs.Checkpoint.to_json c) with
+     | Error e -> Alcotest.fail e
+     | Ok c' ->
+       Alcotest.(check int) "epoch round-trips" 1 (Obs.Checkpoint.epoch c');
+       Alcotest.(check bool) "lease round-trips" true
+         (Obs.Checkpoint.lease c' 3
+          = Some { Obs.Checkpoint.holder = "w1"; lease_epoch = 1 });
+       Alcotest.(check (list int)) "leased_to agrees" [ 3 ]
+         (Obs.Checkpoint.leased_to c' ~holder:"w1"))
+
+let test_mismatch_diff () =
+  let expected =
+    Obs.Json.Obj [ ("n", Obs.Json.Int 3); ("chunk", Obs.Json.Int 16) ]
+  in
+  let found =
+    Obs.Json.Obj [ ("n", Obs.Json.Int 2); ("chunk", Obs.Json.Int 16) ]
+  in
+  let diff = Obs.Checkpoint.config_diff ~expected ~found in
+  Alcotest.(check (list string)) "only the changed field" [ "n" ]
+    (List.map (fun d -> d.Obs.Checkpoint.field) diff);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let msg = Obs.Checkpoint.mismatch_message ~path:"x.ckpt" diff in
+  Alcotest.(check bool) "message shows both values" true
+    (contains msg "run has 3" && contains msg "snapshot has 2")
+
+(* -- Simulated distributed scan: kill a random worker at a random chunk ----- *)
+
+(* The per-chunk work and the merge are the real ones
+   (Busy_beaver.scan_chunk / result_of_chunks); only the transport is
+   simulated — scheduling decisions, the kill moment and the recovery
+   all run through Dist.Lease exactly as the coordinator drives it. *)
+let simulate_with_kill ~plan ~reference ~num_workers ~kill_worker ~kill_after
+    ~choose =
+  let nc = Busy_beaver.plan_chunks plan in
+  let slots = Array.make nc None in
+  let lease =
+    Dist.Lease.create ~max_batch:3 ~total:nc ~completed:(fun _ -> false) ()
+  in
+  let queues = Array.make num_workers [] in
+  let live = Array.make num_workers true in
+  let done_by = Array.make num_workers 0 in
+  let killed = ref false in
+  for w = 0 to num_workers - 1 do
+    Dist.Lease.register lease ~worker:(string_of_int w) ~now:0.0
+  done;
+  let steps = ref 0 in
+  while (not (Dist.Lease.is_complete lease)) && !steps < 100_000 do
+    incr steps;
+    (* top up idle live workers, as the coordinator's feed_idle does *)
+    for w = 0 to num_workers - 1 do
+      if live.(w) && queues.(w) = [] then
+        match Dist.Lease.grant lease ~worker:(string_of_int w) with
+        | Some (lo, hi) -> queues.(w) <- List.init (hi - lo) (fun i -> lo + i)
+        | None -> ()
+    done;
+    let ready =
+      List.filter
+        (fun w -> live.(w) && queues.(w) <> [])
+        (List.init num_workers Fun.id)
+    in
+    match ready with
+    | [] -> Alcotest.fail "deadlock: chunks outstanding but no ready worker"
+    | _ ->
+      let w = List.nth ready (choose (List.length ready)) in
+      if (not !killed) && w = kill_worker && done_by.(w) >= kill_after then begin
+        (* SIGKILL: everything still queued goes back to the pool *)
+        ignore (Dist.Lease.fail_worker lease ~worker:(string_of_int w));
+        live.(w) <- false;
+        queues.(w) <- [];
+        killed := true
+      end
+      else begin
+        match queues.(w) with
+        | [] -> assert false
+        | c :: rest ->
+          queues.(w) <- rest;
+          if slots.(c) = None then
+            slots.(c) <- Some (Busy_beaver.scan_chunk plan c);
+          ignore (Dist.Lease.complete lease ~chunk:c);
+          done_by.(w) <- done_by.(w) + 1
+      end
+  done;
+  Dist.Lease.is_complete lease
+  && result_eq (Busy_beaver.result_of_chunks plan slots) reference
+
+(* one plan and reference for all 200 iterations — the prop varies the
+   worker count, the victim, the kill moment and the interleaving *)
+let sim_plan = Busy_beaver.plan ~chunk:4 ~max_input:8 ~n:2 ()
+let sim_reference = Busy_beaver.scan ~chunk:4 ~max_input:8 ~n:2 ()
+
+let kill_recovery_prop =
+  prop "killed worker's chunks reassign; merged result byte-identical"
+    ~count:200
+    QCheck.(
+      quad (int_range 2 5) (int_range 0 4) (int_range 0 12) (int_range 0 1000))
+    (fun (num_workers, kill_worker, kill_after, seed) ->
+      let kill_worker = kill_worker mod num_workers in
+      let rng = Random.State.make [| seed |] in
+      let choose n = Random.State.int rng n in
+      simulate_with_kill ~plan:sim_plan ~reference:sim_reference ~num_workers
+        ~kill_worker ~kill_after ~choose)
+
+(* -- Real processes: fork workers through Distributed_scan ------------------- *)
+
+let test_fork_smoke () =
+  let plan = Busy_beaver.plan ~chunk:8 ~max_input:8 ~n:2 () in
+  let reference = Busy_beaver.scan ~chunk:8 ~max_input:8 ~n:2 () in
+  let o = Distributed_scan.coordinate ~workers:2 ~plan () in
+  Alcotest.(check bool) "result identical to single-process" true
+    (result_eq o.Distributed_scan.result reference);
+  Alcotest.(check bool) "not interrupted" true
+    (not o.Distributed_scan.result.Busy_beaver.interrupted);
+  Alcotest.(check int) "both workers joined" 2
+    o.Distributed_scan.stats.Dist.Coordinator.workers_seen
+
+let test_fork_chaos_kill () =
+  let plan = Busy_beaver.plan ~chunk:4 ~max_input:8 ~n:2 () in
+  let reference = Busy_beaver.scan ~chunk:4 ~max_input:8 ~n:2 () in
+  let o =
+    Distributed_scan.coordinate ~workers:3 ~chaos_kill:(1, 1) ~plan ()
+  in
+  Alcotest.(check bool) "result identical despite the SIGKILL" true
+    (result_eq o.Distributed_scan.result reference);
+  Alcotest.(check int) "the killed worker was noticed" 1
+    o.Distributed_scan.stats.Dist.Coordinator.workers_lost
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "distscan" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_fork_checkpoint_epochs () =
+  with_temp_checkpoint (fun path ->
+      let plan = Busy_beaver.plan ~chunk:8 ~max_input:8 ~n:2 () in
+      let o1 = Distributed_scan.coordinate ~workers:1 ~checkpoint:path ~plan () in
+      Alcotest.(check bool) "first run completes" true
+        (not o1.Distributed_scan.result.Busy_beaver.interrupted);
+      (match Obs.Checkpoint.load path with
+       | Error e -> Alcotest.fail e
+       | Ok c ->
+         Alcotest.(check int) "first adoption is epoch 1" 1
+           (Obs.Checkpoint.epoch c);
+         Alcotest.(check int) "ledger is complete" (Obs.Checkpoint.num_done c)
+           c.Obs.Checkpoint.total_chunks);
+      (* resuming a complete ledger: adopt (epoch 2), nothing to scan,
+         same result from the restored accumulators *)
+      let o2 =
+        Distributed_scan.coordinate ~workers:1 ~checkpoint:path ~resume:true
+          ~plan ()
+      in
+      Alcotest.(check bool) "resumed result identical" true
+        (result_eq o1.Distributed_scan.result o2.Distributed_scan.result);
+      Alcotest.(check int) "no chunk re-scanned" 0
+        o2.Distributed_scan.stats.Dist.Coordinator.chunks_done;
+      match Obs.Checkpoint.load path with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+        Alcotest.(check int) "second adoption bumped the epoch" 2
+          (Obs.Checkpoint.epoch c))
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "message round-trip" `Quick test_wire_roundtrip;
+          wire_fragmentation_prop;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "grants lowest free chunks" `Quick
+            test_lease_grant_lowest_first;
+          Alcotest.test_case "batch sizes descend" `Quick
+            test_lease_batches_descend;
+          Alcotest.test_case "failed worker's leases reclaim" `Quick
+            test_lease_fail_worker_reclaims;
+          Alcotest.test_case "expiry spares idle workers" `Quick
+            test_lease_expire_only_leaseholders;
+          Alcotest.test_case "duplicate completion detected" `Quick
+            test_lease_duplicate_complete;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "v1 checkpoint reads as v2" `Quick
+            test_checkpoint_v1_reads_as_v2;
+          Alcotest.test_case "mismatch diff names the field" `Quick
+            test_mismatch_diff;
+        ] );
+      ("recovery", [ kill_recovery_prop ]);
+      ( "processes",
+        [
+          Alcotest.test_case "fork workers, identical result" `Quick
+            test_fork_smoke;
+          Alcotest.test_case "SIGKILL mid-scan, identical result" `Quick
+            test_fork_chaos_kill;
+          Alcotest.test_case "checkpoint epochs across adoptions" `Quick
+            test_fork_checkpoint_epochs;
+        ] );
+    ]
