@@ -349,26 +349,61 @@ let e7d () =
   row "%-9s %-10s %-10s %-8s %-7s %-6s %s\n" "workers" "wall (s)" "speedup"
     "chunks" "seen" "lost" "ident";
   let base = ref None in
+  let w4 = ref 0.0 in
   List.iter
     (fun workers ->
       let plan = Busy_beaver.plan ~n:3 ~sample:(30_000, 5) () in
       let o, wall =
-        time (fun () -> Distributed_scan.coordinate ~workers ~plan ())
+        time (fun () ->
+            (* telemetry off explicitly: the bench harness's own metric
+               registry being enabled must not flip the default on and
+               contaminate the plain rows *)
+            Distributed_scan.coordinate ~workers ~telemetry:false ~plan ())
       in
       let w0 = match !base with Some w -> w | None -> base := Some wall; wall in
+      if workers = 4 then w4 := wall;
       row "%-9d %-10.2f %-10.2f %-8d %-7d %-6d %b\n" workers wall (w0 /. wall)
         o.Distributed_scan.stats.Dist.Coordinator.chunks_done
         o.Distributed_scan.stats.Dist.Coordinator.workers_seen
         o.Distributed_scan.stats.Dist.Coordinator.workers_lost
         (aggregates o.Distributed_scan.result = aggregates reference))
     [ 1; 2; 4 ];
+  (* the fleet telemetry plane, on: metric deltas on every heartbeat,
+     batched event forwarding into one merged log, per-worker registry
+     behind the exporter. The contract is identical aggregates and
+     small wall overhead over the telemetry-off 4-worker row. *)
+  (let events_path = Filename.temp_file "bench_e7d" ".events.jsonl" in
+   Fun.protect
+     ~finally:(fun () -> try Sys.remove events_path with Sys_error _ -> ())
+     (fun () ->
+       let plan = Busy_beaver.plan ~n:3 ~sample:(30_000, 5) () in
+       Obs.Events.start_file events_path;
+       let o, wall =
+         Fun.protect
+           ~finally:(fun () -> Obs.Events.stop ())
+           (fun () ->
+             time (fun () ->
+                 Distributed_scan.coordinate ~workers:4 ~telemetry:true ~plan ()))
+       in
+       let s = o.Distributed_scan.stats in
+       row "\n4 workers with fleet telemetry (heartbeat metric deltas + merged \
+            events):\n";
+       row
+         "  wall %.2fs   overhead vs plain x%.2f   events_forwarded=%d   \
+          fleet_rows=%d   identical=%b\n"
+         wall
+         (if !w4 > 0.0 then wall /. !w4 else 0.0)
+         s.Dist.Coordinator.events_forwarded
+         (List.length s.Dist.Coordinator.fleet)
+         (aggregates o.Distributed_scan.result = aggregates reference)));
   (* fault injection: worker 0 of 3 SIGKILLs itself after 2 chunks; its
      leased chunks go back to the pool and the merged result must still
      be identical *)
   let plan = Busy_beaver.plan ~n:3 ~sample:(30_000, 5) () in
   let o, wall =
     time (fun () ->
-        Distributed_scan.coordinate ~workers:3 ~chaos_kill:(0, 2) ~plan ())
+        Distributed_scan.coordinate ~workers:3 ~chaos_kill:(0, 2)
+          ~telemetry:false ~plan ())
   in
   let s = o.Distributed_scan.stats in
   row "\nkill 1 of 3 workers after 2 chunks:\n";

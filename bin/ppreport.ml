@@ -123,6 +123,24 @@ let trace_run trace_path json_out () =
            Out_channel.output_char oc '\n'));
     0
 
+(* --------------------------------------------------------------- fleet *)
+
+let fleet_run events_path json_out () =
+  match Obs.Fleet_stats.load events_path with
+  | Error e ->
+    Printf.eprintf "ppreport: cannot analyse %s: %s\n" events_path e;
+    2
+  | Ok report ->
+    print_string (Obs.Fleet_stats.to_markdown report);
+    (match json_out with
+     | None -> ()
+     | Some path ->
+       Out_channel.with_open_bin path (fun oc ->
+           Out_channel.output_string oc
+             (Obs.Json.to_string (Obs.Fleet_stats.to_json report));
+           Out_channel.output_char oc '\n'));
+    0
+
 (* ----------------------------------------------------------------- CLI *)
 
 open Cmdliner
@@ -231,11 +249,32 @@ let trace_cmd =
              on stdout; --json FILE for the archivable form.")
     Term.(const trace_run $ trace_arg $ json_arg $ Obs_cli.term)
 
+let fleet_cmd =
+  let events_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"EVENTS"
+         ~doc:"Merged ppevents JSONL written by a telemetry-on coordinator.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the machine-readable report \
+                   (ppfleet-report/v1) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Analyse a merged fleet events log: per-worker utilization \
+             timelines, grant-to-completion lease latency distributions, \
+             chunk-normalised straggler detection over forwarded \
+             worker.chunk records, and the join/loss/reassignment \
+             chronology. Markdown on stdout; --json FILE for the \
+             archivable form.")
+    Term.(const fleet_run $ events_arg $ json_arg $ Obs_cli.term)
+
 let cmd =
   Cmd.group
     (Cmd.info "ppreport"
-       ~doc:"Run ledger, diffing, regression gating and trace analytics for \
-             the bench harness and the obs layer")
-    [ diff_cmd; history_cmd; check_cmd; trace_cmd ]
+       ~doc:"Run ledger, diffing, regression gating, trace and fleet \
+             analytics for the bench harness and the obs layer")
+    [ diff_cmd; history_cmd; check_cmd; trace_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval' cmd)

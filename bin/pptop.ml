@@ -1,6 +1,6 @@
-(* pptop: a live terminal dashboard over the atomic ppmetrics/v1
-   export that --metrics-out writes. Point it at the same FILE while a
-   scan runs:
+(* pptop: a live terminal dashboard over the atomic ppmetrics export
+   that --metrics-out writes. Point it at the same FILE while a scan
+   runs:
 
      bbsearch -n 4 --metrics-out /tmp/bb.json --metrics-every 1 &
      pptop /tmp/bb.json
@@ -9,11 +9,53 @@
    read never sees a torn file), computes counter rates from the
    previous snapshot and appends to in-memory series rendered as
    sparklines. --once prints a single frame without ANSI control
-   sequences (CI, scripting). *)
+   sequences (CI, scripting). --fleet adds the per-worker table that a
+   telemetry-on coordinator publishes in its ppmetrics/v2 snapshots. *)
 
 let hist_len = 48
+let stale_after_s = 10.0
 
-type sample = { elapsed_s : float; snap : Obs.Metrics.snapshot }
+type frow = {
+  f_worker : string;
+  f_host : string;
+  f_pid : int;
+  f_last_seen_s : float;
+  f_offset_s : float;
+  f_chunks : int;
+  f_leased : int;
+  f_events : int;
+}
+
+type sample = {
+  elapsed_s : float;
+  snap : Obs.Metrics.snapshot;
+  workers : frow list;
+}
+
+let jnumber = function
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | _ -> 0.0
+
+let jint = function Some (Obs.Json.Int i) -> i | _ -> 0
+
+let jstring = function Some (Obs.Json.String s) -> s | _ -> ""
+
+let frow_of_json = function
+  | Obs.Json.Obj f ->
+    let g k = List.assoc_opt k f in
+    Some
+      {
+        f_worker = jstring (g "worker");
+        f_host = jstring (g "host");
+        f_pid = jint (g "pid");
+        f_last_seen_s = jnumber (g "last_seen_s");
+        f_offset_s = jnumber (g "offset_s");
+        f_chunks = jint (g "chunks_done");
+        f_leased = jint (g "leased");
+        f_events = jint (g "events");
+      }
+  | _ -> None
 
 let read_snapshot path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -22,24 +64,24 @@ let read_snapshot path =
     (match Obs.Json.parse contents with
      | Error e -> Error e
      | Ok (Obs.Json.Obj fields) ->
-       let number = function
-         | Some (Obs.Json.Float f) -> f
-         | Some (Obs.Json.Int i) -> float_of_int i
-         | _ -> 0.0
-       in
-       let elapsed_s = number (List.assoc_opt "elapsed_s" fields) in
+       let elapsed_s = jnumber (List.assoc_opt "elapsed_s" fields) in
        let meta =
          Option.bind
            (List.assoc_opt "meta" fields)
            (fun j -> Result.to_option (Obs.Run_meta.of_json j))
        in
+       let workers =
+         match List.assoc_opt "workers" fields with
+         | Some (Obs.Json.List items) -> List.filter_map frow_of_json items
+         | _ -> []
+       in
        (match List.assoc_opt "metrics" fields with
         | Some m ->
           (match Obs.Metrics.of_json_value m with
-           | Ok snap -> Ok (meta, { elapsed_s; snap })
+           | Ok snap -> Ok (meta, { elapsed_s; snap; workers })
            | Error e -> Error e)
-        | None -> Error "no \"metrics\" field (is this a ppmetrics/v1 file?)")
-     | Ok _ -> Error "not a JSON object (is this a ppmetrics/v1 file?)")
+        | None -> Error "no \"metrics\" field (is this a ppmetrics file?)")
+     | Ok _ -> Error "not a JSON object (is this a ppmetrics file?)")
 
 (* per-metric series of recent values (gauges) or rates (counters),
    oldest first, capped at [hist_len] *)
@@ -64,7 +106,38 @@ let number f =
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.3f" f
 
-let render ~path ~meta ~prev ~cur ~filters =
+let render_fleet buf ~prev ~cur ~dt =
+  if cur.workers = [] then
+    Buffer.add_string buf
+      "\n(no workers section — telemetry off, or a ppmetrics/v1 writer)\n"
+  else begin
+    Printf.bprintf buf "\n%-24s %-12s %7s %8s %7s %7s %9s %6s  %s\n" "WORKER"
+      "host" "chunks" "chunks/s" "leased" "events" "offset" "seen" "";
+    List.iter
+      (fun w ->
+        let rate =
+          match
+            ( dt,
+              Option.bind prev (fun p ->
+                  List.find_opt (fun x -> x.f_worker = w.f_worker) p.workers) )
+          with
+          | Some dt, Some p -> float_of_int (w.f_chunks - p.f_chunks) /. dt
+          | _ -> 0.0
+        in
+        let key = "worker:" ^ w.f_worker in
+        push key rate;
+        let seen =
+          if w.f_last_seen_s > stale_after_s then
+            Printf.sprintf "%.0fs!" w.f_last_seen_s
+          else Printf.sprintf "%.0fs" w.f_last_seen_s
+        in
+        Printf.bprintf buf "%-24s %-12s %7d %8s %7d %7d %8.1gs %6s  %s\n"
+          (fit 24 w.f_worker) (fit 12 w.f_host) w.f_chunks (number rate)
+          w.f_leased w.f_events w.f_offset_s seen (spark key))
+      cur.workers
+  end
+
+let render ~path ~meta ~prev ~cur ~filters ~fleet =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "pptop — %s   elapsed %.1fs%s\n" path cur.elapsed_s
     (match meta with
@@ -77,6 +150,7 @@ let render ~path ~meta ~prev ~cur ~filters =
     | Some p when cur.elapsed_s > p.elapsed_s -> Some (cur.elapsed_s -. p.elapsed_s)
     | _ -> None
   in
+  if fleet then render_fleet buf ~prev ~cur ~dt;
   let prev_value name =
     Option.bind prev (fun p -> List.assoc_opt name p.snap)
   in
@@ -149,7 +223,7 @@ let render ~path ~meta ~prev ~cur ~filters =
   end;
   Buffer.contents buf
 
-let run path interval once filters =
+let run path interval once filters fleet =
   let tty = try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false in
   let rec loop prev waited =
     match read_snapshot path with
@@ -165,7 +239,7 @@ let run path interval once filters =
         loop prev (waited + 1)
       end
     | Ok (meta, cur) ->
-      let frame = render ~path ~meta ~prev ~cur ~filters in
+      let frame = render ~path ~meta ~prev ~cur ~filters ~fleet in
       if once then begin
         print_string frame;
         0
@@ -186,7 +260,7 @@ open Cmdliner
 let path_arg =
   Arg.(required & pos 0 (some string) None
        & info [] ~docv:"FILE"
-           ~doc:"ppmetrics/v1 JSON snapshot, as written by --metrics-out.")
+           ~doc:"ppmetrics JSON snapshot, as written by --metrics-out.")
 
 let interval_arg =
   Arg.(value & opt float 1.0
@@ -204,12 +278,21 @@ let filter_arg =
            ~doc:"Only show metrics whose name starts with $(docv) \
                  (repeatable).")
 
+let fleet_arg =
+  Arg.(value & flag
+       & info [ "fleet" ]
+           ~doc:"Show the per-worker table from a telemetry-on coordinator's \
+                 ppmetrics/v2 snapshot (chunk rates, leases, forwarded \
+                 events, clock offsets, last-seen staleness) above the \
+                 global panels.")
+
 let cmd =
   Cmd.v
     (Cmd.info "pptop"
        ~doc:"Live terminal dashboard for a running instrumented binary: tails \
-             the atomic ppmetrics/v1 export, showing counter rates, gauges \
-             and histogram quantiles with sparkline history.")
-    Term.(const run $ path_arg $ interval_arg $ once_arg $ filter_arg)
+             the atomic ppmetrics export, showing counter rates, gauges \
+             and histogram quantiles with sparkline history — plus, with \
+             $(b,--fleet), the coordinator's per-worker telemetry.")
+    Term.(const run $ path_arg $ interval_arg $ once_arg $ filter_arg $ fleet_arg)
 
 let () = exit (Cmd.eval' cmd)

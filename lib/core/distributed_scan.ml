@@ -2,7 +2,12 @@
    see Dist.Worker. *)
 let worker_runner config =
   match Busy_beaver.plan_of_config config with
-  | Ok plan -> Ok (Busy_beaver.scan_chunk plan)
+  | Ok plan ->
+    Ok
+      {
+        Dist.Worker.scan = Busy_beaver.scan_chunk plan;
+        range = Some (Busy_beaver.plan_chunk_range plan);
+      }
   | Error e -> Error e
 
 (* Writing to a worker that died between select rounds must surface as
@@ -48,10 +53,14 @@ let open_ledger ~path ~resume ~config_json ~num_chunks =
   c
 
 let child_main ~idx ~chaos_kill ~fd =
-  (* the inherited trace channel (buffer included) belongs to the
-     parent — recording spans from here would interleave garbage into
-     its file *)
+  (* the inherited trace/events/export channels (buffers included)
+     belong to the parent — recording from here would interleave
+     garbage into its files. Detach, don't stop: stop would close the
+     parent's fds. The worker's own telemetry restarts from the
+     Welcome when the coordinator asks for it. *)
   Obs.Trace.detach ();
+  Obs.Events.detach ();
+  Obs.Export.detach ();
   let kills =
     match chaos_kill with Some (w, k) when w = idx -> Some k | _ -> None
   in
@@ -75,7 +84,7 @@ let child_main ~idx ~chaos_kill ~fd =
 let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
     ?(max_batch = 16) ?checkpoint ?(checkpoint_every_chunks = 64)
     ?(checkpoint_every_s = 30.0) ?(resume = false) ?should_stop ?chaos_kill
-    ~plan () =
+    ?telemetry ~plan () =
   if workers < 0 then invalid_arg "Distributed_scan.coordinate: workers >= 0";
   if workers = 0 && serve = None then
     invalid_arg "Distributed_scan.coordinate: no worker source (workers=0, no serve)";
@@ -112,13 +121,14 @@ let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
   let fork_or_explain () =
     try Unix.fork ()
     with Failure msg when workers > 0 ->
-      (* OCaml 5 forbids fork once any domain was ever spawned — e.g.
-         the --metrics-out export domain is already running *)
+      (* OCaml 5 forbids fork once any domain was ever spawned — e.g. a
+         prior [Busy_beaver.scan ~jobs:(>1)] in this same process *)
       invalid_arg
         (Printf.sprintf
            "Distributed_scan: cannot fork workers (%s); a domain was \
-            already spawned in this process (--metrics-out runs one) — \
-            drop it, or use --serve with external --connect workers"
+            already spawned in this process (e.g. an earlier --jobs \
+            scan) — fork first, or use --serve with external \
+            --connect workers"
            msg)
   in
   let pids =
@@ -183,6 +193,7 @@ let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
            with Sys_error msg ->
              Printf.eprintf "bbsearch: checkpoint write failed: %s\n%!" msg))
       (fun () ->
+        Obs.Export.set_identity [ ("role", "coordinator") ];
         Obs.Trace.with_span "bbsearch.coordinate" ~cat:"dist"
           ~args:
             [
@@ -193,7 +204,7 @@ let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
             Dist.Coordinator.run ?accept:serve
               ~fds:(Array.to_list (Array.map fst pairs))
               ~heartbeat_timeout ~max_batch ~should_stop:stop_requested
-              ~on_grant ~on_reclaim ~config:config_json
+              ~on_grant ~on_reclaim ?telemetry ~config:config_json
               ~config_hash:(Obs.Checkpoint.hash_config config_json)
               ~epoch ~total_chunks:num_chunks
               ~completed:(fun i -> slots.(i) <> None)
@@ -240,6 +251,7 @@ let connect_worker ?name ?heartbeat_every ?chaos_kill ~host ~port () =
       | Some n -> n
       | None -> Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
     in
+    Obs.Export.set_identity [ ("role", "worker"); ("worker", name) ];
     let count = ref 0 in
     let on_chunk_done _ =
       incr count;

@@ -33,6 +33,7 @@ val coordinate :
   ?resume:bool ->
   ?should_stop:(unit -> bool) ->
   ?chaos_kill:int * int ->
+  ?telemetry:bool ->
   plan:Busy_beaver.plan ->
   unit ->
   outcome
@@ -61,6 +62,14 @@ val coordinate :
     forked worker index [w] SIGKILLs {e itself} after completing [k]
     chunks — exercising EOF detection, lease reassignment and the
     byte-identity of the merged result under a real mid-scan crash.
+
+    [telemetry] is passed through to {!Dist.Coordinator.run}: workers
+    stream metric deltas and event batches up, the coordinator merges
+    them into its {!Obs.Export} snapshots ([ppmetrics/v2] fleet
+    section) and its ppevents log (offset-aligned, worker-tagged).
+    Defaults to on exactly when a local observability sink is live;
+    either way the scan result is byte-identical. Forked children
+    detach every inherited observability channel before serving.
 
     All forked children are reaped before returning. *)
 

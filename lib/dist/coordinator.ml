@@ -5,7 +5,9 @@ type stats = {
   reassigned : int;
   workers_seen : int;
   workers_lost : int;
+  events_forwarded : int;
   interrupted : bool;
+  fleet : Telemetry.summary list;
 }
 
 type conn = {
@@ -18,6 +20,8 @@ let m_dup = Obs.Metrics.counter "dist.duplicates"
 let m_stale = Obs.Metrics.counter "dist.stale_dropped"
 let m_reassigned = Obs.Metrics.counter "dist.reassigned"
 let m_lost = Obs.Metrics.counter "dist.workers_lost"
+let m_events_fwd = Obs.Metrics.counter "dist.events_forwarded"
+let m_unknown = Obs.Metrics.counter "dist.unknown_msgs"
 let g_workers = Obs.Metrics.gauge "dist.workers"
 
 let now_s () =
@@ -26,9 +30,18 @@ let now_s () =
 
 let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
     ?(should_stop = fun () -> false) ?(on_grant = fun ~worker:_ ~lo:_ ~hi:_ -> ())
-    ?(on_reclaim = fun ~worker:_ ~chunks:_ -> ()) ~config ~config_hash ~epoch
-    ~total_chunks ~completed ~on_result () =
+    ?(on_reclaim = fun ~worker:_ ~chunks:_ -> ()) ?telemetry ~config
+    ~config_hash ~epoch ~total_chunks ~completed ~on_result () =
+  let telemetry =
+    match telemetry with
+    | Some b -> b
+    | None ->
+        (* any observability sink being live is the signal that someone
+           will look at the fleet view *)
+        Obs.Metrics.enabled () || Obs.Events.enabled () || Obs.Export.active ()
+  in
   let lease = Lease.create ~max_batch ~total:total_chunks ~completed () in
+  let reg = Telemetry.create () in
   let conns = ref (List.map (fun fd -> { rd = Wire.reader fd; name = None }) fds) in
   let chunks_done = ref 0 in
   let duplicates = ref 0 in
@@ -36,6 +49,7 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
   let reassigned = ref 0 in
   let workers_seen = ref 0 in
   let workers_lost = ref 0 in
+  let events_forwarded = ref 0 in
   let interrupted = ref false in
   let emit ?severity ev data =
     if Obs.Events.enabled () then Obs.Events.emit ?severity ~data ("dist." ^ ev)
@@ -52,6 +66,8 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
     | None -> ()
     | Some (lo_chunk, hi_chunk) ->
         send_safe c (Wire.Grant { lo_chunk; hi_chunk; epoch });
+        Telemetry.add_leased reg ~worker:name ~n:(hi_chunk - lo_chunk)
+          ~now:(now_s ());
         on_grant ~worker:name ~lo:lo_chunk ~hi:hi_chunk;
         emit "lease"
           [
@@ -74,6 +90,7 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
     (match c.name with
     | Some name ->
         let reclaimed = Lease.fail_worker lease ~worker:name in
+        Telemetry.clear_leased reg ~worker:name;
         if lost then begin
           incr workers_lost;
           Obs.Metrics.incr m_lost;
@@ -100,19 +117,36 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
     Obs.Metrics.set g_workers (float_of_int (List.length !conns))
   in
   let handle_msg c = function
-    | Wire.Hello { worker; pid } ->
+    | Wire.Hello { worker; pid; host; sent_s } ->
         c.name <- Some worker;
         incr workers_seen;
         Lease.register lease ~worker ~now:(now_s ());
+        Telemetry.join reg ~worker ~host ~pid ~sent_s ~now:(now_s ());
         Obs.Metrics.set g_workers (float_of_int (List.length !conns));
         emit "worker_join"
-          [ ("worker", Obs.Json.String worker); ("pid", Obs.Json.Int pid) ];
-        send_safe c (Wire.Welcome { config; config_hash; epoch; total_chunks });
+          ([ ("worker", Obs.Json.String worker); ("pid", Obs.Json.Int pid) ]
+          @ if host = "" then [] else [ ("host", Obs.Json.String host) ]);
+        send_safe c
+          (Wire.Welcome { config; config_hash; epoch; total_chunks; telemetry });
         grant_to c worker
-    | Wire.Heartbeat { worker } -> Lease.heartbeat lease ~worker ~now:(now_s ())
+    | Wire.Heartbeat { worker; sent_s; metrics } ->
+        Lease.heartbeat lease ~worker ~now:(now_s ());
+        Telemetry.heartbeat reg ~worker ~sent_s ~metrics ~now:(now_s ())
+    | Wire.Events { worker; origin_s; lines } ->
+        let n = List.length lines in
+        events_forwarded := !events_forwarded + n;
+        Obs.Metrics.add m_events_fwd n;
+        Telemetry.note_events reg ~worker ~n ~now:(now_s ());
+        if Obs.Events.enabled () then
+          List.iter Obs.Events.inject
+            (Telemetry.align_events reg ~worker ~origin_s
+               ~sink_origin_s:(Obs.Events.origin_s ())
+               lines)
     | Wire.Result { chunk; epoch = e; state } ->
         (match c.name with
-        | Some worker -> Lease.heartbeat lease ~worker ~now:(now_s ())
+        | Some worker ->
+            Lease.heartbeat lease ~worker ~now:(now_s ());
+            Telemetry.seen reg ~worker ~now:(now_s ())
         | None -> ());
         if e <> epoch then begin
           incr stale_dropped;
@@ -135,6 +169,9 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
               on_result ~chunk state;
               incr chunks_done;
               Obs.Metrics.incr m_done;
+              (match c.name with
+              | Some worker -> Telemetry.chunk_done reg ~worker ~now:(now_s ())
+              | None -> ());
               emit "chunk_done"
                 [
                   ("chunk", Obs.Json.Int chunk);
@@ -148,83 +185,142 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
         (match c.name with
         | Some name when Lease.leases_of lease ~worker:name = [] -> grant_to c name
         | _ -> ())
+    | Wire.Unknown _ ->
+        (* a newer worker's message kind: count it and keep going — the
+           forward-compat contract is degrade, not desync *)
+        Obs.Metrics.incr m_unknown
     | Wire.Welcome _ | Wire.Grant _ | Wire.Shutdown ->
         raise (Wire.Protocol_error "coordinator-bound stream carried a coordinator message")
   in
   let tick_timeout = Stdlib.min 1.0 (heartbeat_timeout /. 2.0) in
   let finished () = Lease.is_complete lease in
-  while (not (finished ())) && not !interrupted do
-    if should_stop () then interrupted := true
-    else if accept = None && !conns = [] then begin
-      (* no worker left and none can ever arrive: drain rather than hang *)
-      emit ~severity:Obs.Events.Error "orphaned" [];
-      interrupted := true
-    end
-    else begin
-      let read_fds =
-        (match accept with Some fd -> [ fd ] | None -> [])
-        @ List.map (fun c -> Wire.reader_fd c.rd) !conns
-      in
-      let readable, _, _ =
-        try Unix.select read_fds [] [] tick_timeout
-        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-      in
-      (* new TCP workers *)
-      (match accept with
-      | Some afd when List.memq afd readable ->
-          let wfd, _addr = Unix.accept afd in
-          conns := { rd = Wire.reader wfd; name = None } :: !conns
-      | _ -> ());
-      (* worker traffic; snapshot the list — handlers mutate it *)
+  if telemetry then
+    Obs.Export.set_fleet (Some (fun () -> Telemetry.fleet reg ~now:(now_s ())));
+  Fun.protect
+    ~finally:(fun () ->
+      (* freeze the final fleet view rather than dropping it: the
+         exporter's last write happens after this returns, and a
+         post-run [pptop --fleet] should still show who did what *)
+      if telemetry then begin
+        let final = Telemetry.fleet reg ~now:(now_s ()) in
+        Obs.Export.set_fleet (Some (fun () -> final))
+      end)
+    (fun () ->
+      while (not (finished ())) && not !interrupted do
+        if should_stop () then interrupted := true
+        else if accept = None && !conns = [] then begin
+          (* no worker left and none can ever arrive: drain rather than hang *)
+          emit ~severity:Obs.Events.Error "orphaned" [];
+          interrupted := true
+        end
+        else begin
+          let read_fds =
+            (match accept with Some fd -> [ fd ] | None -> [])
+            @ List.map (fun c -> Wire.reader_fd c.rd) !conns
+          in
+          let readable, _, _ =
+            try Unix.select read_fds [] [] tick_timeout
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          (* new TCP workers *)
+          (match accept with
+          | Some afd when List.memq afd readable ->
+              let wfd, _addr = Unix.accept afd in
+              conns := { rd = Wire.reader wfd; name = None } :: !conns
+          | _ -> ());
+          (* worker traffic; snapshot the list — handlers mutate it *)
+          List.iter
+            (fun c ->
+              if List.memq (Wire.reader_fd c.rd) readable then
+                match Wire.drain c.rd with
+                | exception Wire.Protocol_error e ->
+                    drop_conn c ("protocol error: " ^ e)
+                | msgs, eof ->
+                    (try List.iter (handle_msg c) msgs
+                     with Wire.Protocol_error e ->
+                       drop_conn c ("protocol error: " ^ e));
+                    if eof && List.memq c !conns then drop_conn c "eof")
+            !conns;
+          (* wedged-worker backup path *)
+          List.iter
+            (fun (worker, reclaimed) ->
+              incr workers_lost;
+              Obs.Metrics.incr m_lost;
+              Telemetry.clear_leased reg ~worker;
+              reassigned := !reassigned + List.length reclaimed;
+              Obs.Metrics.add m_reassigned (List.length reclaimed);
+              on_reclaim ~worker ~chunks:reclaimed;
+              emit ~severity:Obs.Events.Warn "worker_lost"
+                [
+                  ("worker", Obs.Json.String worker);
+                  ("reason", Obs.Json.String "heartbeat timeout");
+                  ("leased", Obs.Json.Int (List.length reclaimed));
+                ];
+              emit "reassign"
+                [
+                  ("worker", Obs.Json.String worker);
+                  ( "chunks",
+                    Obs.Json.List (List.map (fun i -> Obs.Json.Int i) reclaimed) );
+                ];
+              (* close the wedged worker's socket too, if still connected *)
+              match List.find_opt (fun c -> c.name = Some worker) !conns with
+              | Some c -> drop_conn ~lost:false c "expired"
+              | None -> ())
+            (Lease.expire lease ~now:(now_s ()) ~timeout:heartbeat_timeout);
+          (* reclaimed (or newly-arrived) chunks go to whoever is hungry *)
+          feed_idle ()
+        end
+      done;
+      List.iter (fun c -> send_safe c Wire.Shutdown) !conns;
+      (* give workers a beat to flush their final telemetry before the
+         sockets close: their last Events/Heartbeat only races the
+         close, never the results *)
+      if telemetry && !conns <> [] then begin
+        let deadline = now_s () +. 0.5 in
+        let rec final_drain () =
+          let remaining = deadline -. now_s () in
+          if remaining > 0.0 && !conns <> [] then begin
+            let read_fds = List.map (fun c -> Wire.reader_fd c.rd) !conns in
+            let readable, _, _ =
+              try Unix.select read_fds [] [] remaining
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            if readable <> [] then begin
+              List.iter
+                (fun c ->
+                  if List.memq (Wire.reader_fd c.rd) readable then
+                    match Wire.drain c.rd with
+                    | exception Wire.Protocol_error _ -> drop_conn ~lost:false c "eof"
+                    | msgs, eof ->
+                        (try
+                           List.iter
+                             (fun m ->
+                               match m with
+                               | Wire.Heartbeat _ | Wire.Events _ -> handle_msg c m
+                               | _ -> ())
+                             msgs
+                         with Wire.Protocol_error _ -> ());
+                        if eof && List.memq c !conns then
+                          drop_conn ~lost:false c "eof")
+                !conns;
+              final_drain ()
+            end
+          end
+        in
+        final_drain ()
+      end;
       List.iter
-        (fun c ->
-          if List.memq (Wire.reader_fd c.rd) readable then
-            match Wire.drain c.rd with
-            | exception Wire.Protocol_error e -> drop_conn c ("protocol error: " ^ e)
-            | msgs, eof ->
-                (try List.iter (handle_msg c) msgs
-                 with Wire.Protocol_error e -> drop_conn c ("protocol error: " ^ e));
-                if eof && List.memq c !conns then drop_conn c "eof")
+        (fun c -> try Unix.close (Wire.reader_fd c.rd) with Unix.Unix_error _ -> ())
         !conns;
-      (* wedged-worker backup path *)
-      List.iter
-        (fun (worker, reclaimed) ->
-          incr workers_lost;
-          Obs.Metrics.incr m_lost;
-          reassigned := !reassigned + List.length reclaimed;
-          Obs.Metrics.add m_reassigned (List.length reclaimed);
-          on_reclaim ~worker ~chunks:reclaimed;
-          emit ~severity:Obs.Events.Warn "worker_lost"
-            [
-              ("worker", Obs.Json.String worker);
-              ("reason", Obs.Json.String "heartbeat timeout");
-              ("leased", Obs.Json.Int (List.length reclaimed));
-            ];
-          emit "reassign"
-            [
-              ("worker", Obs.Json.String worker);
-              ("chunks", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) reclaimed));
-            ];
-          (* close the wedged worker's socket too, if still connected *)
-          match List.find_opt (fun c -> c.name = Some worker) !conns with
-          | Some c -> drop_conn ~lost:false c "expired"
-          | None -> ())
-        (Lease.expire lease ~now:(now_s ()) ~timeout:heartbeat_timeout);
-      (* reclaimed (or newly-arrived) chunks go to whoever is hungry *)
-      feed_idle ()
-    end
-  done;
-  List.iter (fun c -> send_safe c Wire.Shutdown) !conns;
-  List.iter
-    (fun c -> try Unix.close (Wire.reader_fd c.rd) with Unix.Unix_error _ -> ())
-    !conns;
-  Obs.Metrics.set g_workers 0.0;
-  {
-    chunks_done = !chunks_done;
-    duplicates = !duplicates;
-    stale_dropped = !stale_dropped;
-    reassigned = !reassigned;
-    workers_seen = !workers_seen;
-    workers_lost = !workers_lost;
-    interrupted = !interrupted;
-  }
+      Obs.Metrics.set g_workers 0.0;
+      {
+        chunks_done = !chunks_done;
+        duplicates = !duplicates;
+        stale_dropped = !stale_dropped;
+        reassigned = !reassigned;
+        workers_seen = !workers_seen;
+        workers_lost = !workers_lost;
+        events_forwarded = !events_forwarded;
+        interrupted = !interrupted;
+        fleet = Telemetry.summaries reg;
+      })

@@ -19,7 +19,14 @@
 
     Emits [dist.*] events ({!Obs.Events}) — [worker_join], [lease],
     [chunk_done], [worker_lost], [reassign], [stale_result] — and
-    mirrors the totals in [dist.*] metrics ({!Obs.Metrics}). *)
+    mirrors the totals in [dist.*] metrics ({!Obs.Metrics}).
+
+    With telemetry on (see [?telemetry]) it additionally maintains a
+    {!Telemetry} registry — per-worker identity, liveness, clock
+    offset, accumulated metric deltas — publishes it as the fleet
+    section of {!Obs.Export} snapshots, and re-injects workers'
+    forwarded event lines (offset-aligned, origin-tagged) into its own
+    {!Obs.Events} sink, producing one merged fleet timeline. *)
 
 type stats = {
   chunks_done : int;  (** fresh results recorded this run *)
@@ -28,7 +35,9 @@ type stats = {
   reassigned : int;  (** chunk leases reclaimed from dead workers *)
   workers_seen : int;
   workers_lost : int;  (** EOF or heartbeat-expired while leasing *)
+  events_forwarded : int;  (** worker event lines ingested (racy) *)
   interrupted : bool;  (** [should_stop] fired before completion *)
+  fleet : Telemetry.summary list;  (** per-worker totals, join order *)
 }
 
 val run :
@@ -39,6 +48,7 @@ val run :
   ?should_stop:(unit -> bool) ->
   ?on_grant:(worker:string -> lo:int -> hi:int -> unit) ->
   ?on_reclaim:(worker:string -> chunks:int list -> unit) ->
+  ?telemetry:bool ->
   config:Obs.Json.t ->
   config_hash:string ->
   epoch:int ->
@@ -61,6 +71,17 @@ val run :
     {!Obs.Shutdown.requested} checked alongside by the caller if
     desired) drains the loop early: workers get a {!Wire.Shutdown} and
     [interrupted] is set.
+
+    [telemetry] asks workers (via their Welcome) to stream metric
+    deltas and batched event lines; it defaults to whether any local
+    observability sink is live ([{!Obs.Metrics.enabled} ||
+    {!Obs.Events.enabled} || {!Obs.Export.active}]). While running
+    with telemetry, {!Obs.Export.set_fleet} is installed so metric
+    snapshots carry the [workers] section; on exit (even on raise) the
+    live provider is replaced by a frozen final view, so the
+    exporter's last write — and a post-run [pptop --fleet] — still
+    shows who did what. After Shutdown the loop lingers briefly
+    (≤0.5s) to drain workers' final telemetry flushes.
 
     [on_grant]/[on_reclaim] mirror every lease movement — this is how
     the caller keeps the {!Obs.Checkpoint} lease table in step with

@@ -1,15 +1,22 @@
 type msg =
-  | Hello of { worker : string; pid : int }
+  | Hello of { worker : string; pid : int; host : string; sent_s : float option }
   | Welcome of {
       config : Obs.Json.t;
       config_hash : string;
       epoch : int;
       total_chunks : int;
+      telemetry : bool;
     }
   | Grant of { lo_chunk : int; hi_chunk : int; epoch : int }
   | Result of { chunk : int; epoch : int; state : Obs.Json.t }
-  | Heartbeat of { worker : string }
+  | Heartbeat of {
+      worker : string;
+      sent_s : float option;
+      metrics : Obs.Json.t option;
+    }
+  | Events of { worker : string; origin_s : float; lines : string list }
   | Shutdown
+  | Unknown of string
 
 exception Protocol_error of string
 
@@ -21,17 +28,21 @@ let () =
 let to_json msg =
   let open Obs.Json in
   match msg with
-  | Hello { worker; pid } ->
-      Obj [ ("msg", String "hello"); ("worker", String worker); ("pid", Int pid) ]
-  | Welcome { config; config_hash; epoch; total_chunks } ->
+  | Hello { worker; pid; host; sent_s } ->
       Obj
-        [
-          ("msg", String "welcome");
-          ("config", config);
-          ("config_hash", String config_hash);
-          ("epoch", Int epoch);
-          ("total_chunks", Int total_chunks);
-        ]
+        ([ ("msg", String "hello"); ("worker", String worker); ("pid", Int pid) ]
+        @ (if host = "" then [] else [ ("host", String host) ])
+        @ match sent_s with None -> [] | Some t -> [ ("sent_s", Float t) ])
+  | Welcome { config; config_hash; epoch; total_chunks; telemetry } ->
+      Obj
+        ([
+           ("msg", String "welcome");
+           ("config", config);
+           ("config_hash", String config_hash);
+           ("epoch", Int epoch);
+           ("total_chunks", Int total_chunks);
+         ]
+        @ if telemetry then [ ("telemetry", Bool true) ] else [])
   | Grant { lo_chunk; hi_chunk; epoch } ->
       Obj
         [
@@ -48,9 +59,21 @@ let to_json msg =
           ("epoch", Int epoch);
           ("state", state);
         ]
-  | Heartbeat { worker } ->
-      Obj [ ("msg", String "heartbeat"); ("worker", String worker) ]
+  | Heartbeat { worker; sent_s; metrics } ->
+      Obj
+        ([ ("msg", String "heartbeat"); ("worker", String worker) ]
+        @ (match sent_s with None -> [] | Some t -> [ ("sent_s", Float t) ])
+        @ match metrics with None -> [] | Some m -> [ ("metrics", m) ])
+  | Events { worker; origin_s; lines } ->
+      Obj
+        [
+          ("msg", String "events");
+          ("worker", String worker);
+          ("origin_s", Float origin_s);
+          ("lines", List (Stdlib.List.map (fun l -> String l) lines));
+        ]
   | Shutdown -> Obj [ ("msg", String "shutdown") ]
+  | Unknown kind -> Obj [ ("msg", String kind) ]
 
 let of_json j =
   let open Obs.Json in
@@ -70,6 +93,21 @@ let of_json j =
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "missing field %S" name)
   in
+  (* v2 additions decode leniently: absent (a v1 peer) or oddly-typed
+     fields fall back to a default instead of failing, so mixed-version
+     fleets degrade to the v1 behaviour rather than desync *)
+  let str_default name ~default fields =
+    match field name fields with Some (String s) -> s | _ -> default
+  in
+  let float_opt name fields =
+    match field name fields with
+    | Some (Float f) -> Some f
+    | Some (Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let bool_default name ~default fields =
+    match field name fields with Some (Bool b) -> b | _ -> default
+  in
   let ( let* ) = Result.bind in
   match j with
   | Obj fields -> (
@@ -78,13 +116,28 @@ let of_json j =
       | "hello" ->
           let* worker = str "worker" fields in
           let* pid = int "pid" fields in
-          Ok (Hello { worker; pid })
+          Ok
+            (Hello
+               {
+                 worker;
+                 pid;
+                 host = str_default "host" ~default:"" fields;
+                 sent_s = float_opt "sent_s" fields;
+               })
       | "welcome" ->
           let* config = json "config" fields in
           let* config_hash = str "config_hash" fields in
           let* epoch = int "epoch" fields in
           let* total_chunks = int "total_chunks" fields in
-          Ok (Welcome { config; config_hash; epoch; total_chunks })
+          Ok
+            (Welcome
+               {
+                 config;
+                 config_hash;
+                 epoch;
+                 total_chunks;
+                 telemetry = bool_default "telemetry" ~default:false fields;
+               })
       | "grant" ->
           let* lo_chunk = int "lo_chunk" fields in
           let* hi_chunk = int "hi_chunk" fields in
@@ -97,9 +150,36 @@ let of_json j =
           Ok (Result { chunk; epoch; state })
       | "heartbeat" ->
           let* worker = str "worker" fields in
-          Ok (Heartbeat { worker })
+          Ok
+            (Heartbeat
+               {
+                 worker;
+                 sent_s = float_opt "sent_s" fields;
+                 metrics = field "metrics" fields;
+               })
+      | "events" ->
+          let* worker = str "worker" fields in
+          let lines =
+            match field "lines" fields with
+            | Some (List items) ->
+                Stdlib.List.filter_map
+                  (function String s -> Some s | _ -> None)
+                  items
+            | _ -> []
+          in
+          Ok
+            (Events
+               {
+                 worker;
+                 origin_s =
+                   Option.value ~default:0.0 (float_opt "origin_s" fields);
+                 lines;
+               })
       | "shutdown" -> Ok Shutdown
-      | k -> Error (Printf.sprintf "unknown message kind %S" k))
+      (* a kind this decoder does not know is a *newer* peer's message,
+         not corruption: surface it as Unknown so the loops can count
+         and skip it instead of dropping the connection *)
+      | k -> Ok (Unknown k))
   | _ -> Error "message is not a JSON object"
 
 let send fd msg =

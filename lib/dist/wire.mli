@@ -1,4 +1,4 @@
-(** The distributed scan's wire protocol: one [ppdist/v1] JSON object
+(** The distributed scan's wire protocol: one [ppdist/v2] JSON object
     per newline-terminated line, over any stream file descriptor — a
     socketpair to a forked worker or a TCP connection to a remote one.
     Reusing {!Obs.Json} keeps the whole protocol dependency-free.
@@ -11,32 +11,70 @@
       included) from it, so the two processes cannot disagree on what a
       chunk index means;
     - coordinator sends {!Grant} ranges; worker streams back one
-      {!Result} per chunk, interleaved with {!Heartbeat}s;
+      {!Result} per chunk, interleaved with {!Heartbeat}s (and, when
+      the Welcome asked for telemetry, batched {!Events});
     - coordinator closes the scan with {!Shutdown}.
 
     Every [Grant]/[Result] carries the coordinator's ledger {e epoch}:
     results stamped with a previous life's epoch are recognisably stale
-    and dropped (see {!Obs.Checkpoint}). *)
+    and dropped (see {!Obs.Checkpoint}).
+
+    {b Version compatibility} is field- and kind-lenient in both
+    directions, so mixed-version fleets degrade instead of desync:
+    decoders skip unknown fields inside known messages (a v2 frame
+    parses on a v1-era decoder path), the v2 additions are optional
+    with v1 defaults ([host = ""], [sent_s]/[metrics] absent,
+    [telemetry = false] — so a v2 worker behind a v1 coordinator stays
+    silent), and an unknown message {e kind} decodes to {!Unknown}
+    for the event loops to count and skip rather than drop the
+    connection. *)
 
 type msg =
-  | Hello of { worker : string; pid : int }
+  | Hello of { worker : string; pid : int; host : string; sent_s : float option }
+      (** [host]/[sent_s] are v2: the worker's hostname and its
+          absolute monotonic-clock send time, the first clock-offset
+          sample. A v1 Hello decodes with [host = ""], [sent_s =
+          None]. *)
   | Welcome of {
       config : Obs.Json.t;  (** the full scan configuration object *)
       config_hash : string;
       epoch : int;
       total_chunks : int;
+      telemetry : bool;
+          (** v2: the coordinator wants metric deltas on heartbeats and
+              batched {!Events}. Encoded only when true, so a false
+              Welcome is byte-identical to v1. *)
     }
   | Grant of { lo_chunk : int; hi_chunk : int; epoch : int }
       (** work order: run chunks [lo_chunk .. hi_chunk - 1] *)
   | Result of { chunk : int; epoch : int; state : Obs.Json.t }
       (** one chunk's serialised accumulator *)
-  | Heartbeat of { worker : string }
+  | Heartbeat of {
+      worker : string;
+      sent_s : float option;
+          (** v2: absolute monotonic send time — one clock-offset
+              sample per beat *)
+      metrics : Obs.Json.t option;
+          (** v2: the {!Obs.Metrics.diff} since the worker's previous
+              beat, as {!Obs.Metrics.to_json_value} — compact because
+              unchanged entries are dropped *)
+    }
+  | Events of { worker : string; origin_s : float; lines : string list }
+      (** v2: a batch of the worker's ppevents record lines, verbatim.
+          [origin_s] is the worker's sink origin on its absolute
+          monotonic clock ({!Obs.Events.origin_s}), so the coordinator
+          can realign each line's [ts_s] with its clock-offset
+          estimate. *)
   | Shutdown
+  | Unknown of string
+      (** a message kind this build does not know — a newer peer.
+          Loops count and ignore it. *)
 
 exception Protocol_error of string
-(** A line that is not valid JSON, or valid JSON that is not a known
-    message. Raised by {!drain}/{!recv}; the peer is beyond repair at
-    that point — drop the connection. *)
+(** A line that is not valid JSON, or valid JSON missing a known
+    message's required fields. Raised by {!drain}/{!recv}; the peer is
+    beyond repair at that point — drop the connection. (An unknown
+    message {e kind} is {!Unknown}, not an error.) *)
 
 val to_json : msg -> Obs.Json.t
 val of_json : Obs.Json.t -> (msg, string) result

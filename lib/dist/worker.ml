@@ -1,43 +1,135 @@
 let now_s () = Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
 
-let run ?(heartbeat_every = 2.0) ?(on_chunk_done = fun _ -> ()) ~name ~fd
-    ~runner () =
+type chunk_runner = {
+  scan : int -> Obs.Json.t;
+  range : (int -> int * int) option;
+}
+
+(* Telemetry state, alive between the Welcome that requested it and
+   Shutdown: the pending event-line batch and the metric snapshot the
+   next heartbeat will diff against. *)
+type tele = {
+  pending : string Queue.t;
+  last_snap : Obs.Metrics.snapshot ref;
+}
+
+let run ?(heartbeat_every = 2.0) ?(on_chunk_done = fun _ -> ())
+    ?(events_batch = 64) ~name ~fd ~runner () =
   let rd = Wire.reader fd in
   let last_sent = ref (now_s ()) in
   let send msg =
     Wire.send fd msg;
     last_sent := now_s ()
   in
-  let beat () =
-    if now_s () -. !last_sent >= heartbeat_every then
-      send (Wire.Heartbeat { worker = name })
+  let tele = ref None in
+  let flush_events () =
+    match !tele with
+    | Some t when not (Queue.is_empty t.pending) ->
+        let lines = List.of_seq (Queue.to_seq t.pending) in
+        Queue.clear t.pending;
+        send
+          (Wire.Events { worker = name; origin_s = Obs.Events.origin_s (); lines })
+    | _ -> ()
+  in
+  let metrics_delta () =
+    match !tele with
+    | None -> None
+    | Some t ->
+        let cur = Obs.Metrics.snapshot () in
+        let d = Obs.Metrics.diff ~before:!(t.last_snap) ~after:cur in
+        t.last_snap := cur;
+        if d = [] then None else Some (Obs.Metrics.to_json_value d)
+  in
+  let beat ?(force = false) () =
+    let overdue = now_s () -. !last_sent >= heartbeat_every in
+    let batch_full =
+      match !tele with Some t -> Queue.length t.pending >= events_batch | None -> false
+    in
+    if force || overdue || batch_full then begin
+      flush_events ();
+      send
+        (Wire.Heartbeat
+           { worker = name; sent_s = Some (now_s ()); metrics = metrics_delta () })
+    end
+  in
+  let start_telemetry () =
+    Obs.Metrics.set_enabled true;
+    let pending = Queue.create () in
+    let capture line = Queue.add line pending in
+    (* keep a local --events file if the worker has one (tee), else
+       install a capture-only sink; either way every record line of
+       this process also lands in the coordinator's merged log *)
+    if Obs.Events.enabled () then Obs.Events.set_tee (Some capture)
+    else Obs.Events.start_sink capture;
+    tele := Some { pending; last_snap = ref (Obs.Metrics.snapshot ()) }
   in
   try
-    send (Wire.Hello { worker = name; pid = Unix.getpid () });
+    send
+      (Wire.Hello
+         {
+           worker = name;
+           pid = Unix.getpid ();
+           host = Unix.gethostname ();
+           sent_s = Some (now_s ());
+         });
     match Wire.recv rd with
     | None -> Error "coordinator closed the connection before Welcome"
-    | Some (Wire.Welcome { config; config_hash = _; epoch = _; total_chunks = _ })
-      -> (
+    | Some (Wire.Welcome { config; telemetry; _ }) -> (
+        if telemetry then start_telemetry ();
         match runner config with
         | Error e -> Error (Printf.sprintf "rejected coordinator config: %s" e)
-        | Ok scan_chunk ->
+        | Ok cr ->
             let rec loop () =
               match Wire.recv rd with
               | None -> Error "coordinator vanished (EOF before Shutdown)"
-              | Some Wire.Shutdown -> Ok ()
+              | Some Wire.Shutdown ->
+                  (* the final flush races the coordinator closing our
+                     fd after its last Result arrived — losing it only
+                     loses telemetry, never results *)
+                  (try beat ~force:true ()
+                   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+                  Ok ()
               | Some (Wire.Grant { lo_chunk; hi_chunk; epoch }) ->
                   for chunk = lo_chunk to hi_chunk - 1 do
                     beat ();
-                    let state = scan_chunk chunk in
+                    let t0 = now_s () in
+                    let state = cr.scan chunk in
+                    if !tele <> None && Obs.Events.enabled () then begin
+                      let data =
+                        [
+                          ("chunk", Obs.Json.Int chunk);
+                          ("dur_s", Obs.Json.Float (now_s () -. t0));
+                        ]
+                        @
+                        match cr.range with
+                        | Some range ->
+                            (* hi is inclusive, the Trace_stats lo/hi
+                               convention, so chunk-size normalisation
+                               works on the merged log *)
+                            let lo, hi = range chunk in
+                            [
+                              ("lo", Obs.Json.Int lo);
+                              ("hi", Obs.Json.Int (hi - 1));
+                            ]
+                        | None -> []
+                      in
+                      Obs.Events.emit "worker.chunk" ~data
+                    end;
+                    flush_events ();
                     send (Wire.Result { chunk; epoch; state });
                     on_chunk_done chunk
                   done;
                   loop ()
-              | Some (Wire.Heartbeat _) -> loop ()
+              | Some (Wire.Heartbeat _ | Wire.Events _ | Wire.Unknown _) ->
+                  (* Unknown: a newer coordinator's extra traffic —
+                     skipping it is the forward-compat contract *)
+                  loop ()
               | Some (Wire.Hello _ | Wire.Welcome _ | Wire.Result _) ->
                   Error "worker-bound stream carried a worker message"
             in
             loop ())
+    | Some (Wire.Unknown _) ->
+        Error "expected Welcome as the first coordinator message"
     | Some _ -> Error "expected Welcome as the first coordinator message"
   with
   | Wire.Protocol_error e -> Error e

@@ -7,14 +7,32 @@
     whatever comes back. That is the protocol's defence against flag
     drift: a [--connect] worker launched with different CLI flags still
     computes exactly the coordinator's chunks, because its entire plan
-    (sample codes included) is derived from the coordinator's bytes. *)
+    (sample codes included) is derived from the coordinator's bytes.
+
+    When the Welcome sets [telemetry] the worker additionally turns on
+    {!Obs.Metrics}, captures its own ppevents stream (teeing a local
+    [--events] sink when one exists, else a capture-only sink), emits a
+    [worker.chunk] record per chunk, and ships both upward: batched
+    {!Wire.Events} plus an {!Obs.Metrics.diff} on every heartbeat.
+    Telemetry rides the same racy channels as heartbeats and never
+    gates a Result, so scan output is byte-identical either way. *)
+
+type chunk_runner = {
+  scan : int -> Obs.Json.t;  (** chunk index -> serialised accumulator *)
+  range : (int -> int * int) option;
+      (** chunk index -> its [lo, hi) code range, used only to size
+          [worker.chunk] telemetry records; [None] drops the lo/hi
+          fields (chunk-normalised straggler stats degrade to
+          unsized). *)
+}
 
 val run :
   ?heartbeat_every:float ->
   ?on_chunk_done:(int -> unit) ->
+  ?events_batch:int ->
   name:string ->
   fd:Unix.file_descr ->
-  runner:(Obs.Json.t -> (int -> Obs.Json.t, string) result) ->
+  runner:(Obs.Json.t -> (chunk_runner, string) result) ->
   unit ->
   (unit, string) result
 (** [run ~name ~fd ~runner ()] speaks the {!Wire} protocol on [fd]
@@ -23,10 +41,13 @@ val run :
     [runner] factory rejecting the coordinator's config).
 
     [runner config] is called once, on the Welcome; the returned
-    function maps a chunk index to its serialised accumulator and is
-    called once per granted chunk, in grant order. A {!Wire.Heartbeat}
-    is sent before any chunk whenever [heartbeat_every] (default 2s)
-    has elapsed since the last send, so long chunk streaks keep the
-    lease alive. [on_chunk_done] fires after each chunk's Result is on
-    the wire — the chaos-kill test hook ([Unix.kill] yourself there to
-    simulate a crash at an exact chunk count). *)
+    {!chunk_runner}'s [scan] is called once per granted chunk, in
+    grant order. A {!Wire.Heartbeat} is sent before any chunk whenever
+    [heartbeat_every] (default 2s) has elapsed since the last send, so
+    long chunk streaks keep the lease alive; with telemetry on, each
+    beat first flushes pending event lines and carries the metric
+    delta since the previous beat. [events_batch] (default 64) forces
+    an early flush when that many lines are pending. [on_chunk_done]
+    fires after each chunk's Result is on the wire — the chaos-kill
+    test hook ([Unix.kill] yourself there to simulate a crash at an
+    exact chunk count). *)

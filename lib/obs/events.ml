@@ -15,7 +15,19 @@ let severity_of_string = function
 
 let schema = "ppevents/v1"
 
-type sink = { oc : out_channel; t0_ns : int64; lock : Mutex.t }
+(* A sink writes records to a channel (the normal --events file) or
+   hands each serialised line to a callback (a worker batching lines
+   for its coordinator); an optional tee mirrors every line to a
+   second callback so a worker with its own --events file can keep it
+   AND stream upward. *)
+type out = Chan of out_channel | Fn of (string -> unit)
+
+type sink = {
+  out : out;
+  t0_ns : int64;  (** 0 for callback sinks: [ts_s] is then absolute *)
+  lock : Mutex.t;
+  mutable tee : (string -> unit) option;
+}
 
 (* Same start/stop discipline as the Trace and Metrics globals: the
    sink is installed from the main domain around the instrumented work;
@@ -23,6 +35,8 @@ type sink = { oc : out_channel; t0_ns : int64; lock : Mutex.t }
 let current : sink option ref = ref None
 
 let enabled () = !current <> None
+let origin_s () =
+  match !current with Some s -> Clock.ns_to_s s.t0_ns | None -> 0.0
 
 let utc_string t =
   let tm = Unix.gmtime t in
@@ -38,11 +52,15 @@ let write_line s line =
     (fun () ->
       (* a full disk or closed channel must not kill the run; each line
          is flushed so [tail -f] and a crash both see complete records *)
-      try
-        output_string s.oc line;
-        output_char s.oc '\n';
-        flush s.oc
-      with Sys_error _ -> ())
+      (try
+         match s.out with
+         | Chan oc ->
+           output_string oc line;
+           output_char oc '\n';
+           flush oc
+         | Fn f -> f line
+       with Sys_error _ -> ());
+      match s.tee with None -> () | Some f -> ( try f line with _ -> ()))
 
 let emit ?(severity = Info) ?(data = []) name =
   match !current with
@@ -64,6 +82,14 @@ let emit ?(severity = Info) ?(data = []) name =
     in
     write_line s (Json.to_string (Json.Obj fields))
 
+let inject j =
+  match !current with
+  | None -> ()
+  | Some s -> write_line s (Json.to_string j)
+
+let set_tee f =
+  match !current with None -> () | Some s -> s.tee <- f
+
 let stop () =
   match !current with
   | None -> ()
@@ -71,11 +97,17 @@ let stop () =
     emit "events.stop";
     current := None;
     Trace.untrack_stacks ();
-    (try close_out s.oc with Sys_error _ -> ())
+    (match s.out with
+     | Chan oc -> ( try close_out oc with Sys_error _ -> ())
+     | Fn _ -> ())
+
+let detach () = current := None
 
 let start_channel oc =
   stop ();
-  let s = { oc; t0_ns = Clock.now_ns (); lock = Mutex.create () } in
+  let s =
+    { out = Chan oc; t0_ns = Clock.now_ns (); lock = Mutex.create (); tee = None }
+  in
   write_line s
     (Json.to_string
        (Json.Obj
@@ -87,3 +119,12 @@ let start_channel oc =
   current := Some s
 
 let start_file path = start_channel (open_out path)
+
+let start_sink f =
+  stop ();
+  (* t0 = 0: ts_s is absolute monotonic time, so a coordinator holding
+     a clock-offset estimate can realign the lines it receives; no
+     header line either — the receiving sink already wrote its own *)
+  let s = { out = Fn f; t0_ns = 0L; lock = Mutex.create (); tee = None } in
+  Trace.track_stacks ();
+  current := Some s

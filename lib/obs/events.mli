@@ -41,10 +41,40 @@ val start_file : string -> unit
 val start_channel : out_channel -> unit
 (** As {!start_file} on an already-open channel (tests). *)
 
+val start_sink : (string -> unit) -> unit
+(** Capture mode: each serialised record line goes to the callback
+    instead of a file, with {e no} header line and an absolute [ts_s]
+    basis ([t0 = 0], i.e. raw monotonic-clock seconds) — the shape a
+    distributed worker needs to batch its events up to a coordinator
+    that will realign them with a clock-offset estimate. *)
+
+val set_tee : (string -> unit) option -> unit
+(** Mirror every record line of the {e current} sink to a secondary
+    callback (or stop mirroring with [None]); no-op when no sink is
+    active. Lets a worker that already logs to its own [--events] file
+    stream the same lines upward. The tee sees lines in the sink's own
+    [ts_s] basis — ship {!origin_s} alongside so the receiver can
+    convert to absolute time. *)
+
+val origin_s : unit -> float
+(** The current sink's [t0] on the absolute monotonic clock, in
+    seconds ([absolute ts = origin_s () +. ts_s]); [0] for capture
+    sinks ({!start_sink}) and when no sink is active. *)
+
+val inject : Json.t -> unit
+(** Append one pre-built record verbatim (serialised under the sink
+    lock, no re-stamping) — how a coordinator writes realigned worker
+    records into its merged log. No-op without a sink. *)
+
 val stop : unit -> unit
 (** Emit a final ["events.stop"] record, close the sink (when it owns
     a file) and release stack tracking. No-op when nothing is
     active. *)
+
+val detach : unit -> unit
+(** Forget the active sink without emitting or closing anything — for
+    a forked child whose inherited sink (file descriptor and lock
+    included) belongs to the parent. *)
 
 val emit : ?severity:severity -> ?data:(string * Json.t) list -> string -> unit
 (** [emit name ~data] appends one event record. [data] becomes the

@@ -33,24 +33,80 @@ let escape_help v =
     v;
   Buffer.contents buf
 
-let prometheus_of_snapshot ?meta s =
+(* ------------------------------------------------------- fleet view *)
+
+type fleet_worker = {
+  fw_worker : string;
+  fw_host : string;
+  fw_pid : int;
+  fw_last_seen_s : float;
+  fw_offset_s : float;
+  fw_chunks_done : int;
+  fw_leased : int;
+  fw_events : int;
+  fw_metrics : Metrics.snapshot;
+}
+
+(* Identity labels ({role,worker,host,...}) and the fleet provider are
+   plain refs written from the main thread before the writer starts
+   (or from the coordinator loop, which the snapshot read races with
+   benignly: a torn read sees the previous provider, never a torn
+   closure). *)
+let identity_ref : (string * string) list ref = ref []
+let set_identity kvs = identity_ref := kvs
+let identity () = !identity_ref
+
+let fleet_ref : (unit -> fleet_worker list) option ref = ref None
+let set_fleet f = fleet_ref := f
+
+let labels kvs =
+  match kvs with
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+           kvs)
+    ^ "}"
+
+let prometheus_of_snapshot ?meta ?(identity = []) ?(fleet = []) s =
   let buf = Buffer.create 1024 in
   let help pname orig =
     Printf.bprintf buf "# HELP %s Registry metric %s.\n" pname
       (escape_help orig)
   in
-  (match meta with
-   | None -> ()
-   | Some m ->
+  let identity_suffix =
+    String.concat ""
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf ",%s=\"%s\"" (sanitize k) (escape_label v))
+         identity)
+  in
+  (match (meta, identity) with
+   | None, [] -> ()
+   | Some m, _ ->
      Printf.bprintf buf
        "# HELP pp_build_info Build and run provenance (value is always 1).\n";
      Printf.bprintf buf "# TYPE pp_build_info gauge\n";
      Printf.bprintf buf
-       "pp_build_info{git_rev=\"%s\",hostname=\"%s\",ocaml_version=\"%s\",jobs=\"%d\"} 1\n"
+       "pp_build_info{git_rev=\"%s\",hostname=\"%s\",ocaml_version=\"%s\",jobs=\"%d\"%s} 1\n"
        (escape_label m.Run_meta.git_rev)
        (escape_label m.Run_meta.hostname)
        (escape_label m.Run_meta.ocaml_version)
-       m.Run_meta.jobs);
+       m.Run_meta.jobs identity_suffix
+   | None, _ :: _ ->
+     (* no collected meta (a bare worker, a test): the identity labels
+        still deserve a provenance series *)
+     Printf.bprintf buf
+       "# HELP pp_build_info Build and run provenance (value is always 1).\n";
+     Printf.bprintf buf "# TYPE pp_build_info gauge\n";
+     Printf.bprintf buf "pp_build_info{%s} 1\n"
+       (String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+             identity)));
   List.iter
     (fun (name, v) ->
       let pname = "pp_" ^ sanitize name in
@@ -77,21 +133,132 @@ let prometheus_of_snapshot ?meta s =
         Printf.bprintf buf "%s_sum %.17g\n" pname sum;
         Printf.bprintf buf "%s_count %d\n" pname count)
     s;
+  (* fleet: one labelled series per worker inside each family, HELP and
+     TYPE once per family as the exposition format requires *)
+  if fleet <> [] then begin
+    let wl w = [ ("worker", w.fw_worker); ("host", w.fw_host) ] in
+    Printf.bprintf buf
+      "# HELP pp_fleet_worker_info Distributed-scan worker identity (value is always 1).\n\
+       # TYPE pp_fleet_worker_info gauge\n";
+    List.iter
+      (fun w ->
+        Printf.bprintf buf "pp_fleet_worker_info%s 1\n"
+          (labels (wl w @ [ ("pid", string_of_int w.fw_pid) ])))
+      fleet;
+    let family name typ help_text value =
+      Printf.bprintf buf "# HELP %s %s\n# TYPE %s %s\n" name
+        (escape_help help_text) name typ;
+      List.iter
+        (fun w -> Printf.bprintf buf "%s%s %s\n" name (labels (wl w)) (value w))
+        fleet
+    in
+    family "pp_fleet_last_seen_seconds" "gauge"
+      "Seconds since the coordinator last heard from this worker."
+      (fun w -> Printf.sprintf "%.17g" w.fw_last_seen_s);
+    family "pp_fleet_clock_offset_seconds" "gauge"
+      "Estimated worker-to-coordinator monotonic clock offset."
+      (fun w -> Printf.sprintf "%.17g" w.fw_offset_s);
+    family "pp_fleet_chunks_done" "counter"
+      "Fresh chunk results recorded from this worker."
+      (fun w -> string_of_int w.fw_chunks_done);
+    family "pp_fleet_leased" "gauge"
+      "Chunks currently leased to this worker."
+      (fun w -> string_of_int w.fw_leased);
+    family "pp_fleet_events_forwarded" "counter"
+      "Event-log lines forwarded by this worker."
+      (fun w -> string_of_int w.fw_events);
+    (* every metric the workers reported, one family per name with a
+       {worker,host} series per reporter *)
+    let names =
+      List.concat_map (fun w -> List.map fst w.fw_metrics) fleet
+      |> List.sort_uniq String.compare
+    in
+    List.iter
+      (fun name ->
+        let pname = "pp_worker_" ^ sanitize name in
+        let rows =
+          List.filter_map
+            (fun w ->
+              Option.map (fun v -> (w, v)) (List.assoc_opt name w.fw_metrics))
+            fleet
+        in
+        match rows with
+        | [] -> ()
+        | (_, v0) :: _ ->
+          let typ =
+            match v0 with
+            | Metrics.Counter _ -> "counter"
+            | Metrics.Gauge _ -> "gauge"
+            | Metrics.Histogram _ -> "histogram"
+          in
+          Printf.bprintf buf
+            "# HELP %s Worker-reported registry metric %s.\n# TYPE %s %s\n"
+            pname (escape_help name) pname typ;
+          List.iter
+            (fun (w, v) ->
+              match v with
+              | Metrics.Counter n ->
+                Printf.bprintf buf "%s%s %d\n" pname (labels (wl w)) n
+              | Metrics.Gauge f ->
+                Printf.bprintf buf "%s%s %.17g\n" pname (labels (wl w)) f
+              | Metrics.Histogram { bounds; counts; sum; count } ->
+                let cum = ref 0 in
+                Array.iteri
+                  (fun i c ->
+                    cum := !cum + c;
+                    let le =
+                      if i < Array.length bounds then
+                        Printf.sprintf "%.17g" bounds.(i)
+                      else "+Inf"
+                    in
+                    Printf.bprintf buf "%s_bucket%s %d\n" pname
+                      (labels (wl w @ [ ("le", le) ]))
+                      !cum)
+                  counts;
+                Printf.bprintf buf "%s_sum%s %.17g\n" pname (labels (wl w)) sum;
+                Printf.bprintf buf "%s_count%s %d\n" pname (labels (wl w)) count)
+            rows)
+      names
+  end;
   Buffer.contents buf
 
 (* ------------------------------------------------------ JSON snapshot *)
 
-let snapshot_json ?meta ~elapsed_s s =
+let fleet_worker_json w =
+  Json.Obj
+    [
+      ("worker", Json.String w.fw_worker);
+      ("host", Json.String w.fw_host);
+      ("pid", Json.Int w.fw_pid);
+      ("last_seen_s", Json.Float w.fw_last_seen_s);
+      ("offset_s", Json.Float w.fw_offset_s);
+      ("chunks_done", Json.Int w.fw_chunks_done);
+      ("leased", Json.Int w.fw_leased);
+      ("events", Json.Int w.fw_events);
+      ("metrics", Metrics.to_json_value w.fw_metrics);
+    ]
+
+let snapshot_json ?meta ?fleet ~elapsed_s s =
   let meta_fields =
     match meta with None -> [] | Some m -> [ ("meta", Run_meta.to_json m) ]
   in
+  (* schema stays ppmetrics/v1 for a single-process export; the fleet
+     section (even an empty one: telemetry on, no worker yet) bumps it
+     to /v2 — old readers that only look at "metrics" keep working *)
+  let schema, fleet_fields =
+    match fleet with
+    | None -> ("ppmetrics/v1", [])
+    | Some rows ->
+      ("ppmetrics/v2", [ ("workers", Json.List (List.map fleet_worker_json rows)) ])
+  in
   Json.Obj
-    (("schema", Json.String "ppmetrics/v1")
+    (("schema", Json.String schema)
      :: meta_fields
     @ [
         ("elapsed_s", Json.Float elapsed_s);
         ("metrics", Metrics.to_json_value s);
-      ])
+      ]
+    @ fleet_fields)
 
 (* -------------------------------------------------------- file output *)
 
@@ -110,14 +277,20 @@ let atomic_write path contents =
 let write_now ?meta ~t0 ~path () =
   let s = Metrics.snapshot () in
   let elapsed_s = Clock.elapsed_s t0 in
-  atomic_write path (Json.to_string (snapshot_json ?meta ~elapsed_s s) ^ "\n");
-  atomic_write (prom_path path) (prometheus_of_snapshot ?meta s)
+  let identity = !identity_ref in
+  let fleet = Option.map (fun f -> f ()) !fleet_ref in
+  atomic_write path
+    (Json.to_string (snapshot_json ?meta ?fleet ~elapsed_s s) ^ "\n");
+  atomic_write (prom_path path)
+    (prometheus_of_snapshot ?meta ~identity
+       ~fleet:(Option.value ~default:[] fleet)
+       s)
 
 (* ---------------------------------------------------- periodic export *)
 
 type exporter = {
   stop_requested : bool Atomic.t;
-  writer : unit Domain.t;
+  writer : Thread.t;
   write : unit -> unit;
 }
 
@@ -129,8 +302,10 @@ let stop () =
   | Some ex ->
     current := None;
     Atomic.set ex.stop_requested true;
-    Domain.join ex.writer;
+    Thread.join ex.writer;
     ex.write ()
+
+let detach () = current := None
 
 let start ?meta ?(every_s = 5.0) ~path () =
   stop ();
@@ -144,7 +319,14 @@ let start ?meta ?(every_s = 5.0) ~path () =
   in
   write ();
   let writer =
-    Domain.spawn (fun () ->
+    (* a systhread, NOT a domain: it shares domain 0 (near-free on
+       single-core machines where a background domain costs 20-30% in
+       cross-domain GC coordination), and — decisive for the
+       distributed scan — OCaml 5 forbids Unix.fork once any domain
+       was ever spawned, so the exporter must not be the reason a
+       coordinator cannot fork its workers *)
+    Thread.create
+      (fun () ->
         let rec run () =
           (* sleep in short slices so [stop] returns promptly *)
           let deadline =
@@ -154,7 +336,7 @@ let start ?meta ?(every_s = 5.0) ~path () =
             if (not (Atomic.get stop_requested))
                && Int64.compare (Clock.now_ns ()) deadline < 0
             then begin
-              Unix.sleepf 0.05;
+              Thread.delay 0.05;
               nap ()
             end
           in
@@ -165,6 +347,7 @@ let start ?meta ?(every_s = 5.0) ~path () =
           end
         in
         run ())
+      ()
   in
   current := Some { stop_requested; writer; write }
 

@@ -1,0 +1,426 @@
+(* Offline analytics over a *merged* ppevents log — the file a
+   coordinator writes when workers stream their telemetry up: its own
+   dist.* records interleaved with forwarded, offset-aligned,
+   worker-tagged records. One pass groups everything by worker, then
+   the existing Trace_stats machinery (fed synthetic spans built from
+   worker.chunk records, one tid per worker) does the utilization
+   timelines and chunk-normalised straggler detection. *)
+
+type worker_row = {
+  w_name : string;
+  w_host : string;
+  w_pid : int;
+  w_chunks : int;  (** worker.chunk records attributed to it *)
+  w_busy_s : float;
+  w_util : float;
+  w_timeline : float list;
+  w_lease_count : int;  (** chunk_done records matched to a lease *)
+  w_lease_median_s : float;
+  w_lease_p99_s : float;
+  w_lease_max_s : float;
+  w_lost : int;  (** dist.worker_lost records naming it *)
+}
+
+type entry = { c_ts_s : float; c_ev : string; c_detail : string }
+
+type report = {
+  source : string;
+  wall_s : float;
+  total_events : int;
+  skipped : int;
+  workers : worker_row list;
+  chronology : entry list;
+  fanout : Trace_stats.chunk_group list;
+}
+
+let schema = "ppfleet-report/v1"
+
+(* ------------------------------------------------------- tiny helpers *)
+
+let jstr = function Json.String s -> Some s | _ -> None
+
+let jnum = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let jint = function Json.Int i -> Some i | _ -> None
+
+let fget fields k = List.assoc_opt k fields
+
+let percentile sorted q =
+  (* linear interpolation on an already-sorted array *)
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else if n = 1 then sorted.(0)
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+(* ------------------------------------------------------------ parsing *)
+
+type acc = {
+  mutable order : string list;  (** first-seen order, reversed *)
+  hosts : (string, string * int) Hashtbl.t;  (** worker -> host, pid *)
+  chunks : (string, int) Hashtbl.t;
+  lost : (string, int) Hashtbl.t;
+  grants : (int, float * string) Hashtbl.t;  (** chunk -> grant ts, worker *)
+  lease_lat : (string, float list ref) Hashtbl.t;
+  mutable spans : Trace_stats.span list;
+  mutable chron : entry list;
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable total : int;
+  mutable skipped : int;
+  mutable next_sid : int;
+}
+
+let note_worker a name =
+  if not (List.mem name a.order) then a.order <- name :: a.order
+
+let worker_tid a name =
+  (* tid = position in first-seen order; stable across the pass *)
+  let rec idx i = function
+    | [] -> 0
+    | n :: _ when n = name -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  idx 0 (List.rev a.order)
+
+let bump tbl k n =
+  Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let span_time a ts =
+  if ts < a.t_min then a.t_min <- ts;
+  if ts > a.t_max then a.t_max <- ts
+
+(* The worker a record belongs to: forwarded records carry a top-level
+   ["worker"] tag (added by the coordinator's realignment); the
+   coordinator's own dist.* records name the subject worker inside
+   [data]. *)
+let record_worker fields data =
+  match Option.bind (fget fields "worker") jstr with
+  | Some w -> Some w
+  | None -> Option.bind (Option.bind data (fun d -> fget d "worker")) jstr
+
+let chron a ~ts ~ev detail =
+  a.chron <- { c_ts_s = ts; c_ev = ev; c_detail = detail } :: a.chron
+
+let ingest_record a fields =
+  let data =
+    match fget fields "data" with Some (Json.Obj d) -> Some d | _ -> None
+  in
+  let dfield k = Option.bind data (fun d -> fget d k) in
+  let ts = Option.value ~default:0.0 (Option.bind (fget fields "ts_s") jnum) in
+  span_time a ts;
+  let ev =
+    Option.value ~default:"" (Option.bind (fget fields "ev") jstr)
+  in
+  let worker = record_worker fields data in
+  (match worker with Some w -> note_worker a w | None -> ());
+  match ev with
+  | "dist.worker_join" -> (
+      match worker with
+      | None -> ()
+      | Some w ->
+          let host =
+            Option.value ~default:"" (Option.bind (dfield "host") jstr)
+          in
+          let pid = Option.value ~default:0 (Option.bind (dfield "pid") jint) in
+          Hashtbl.replace a.hosts w (host, pid);
+          chron a ~ts ~ev:"join"
+            (if host = "" then w else Printf.sprintf "%s @ %s" w host))
+  | "dist.lease" -> (
+      match
+        ( worker,
+          Option.bind (dfield "lo_chunk") jint,
+          Option.bind (dfield "hi_chunk") jint )
+      with
+      | Some w, Some lo, Some hi ->
+          for chunk = lo to hi - 1 do
+            Hashtbl.replace a.grants chunk (ts, w)
+          done
+      | _ -> ())
+  | "dist.chunk_done" -> (
+      match (worker, Option.bind (dfield "chunk") jint) with
+      | Some w, Some chunk -> (
+          match Hashtbl.find_opt a.grants chunk with
+          | Some (t_grant, holder) when holder = w && ts >= t_grant ->
+              let r =
+                match Hashtbl.find_opt a.lease_lat w with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.replace a.lease_lat w r;
+                    r
+              in
+              r := (ts -. t_grant) :: !r
+          | _ -> ())
+      | _ -> ())
+  | "dist.worker_lost" ->
+      (match worker with
+      | Some w ->
+          bump a.lost w 1;
+          chron a ~ts ~ev:"lost"
+            (Printf.sprintf "%s (%s, %d chunks leased)" w
+               (Option.value ~default:"?" (Option.bind (dfield "reason") jstr))
+               (Option.value ~default:0 (Option.bind (dfield "leased") jint)))
+      | None -> ())
+  | "dist.reassign" ->
+      let n =
+        match dfield "chunks" with
+        | Some (Json.List l) -> List.length l
+        | _ -> 0
+      in
+      chron a ~ts ~ev:"reassign"
+        (Printf.sprintf "%d chunks from %s back to the pool" n
+           (Option.value ~default:"?" worker))
+  | "dist.stale_result" ->
+      chron a ~ts ~ev:"stale"
+        (Printf.sprintf "chunk %d from epoch %d dropped"
+           (Option.value ~default:(-1) (Option.bind (dfield "chunk") jint))
+           (Option.value ~default:(-1) (Option.bind (dfield "result_epoch") jint)))
+  | "worker.chunk" -> (
+      match (worker, Option.bind (dfield "chunk") jint) with
+      | Some w, Some chunk ->
+          bump a.chunks w 1;
+          let dur =
+            Option.value ~default:0.0 (Option.bind (dfield "dur_s") jnum)
+          in
+          span_time a (ts -. dur);
+          a.next_sid <- a.next_sid + 1;
+          let args =
+            [ ("chunk", string_of_int chunk) ]
+            @
+            match (Option.bind (dfield "lo") jint, Option.bind (dfield "hi") jint)
+            with
+            | Some lo, Some hi ->
+                [ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+            | _ -> []
+          in
+          a.spans <-
+            {
+              Trace_stats.name = "worker.chunk";
+              cat = "fleet";
+              (* worker.chunk is emitted when the chunk finishes, so
+                 the span starts dur earlier *)
+              ts_us = (ts -. dur) *. 1e6;
+              dur_us = dur *. 1e6;
+              tid = worker_tid a w;
+              sid = a.next_sid;
+              parent = 0;
+              args;
+            }
+            :: a.spans
+      | _ -> ())
+  | _ -> ()
+
+let analyse ?(source = "<fleet>") lines =
+  let a =
+    {
+      order = [];
+      hosts = Hashtbl.create 8;
+      chunks = Hashtbl.create 8;
+      lost = Hashtbl.create 8;
+      grants = Hashtbl.create 256;
+      lease_lat = Hashtbl.create 8;
+      spans = [];
+      chron = [];
+      t_min = Float.infinity;
+      t_max = Float.neg_infinity;
+      total = 0;
+      skipped = 0;
+      next_sid = 0;
+    }
+  in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Json.parse line with
+        | Ok (Json.Obj fields) when not (List.mem_assoc "schema" fields) ->
+            a.total <- a.total + 1;
+            ingest_record a fields
+        | Ok (Json.Obj _) -> () (* header *)
+        | Ok _ | Error _ -> a.skipped <- a.skipped + 1)
+    lines;
+  let wall_s =
+    if a.t_max > a.t_min then a.t_max -. a.t_min else 0.0
+  in
+  let trace = Trace_stats.analyse ~source (List.rev a.spans, 0) in
+  let domain_of tid =
+    List.find_opt (fun d -> d.Trace_stats.d_tid = tid) trace.Trace_stats.domains
+  in
+  let workers =
+    List.mapi
+      (fun tid name ->
+        let host, pid =
+          Option.value ~default:("", 0) (Hashtbl.find_opt a.hosts name)
+        in
+        let lat =
+          match Hashtbl.find_opt a.lease_lat name with
+          | Some r -> Array.of_list !r
+          | None -> [||]
+        in
+        Array.sort compare lat;
+        let d = domain_of tid in
+        {
+          w_name = name;
+          w_host = host;
+          w_pid = pid;
+          w_chunks = Option.value ~default:0 (Hashtbl.find_opt a.chunks name);
+          w_busy_s =
+            (match d with Some d -> d.Trace_stats.d_busy_s | None -> 0.0);
+          w_util = (match d with Some d -> d.Trace_stats.d_util | None -> 0.0);
+          w_timeline =
+            (match d with Some d -> d.Trace_stats.d_timeline | None -> []);
+          w_lease_count = Array.length lat;
+          w_lease_median_s = percentile lat 0.5;
+          w_lease_p99_s = percentile lat 0.99;
+          w_lease_max_s = (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+          w_lost = Option.value ~default:0 (Hashtbl.find_opt a.lost name);
+        })
+      (List.rev a.order)
+  in
+  {
+    source;
+    wall_s;
+    total_events = a.total;
+    skipped = a.skipped;
+    workers;
+    chronology =
+      List.sort (fun x y -> compare x.c_ts_s y.c_ts_s) (List.rev a.chron);
+    fanout = trace.Trace_stats.chunk_groups;
+  }
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok (analyse ~source:path (List.rev !lines))
+
+(* ---------------------------------------------------------- rendering *)
+
+let fmt_s v =
+  if v = 0.0 then "-"
+  else if v < 0.001 then Printf.sprintf "%.0fus" (v *. 1e6)
+  else if v < 1.0 then Printf.sprintf "%.1fms" (v *. 1e3)
+  else Printf.sprintf "%.2fs" v
+
+let to_markdown r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "# Fleet report — %s\n\n" r.source);
+  Buffer.add_string b
+    (Printf.sprintf "%d events over %s wall; %d workers%s\n\n" r.total_events
+       (fmt_s r.wall_s) (List.length r.workers)
+       (if r.skipped = 0 then ""
+        else Printf.sprintf " (%d unparseable lines skipped)" r.skipped));
+  if r.workers <> [] then begin
+    Buffer.add_string b "## Workers\n\n";
+    Buffer.add_string b
+      "| worker | host | chunks | busy | util | timeline | lease med | \
+       lease p99 | lease max | lost |\n";
+    Buffer.add_string b "|---|---|---:|---:|---:|---|---:|---:|---:|---:|\n";
+    List.iter
+      (fun w ->
+        Buffer.add_string b
+          (Printf.sprintf "| %s | %s | %d | %s | %.0f%% | `%s` | %s | %s | %s | %d |\n"
+             w.w_name
+             (if w.w_host = "" then "-" else w.w_host)
+             w.w_chunks (fmt_s w.w_busy_s) (w.w_util *. 100.0)
+             (History.sparkline w.w_timeline)
+             (fmt_s w.w_lease_median_s) (fmt_s w.w_lease_p99_s)
+             (fmt_s w.w_lease_max_s) w.w_lost))
+      r.workers;
+    Buffer.add_char b '\n'
+  end;
+  if r.fanout <> [] then begin
+    Buffer.add_string b "## Chunk fan-out\n\n";
+    Buffer.add_string b
+      "| section | count | median | p99 | max | straggler | per-task \
+       straggler |\n";
+    Buffer.add_string b "|---|---:|---:|---:|---:|---|---|\n";
+    List.iter
+      (fun g ->
+        Buffer.add_string b
+          (Printf.sprintf "| %s | %d | %s | %s | %s | %s | %s |\n"
+             g.Trace_stats.g_section g.Trace_stats.g_count
+             (fmt_s g.Trace_stats.g_median_s) (fmt_s g.Trace_stats.g_p99_s)
+             (fmt_s g.Trace_stats.g_max_s)
+             (if g.Trace_stats.g_straggler then "yes" else "no")
+             (if not g.Trace_stats.g_sized then "unsized"
+              else if g.Trace_stats.g_task_straggler then "yes"
+              else "no")))
+      r.fanout;
+    Buffer.add_char b '\n'
+  end;
+  if r.chronology <> [] then begin
+    Buffer.add_string b "## Chronology\n\n";
+    List.iter
+      (fun e ->
+        Buffer.add_string b
+          (Printf.sprintf "- `%8.3fs` **%s** %s\n" e.c_ts_s e.c_ev e.c_detail))
+      r.chronology;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+let to_json r =
+  let worker_json w =
+    Json.Obj
+      [
+        ("worker", Json.String w.w_name);
+        ("host", Json.String w.w_host);
+        ("pid", Json.Int w.w_pid);
+        ("chunks", Json.Int w.w_chunks);
+        ("busy_s", Json.Float w.w_busy_s);
+        ("util", Json.Float w.w_util);
+        ("lease_count", Json.Int w.w_lease_count);
+        ("lease_median_s", Json.Float w.w_lease_median_s);
+        ("lease_p99_s", Json.Float w.w_lease_p99_s);
+        ("lease_max_s", Json.Float w.w_lease_max_s);
+        ("lost", Json.Int w.w_lost);
+      ]
+  in
+  let entry_json e =
+    Json.Obj
+      [
+        ("ts_s", Json.Float e.c_ts_s);
+        ("ev", Json.String e.c_ev);
+        ("detail", Json.String e.c_detail);
+      ]
+  in
+  let group_json g =
+    Json.Obj
+      [
+        ("section", Json.String g.Trace_stats.g_section);
+        ("count", Json.Int g.Trace_stats.g_count);
+        ("median_s", Json.Float g.Trace_stats.g_median_s);
+        ("p99_s", Json.Float g.Trace_stats.g_p99_s);
+        ("max_s", Json.Float g.Trace_stats.g_max_s);
+        ("straggler", Json.Bool g.Trace_stats.g_straggler);
+        ("sized", Json.Bool g.Trace_stats.g_sized);
+        ("task_straggler", Json.Bool g.Trace_stats.g_task_straggler);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("source", Json.String r.source);
+      ("wall_s", Json.Float r.wall_s);
+      ("total_events", Json.Int r.total_events);
+      ("skipped", Json.Int r.skipped);
+      ("workers", Json.List (List.map worker_json r.workers));
+      ("chronology", Json.List (List.map entry_json r.chronology));
+      ("fanout", Json.List (List.map group_json r.fanout));
+    ]

@@ -234,6 +234,37 @@ let diff ~before ~after =
       | Some _, v -> Some (name, v))
     after
 
+(* The inverse of [diff] for telemetry accumulation: a coordinator
+   folds each worker's heartbeat delta into its running view of that
+   worker. Counters and histogram cells add; gauges (and any
+   kind/bounds mismatch, e.g. a worker that re-registered a histogram
+   with new bounds) take the delta's value — last writer wins, exactly
+   as a live registry would behave. *)
+let merge base delta =
+  let tbl = Hashtbl.create (List.length base + List.length delta) in
+  List.iter (fun (name, v) -> Hashtbl.replace tbl name v) base;
+  List.iter
+    (fun (name, dv) ->
+      let v =
+        match (Hashtbl.find_opt tbl name, dv) with
+        | Some (Counter b), Counter d -> Counter (b + d)
+        | Some (Histogram b), Histogram d
+          when b.bounds = d.bounds
+               && Array.length b.counts = Array.length d.counts ->
+          Histogram
+            {
+              bounds = b.bounds;
+              counts = Array.mapi (fun i c -> c + d.counts.(i)) b.counts;
+              sum = b.sum +. d.sum;
+              count = b.count + d.count;
+            }
+        | _, v -> v
+      in
+      Hashtbl.replace tbl name v)
+    delta;
+  Hashtbl.fold (fun n v acc -> (n, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter

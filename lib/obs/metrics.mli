@@ -82,6 +82,15 @@ val diff : before:snapshot -> after:snapshot -> snapshot
     the [after] value. Entries that did not change between the two
     snapshots are dropped, so a diff over a quiet subsystem is empty. *)
 
+val merge : snapshot -> snapshot -> snapshot
+(** [merge base delta] applies a {!diff}-shaped delta to [base]:
+    counters and matching-bounds histograms add cell-wise, gauges (and
+    any kind or bounds mismatch) take the delta's value, names only in
+    one side pass through. Inverse of {!diff} over a growing registry:
+    [merge before (diff ~before ~after) = after]. This is how a
+    coordinator accumulates the per-heartbeat metric deltas each
+    worker streams up into one fleet view. *)
+
 val reset : unit -> unit
 (** Zero every registered cell (kept registered). Test/bench helper. *)
 

@@ -24,13 +24,25 @@ let result_eq (a : Busy_beaver.scan_result) (b : Busy_beaver.scan_result) =
 
 let sample_msgs =
   [
-    Dist.Wire.Hello { worker = "w0"; pid = 4242 };
+    (* v1-shaped Hello (no host, no stamp) and the full v2 one *)
+    Dist.Wire.Hello { worker = "w0"; pid = 4242; host = ""; sent_s = None };
+    Dist.Wire.Hello
+      { worker = "w1"; pid = 17; host = "node-a"; sent_s = Some 12.5 };
     Dist.Wire.Welcome
       {
         config = Obs.Json.Obj [ ("n", Obs.Json.Int 2) ];
         config_hash = "abc123";
         epoch = 3;
         total_chunks = 27;
+        telemetry = false;
+      };
+    Dist.Wire.Welcome
+      {
+        config = Obs.Json.Obj [ ("n", Obs.Json.Int 2) ];
+        config_hash = "abc123";
+        epoch = 3;
+        total_chunks = 27;
+        telemetry = true;
       };
     Dist.Wire.Grant { lo_chunk = 4; hi_chunk = 9; epoch = 3 };
     Dist.Wire.Result
@@ -39,7 +51,20 @@ let sample_msgs =
         epoch = 3;
         state = Obs.Json.Obj [ ("scanned", Obs.Json.Int 16) ];
       };
-    Dist.Wire.Heartbeat { worker = "w0" };
+    Dist.Wire.Heartbeat { worker = "w0"; sent_s = None; metrics = None };
+    Dist.Wire.Heartbeat
+      {
+        worker = "w1";
+        sent_s = Some 99.25;
+        metrics =
+          Some (Obs.Json.Obj [ ("dist.chunks_done", Obs.Json.Int 3) ]);
+      };
+    Dist.Wire.Events
+      {
+        worker = "w1";
+        origin_s = 41.0;
+        lines = [ {|{"ts_s":1.5,"ev":"worker.chunk"}|}; {|{"ts_s":2.0}|} ];
+      };
     Dist.Wire.Shutdown;
   ]
 
@@ -50,6 +75,68 @@ let test_wire_roundtrip () =
       | Ok m' -> Alcotest.(check bool) "round-trips" true (m = m')
       | Error e -> Alcotest.fail e)
     sample_msgs
+
+let test_wire_v1_welcome_bytes () =
+  (* a telemetry-off Welcome must be byte-identical to what a v1
+     encoder wrote, so v1 readers never even see the new field *)
+  match
+    Dist.Wire.to_json
+      (Dist.Wire.Welcome
+         {
+           config = Obs.Json.Obj [];
+           config_hash = "h";
+           epoch = 1;
+           total_chunks = 2;
+           telemetry = false;
+         })
+  with
+  | Obs.Json.Obj fields ->
+    Alcotest.(check bool) "no telemetry field when false" true
+      (not (List.mem_assoc "telemetry" fields))
+  | _ -> Alcotest.fail "Welcome did not encode as an object"
+
+let test_wire_unknown_kind () =
+  match Dist.Wire.of_json (Obs.Json.Obj [ ("msg", Obs.Json.String "frobnicate") ]) with
+  | Ok (Dist.Wire.Unknown k) ->
+    Alcotest.(check string) "kind surfaces" "frobnicate" k
+  | Ok _ -> Alcotest.fail "unknown kind decoded as a known message"
+  | Error e -> Alcotest.fail ("unknown kind must not be an error: " ^ e)
+
+(* forward compatibility: a *newer* peer may add fields to any known
+   message — decoders must skip what they do not know, exactly as the
+   v2 decoder's lenient field handling promises. Inject junk fields at
+   random positions into every sample message's JSON and require the
+   identical decode. *)
+let wire_unknown_fields_prop =
+  prop "decoders skip unknown fields in known messages" ~count:100
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (extra, seed) ->
+      let rng = Random.State.make [| seed |] in
+      List.for_all
+        (fun m ->
+          match Dist.Wire.to_json m with
+          | Obs.Json.Obj fields ->
+            let junk =
+              List.init extra (fun i ->
+                  ( Printf.sprintf "x_future_%d_%d" i
+                      (Random.State.int rng 1000),
+                    match Random.State.int rng 3 with
+                    | 0 -> Obs.Json.Int (Random.State.int rng 100)
+                    | 1 -> Obs.Json.String "later"
+                    | _ -> Obs.Json.Obj [ ("nested", Obs.Json.Bool true) ] ))
+            in
+            let fields =
+              List.fold_left
+                (fun acc j ->
+                  let pos = Random.State.int rng (List.length acc + 1) in
+                  List.filteri (fun i _ -> i < pos) acc
+                  @ [ j ]
+                  @ List.filteri (fun i _ -> i >= pos) acc)
+                fields junk
+            in
+            Dist.Wire.of_json (Obs.Json.Obj fields) = Ok m
+          | _ -> false)
+        sample_msgs)
 
 (* the stream arrives in arbitrary fragments: write the same message
    sequence through a pipe in pieces of every size and check the reader
@@ -320,6 +407,125 @@ let kill_recovery_prop =
       simulate_with_kill ~plan:sim_plan ~reference:sim_reference ~num_workers
         ~kill_worker ~kill_after ~choose)
 
+(* -- Clock-offset alignment -------------------------------------------------- *)
+
+(* Telemetry.align_line is the pure core of the coordinator's merged
+   timeline: a worker's capture sink stamps absolute worker-clock
+   seconds, and alignment adds the (min-filtered) offset estimate to
+   land on the coordinator's clock. With exact offsets the merged
+   timeline must be globally monotone and — canonicalized by sorting —
+   invariant under how the events were partitioned across workers. *)
+let align_canonical ~num_workers ~offsets ~assign events =
+  (* worker w's local view of global instant t is t + offsets.(w);
+     align with offset_s = -offsets.(w) (the exact estimate when the
+     minimum delivery delay is 0) *)
+  let aligned =
+    List.concat
+      (List.init num_workers (fun w ->
+           let mine =
+             List.filter (fun (i, _) -> assign i = w) events
+           in
+           List.filter_map
+             (fun (i, t) ->
+               let line =
+                 Obs.Json.to_string
+                   (Obs.Json.Obj
+                      [
+                        ("ts_s", Obs.Json.Float (t +. offsets.(w)));
+                        ("ev", Obs.Json.String (Printf.sprintf "e%d" i));
+                      ])
+               in
+               Option.map
+                 (fun j -> (i, j))
+                 (Dist.Telemetry.align_line ~offset_s:(-.offsets.(w))
+                    ~origin_s:0.0 ~sink_origin_s:0.0
+                    ~tags:[ ("worker", Obs.Json.String (string_of_int w)) ]
+                    line))
+             mine))
+  in
+  let ts_of j =
+    match j with
+    | Obs.Json.Obj f -> (
+        match List.assoc_opt "ts_s" f with
+        | Some (Obs.Json.Float t) -> t
+        | Some (Obs.Json.Int t) -> float_of_int t
+        | _ -> nan)
+    | _ -> nan
+  in
+  List.sort compare (List.map (fun (i, j) -> (ts_of j, i)) aligned)
+
+let offset_alignment_prop =
+  prop "skewed worker streams align to one monotone, stable timeline"
+    ~count:100
+    QCheck.(
+      quad (int_range 1 5) (int_range 0 1000) (int_range 1 30) (int_range 0 1000))
+    (fun (num_workers, off_seed, num_events, assign_seed) ->
+      let rng = Random.State.make [| off_seed |] in
+      let offsets =
+        Array.init num_workers (fun _ ->
+            Random.State.float rng 10.0 -. 5.0)
+      in
+      let events =
+        List.init num_events (fun i -> (i, float_of_int i *. 0.125))
+      in
+      let arng = Random.State.make [| assign_seed |] in
+      let assignment =
+        Array.init num_events (fun _ -> Random.State.int arng num_workers)
+      in
+      let split =
+        align_canonical ~num_workers ~offsets
+          ~assign:(fun i -> assignment.(i))
+          events
+      in
+      (* canonical reference: everything on one unskewed worker *)
+      let whole =
+        align_canonical ~num_workers:1 ~offsets:[| 0.0 |]
+          ~assign:(fun _ -> 0)
+          events
+      in
+      let rec monotone = function
+        | (a, _) :: ((b, _) :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone split
+      && List.map snd split = List.map snd whole
+      && List.for_all2
+           (fun (ta, _) (tb, _) -> Float.abs (ta -. tb) < 1e-9)
+           split whole)
+
+let test_align_skips_headers_and_tags () =
+  let t = Dist.Telemetry.create () in
+  let aligned =
+    Dist.Telemetry.align_events t ~worker:"w9" ~origin_s:0.0 ~sink_origin_s:0.0
+      [
+        {|{"schema":"ppevents/v1","t0_utc":"x"}|};
+        {|{"ts_s":1.0,"ev":"worker.chunk"}|};
+        "not json at all";
+      ]
+  in
+  Alcotest.(check int) "header and junk dropped, record kept" 1
+    (List.length aligned);
+  match aligned with
+  | [ Obs.Json.Obj fields ] ->
+    Alcotest.(check bool) "worker tag appended" true
+      (List.assoc_opt "worker" fields = Some (Obs.Json.String "w9"))
+  | _ -> Alcotest.fail "expected one object"
+
+let test_offset_min_filter () =
+  let t = Dist.Telemetry.create () in
+  (* worker clock = coordinator clock + 3: sent stamps are +3, and
+     delivery delays shrink over time — the estimate must keep the
+     minimum, converging on -3 + min delay *)
+  Dist.Telemetry.join t ~worker:"w" ~host:"h" ~pid:1
+    ~sent_s:(Some (10.0 +. 3.0)) ~now:(10.0 +. 0.5);
+  Dist.Telemetry.heartbeat t ~worker:"w" ~sent_s:(Some (20.0 +. 3.0))
+    ~metrics:None ~now:(20.0 +. 0.01);
+  Dist.Telemetry.heartbeat t ~worker:"w" ~sent_s:(Some (30.0 +. 3.0))
+    ~metrics:None ~now:(30.0 +. 0.2);
+  let est = Dist.Telemetry.offset t ~worker:"w" in
+  Alcotest.(check bool) "min-filtered to the best sample" true
+    (Float.abs (est -. (-3.0 +. 0.01)) < 1e-9)
+
 (* -- Real processes: fork workers through Distributed_scan ------------------- *)
 
 let test_fork_smoke () =
@@ -379,13 +585,85 @@ let test_fork_checkpoint_epochs () =
         Alcotest.(check int) "second adoption bumped the epoch" 2
           (Obs.Checkpoint.epoch c))
 
+let test_fork_telemetry () =
+  let events_path = Filename.temp_file "distscan" ".events.jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove events_path with Sys_error _ -> ())
+    (fun () ->
+      let plan = Busy_beaver.plan ~chunk:4 ~max_input:8 ~n:2 () in
+      let reference = Busy_beaver.scan ~chunk:4 ~max_input:8 ~n:2 () in
+      Obs.Events.start_file events_path;
+      let o =
+        Fun.protect
+          ~finally:(fun () -> Obs.Events.stop ())
+          (fun () -> Distributed_scan.coordinate ~workers:2 ~plan ())
+      in
+      Alcotest.(check bool) "telemetry does not change the result" true
+        (result_eq o.Distributed_scan.result reference);
+      let fleet = o.Distributed_scan.stats.Dist.Coordinator.fleet in
+      Alcotest.(check int) "both workers in the fleet summary" 2
+        (List.length fleet);
+      Alcotest.(check int) "fleet chunk counts sum to the total"
+        o.Distributed_scan.stats.Dist.Coordinator.chunks_done
+        (List.fold_left
+           (fun acc s -> acc + s.Dist.Telemetry.s_chunks_done)
+           0 fleet);
+      (* the merged log: coordinator's own dist.* records plus the
+         workers' forwarded worker.chunk records, worker-tagged *)
+      let lines =
+        In_channel.with_open_text events_path In_channel.input_lines
+      in
+      let records =
+        List.filter_map
+          (fun l ->
+            match Obs.Json.parse l with
+            | Ok (Obs.Json.Obj f) when not (List.mem_assoc "schema" f) ->
+              Some f
+            | _ -> None)
+          lines
+      in
+      let ev_is name f =
+        List.assoc_opt "ev" f = Some (Obs.Json.String name)
+      in
+      Alcotest.(check bool) "dist.worker_join recorded" true
+        (List.exists (ev_is "dist.worker_join") records);
+      let chunk_records = List.filter (ev_is "worker.chunk") records in
+      Alcotest.(check bool) "forwarded worker.chunk records present" true
+        (chunk_records <> []);
+      Alcotest.(check bool) "every forwarded record is worker-tagged" true
+        (List.for_all
+           (fun f ->
+             match List.assoc_opt "worker" f with
+             | Some (Obs.Json.String _) -> true
+             | _ -> false)
+           chunk_records);
+      (* and the same log feeds the fleet analytics *)
+      let report = Obs.Fleet_stats.analyse lines in
+      Alcotest.(check int) "fleet report sees both workers" 2
+        (List.length report.Obs.Fleet_stats.workers);
+      Alcotest.(check bool) "fleet markdown renders" true
+        (String.length (Obs.Fleet_stats.to_markdown report) > 0))
+
 let () =
   Alcotest.run "dist"
     [
       ( "wire",
         [
           Alcotest.test_case "message round-trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "telemetry-off Welcome is v1-identical" `Quick
+            test_wire_v1_welcome_bytes;
+          Alcotest.test_case "unknown kind decodes as Unknown" `Quick
+            test_wire_unknown_kind;
+          wire_unknown_fields_prop;
           wire_fragmentation_prop;
+        ] );
+      ( "telemetry",
+        [
+          offset_alignment_prop;
+          Alcotest.test_case "alignment skips headers, appends tags" `Quick
+            test_align_skips_headers_and_tags;
+          Alcotest.test_case "offset estimate is min-filtered" `Quick
+            test_offset_min_filter;
         ] );
       ( "lease",
         [
@@ -416,5 +694,7 @@ let () =
             test_fork_chaos_kill;
           Alcotest.test_case "checkpoint epochs across adoptions" `Quick
             test_fork_checkpoint_epochs;
+          Alcotest.test_case "fleet telemetry over fork workers" `Quick
+            test_fork_telemetry;
         ] );
     ]

@@ -75,6 +75,42 @@ let test_diff_drops_quiet_metrics () =
       | [ (_, Obs.Metrics.Counter 7) ] -> ()
       | _ -> Alcotest.failf "unexpected diff of %d entries" (List.length d))
 
+(* merge is what a coordinator does with the per-heartbeat diffs a
+   worker streams up: applying the diff to the before-snapshot must
+   reconstruct the after-snapshot, for counters and histograms both *)
+let test_merge_inverts_diff () =
+  with_metrics (fun () ->
+      let c = Obs.Metrics.counter (fresh "merge_c") in
+      let h =
+        Obs.Metrics.histogram ~bounds:[| 1.0; 10.0 |] (fresh "merge_h")
+      in
+      let keep = List.filter (fun (n, _) -> String.length n >= 5 && String.sub n 0 5 = "test.") in
+      Obs.Metrics.add c 3;
+      Obs.Metrics.observe h 0.5;
+      let before = keep (Obs.Metrics.snapshot ()) in
+      Obs.Metrics.add c 4;
+      Obs.Metrics.observe h 5.0;
+      Obs.Metrics.observe h 100.0;
+      let after = keep (Obs.Metrics.snapshot ()) in
+      let d = Obs.Metrics.diff ~before ~after in
+      let merged = Obs.Metrics.merge before d in
+      Alcotest.(check bool) "merge before (diff before after) = after" true
+        (List.sort compare merged = List.sort compare after))
+
+let test_merge_new_and_mismatched () =
+  let base = [ ("a", Obs.Metrics.Counter 2); ("g", Obs.Metrics.Gauge 1.0) ] in
+  let delta =
+    [ ("a", Obs.Metrics.Counter 5); ("b", Obs.Metrics.Counter 1);
+      ("g", Obs.Metrics.Gauge 9.0) ]
+  in
+  let m = Obs.Metrics.merge base delta in
+  Alcotest.(check bool) "counters add" true
+    (List.assoc_opt "a" m = Some (Obs.Metrics.Counter 7));
+  Alcotest.(check bool) "new entries appear" true
+    (List.assoc_opt "b" m = Some (Obs.Metrics.Counter 1));
+  Alcotest.(check bool) "gauges take the delta value" true
+    (List.assoc_opt "g" m = Some (Obs.Metrics.Gauge 9.0))
+
 let test_snapshot_publishes_process_stats () =
   with_metrics (fun () ->
       let s = Obs.Metrics.snapshot () in
@@ -995,6 +1031,10 @@ let () =
             test_registration_is_idempotent;
           Alcotest.test_case "diff drops quiet metrics" `Quick
             test_diff_drops_quiet_metrics;
+          Alcotest.test_case "merge inverts diff" `Quick
+            test_merge_inverts_diff;
+          Alcotest.test_case "merge adds counters, replaces gauges" `Quick
+            test_merge_new_and_mismatched;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "snapshot publishes GC/RSS telemetry" `Quick
             test_snapshot_publishes_process_stats;

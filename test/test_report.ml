@@ -410,6 +410,96 @@ let test_export_write_now () =
   Alcotest.(check bool) "histogram buckets are cumulative" true
     (has_infix ~infix:"pp_test_export_sizes_bucket{le=\"10\"} 1" prom_text)
 
+let test_export_fleet () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Export.set_fleet None;
+      Obs.Export.set_identity [])
+  @@ fun () ->
+  let row =
+    {
+      Obs.Export.fw_worker = "fork0-123";
+      fw_host = "node-a";
+      fw_pid = 123;
+      fw_last_seen_s = 0.5;
+      fw_offset_s = 0.001;
+      fw_chunks_done = 7;
+      fw_leased = 2;
+      fw_events = 40;
+      fw_metrics =
+        [
+          ("bb.codes_scanned", Obs.Metrics.Counter 1000);
+          ( "ensemble.trial_steps",
+            Obs.Metrics.Histogram
+              { bounds = [| 1.0 |]; counts = [| 2; 1 |]; sum = 4.0; count = 3 } );
+        ];
+    }
+  in
+  Obs.Export.set_identity [ ("role", "coordinator") ];
+  Obs.Export.set_fleet (Some (fun () -> [ row ]));
+  let path = Filename.temp_file "ppmetrics" ".json" in
+  let prom = Obs.Export.prom_path path in
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ path; prom ])
+  @@ fun () ->
+  Obs.Export.write_now ~t0:(Obs.Clock.now_ns ()) ~path ();
+  (match Obs.Json.parse (In_channel.with_open_text path In_channel.input_all) with
+   | Ok (Obs.Json.Obj fields) ->
+     Alcotest.(check bool) "fleet snapshots are ppmetrics/v2" true
+       (List.assoc_opt "schema" fields = Some (Obs.Json.String "ppmetrics/v2"));
+     (match List.assoc_opt "workers" fields with
+      | Some (Obs.Json.List [ Obs.Json.Obj w ]) ->
+        Alcotest.(check bool) "worker name" true
+          (List.assoc_opt "worker" w = Some (Obs.Json.String "fork0-123"));
+        Alcotest.(check bool) "chunk count" true
+          (List.assoc_opt "chunks_done" w = Some (Obs.Json.Int 7));
+        Alcotest.(check bool) "per-worker metrics round-trip" true
+          (match List.assoc_opt "metrics" w with
+           | Some m ->
+             (match Obs.Metrics.of_json_value m with
+              | Ok snap ->
+                List.assoc_opt "bb.codes_scanned" snap
+                = Some (Obs.Metrics.Counter 1000)
+              | Error _ -> false)
+           | None -> false)
+      | _ -> Alcotest.fail "expected a one-row workers section")
+   | Ok _ -> Alcotest.fail "snapshot is not an object"
+   | Error e -> Alcotest.failf "snapshot does not parse: %s" e);
+  let prom_text = In_channel.with_open_text prom In_channel.input_all in
+  let has_infix ~infix s =
+    let n = String.length s and m = String.length infix in
+    let rec go i = i + m <= n && (String.sub s i m = infix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "build info carries identity labels" true
+    (has_infix ~infix:"role=\"coordinator\"" prom_text);
+  Alcotest.(check bool) "fleet worker info series" true
+    (has_infix
+       ~infix:
+         "pp_fleet_worker_info{worker=\"fork0-123\",host=\"node-a\",pid=\"123\"} 1"
+       prom_text);
+  Alcotest.(check bool) "fleet chunk counter" true
+    (has_infix ~infix:"pp_fleet_chunks_done{worker=\"fork0-123\"" prom_text);
+  Alcotest.(check bool) "per-worker metric family" true
+    (has_infix
+       ~infix:"pp_worker_bb_codes_scanned{worker=\"fork0-123\",host=\"node-a\"} 1000"
+       prom_text);
+  Alcotest.(check bool) "per-worker histogram buckets carry labels" true
+    (has_infix
+       ~infix:
+         "pp_worker_ensemble_trial_steps_bucket{worker=\"fork0-123\",host=\"node-a\",le=\"+Inf\"} 3"
+       prom_text);
+  (* and with the provider removed the schema drops back to v1 *)
+  Obs.Export.set_fleet None;
+  Obs.Export.write_now ~t0:(Obs.Clock.now_ns ()) ~path ();
+  match Obs.Json.parse (In_channel.with_open_text path In_channel.input_all) with
+  | Ok (Obs.Json.Obj fields) ->
+    Alcotest.(check bool) "back to ppmetrics/v1" true
+      (List.assoc_opt "schema" fields = Some (Obs.Json.String "ppmetrics/v1"))
+  | _ -> Alcotest.fail "second snapshot does not parse"
+
 let test_export_periodic () =
   Obs.Metrics.set_enabled true;
   Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) @@ fun () ->
@@ -478,6 +568,8 @@ let () =
         [
           Alcotest.test_case "atomic JSON + Prometheus write" `Quick
             test_export_write_now;
+          Alcotest.test_case "fleet section: ppmetrics/v2 + labelled prom"
+            `Quick test_export_fleet;
           Alcotest.test_case "periodic exporter" `Quick test_export_periodic;
         ] );
     ]
