@@ -411,7 +411,65 @@ let e7d () =
     wall s.Dist.Coordinator.workers_lost s.Dist.Coordinator.reassigned
     (s.Dist.Coordinator.workers_lost = 1
      && not s.Dist.Coordinator.interrupted)
-    (aggregates o.Distributed_scan.result = aggregates reference)
+    (aggregates o.Distributed_scan.result = aggregates reference);
+  (* network fault injection: every frame on every connection passes
+     through the seeded chaos shim on both sides — drops, duplicates,
+     delays, truncations, bit flips, all within a finite per-connection
+     budget. Retries, CRC skips and lease regrants absorb the damage;
+     the merged result must still be identical. *)
+  (let plan = Busy_beaver.plan ~n:3 ~sample:(30_000, 5) () in
+   let spec =
+     match Dist.Chaos.parse_spec "wild:5" with
+     | Ok s -> s
+     | Error e -> failwith e
+   in
+   let o, wall =
+     time (fun () ->
+         Distributed_scan.coordinate ~workers:3 ~heartbeat_timeout:1.0
+           ~telemetry:false ~chaos_net:spec ~plan ())
+   in
+   let s = o.Distributed_scan.stats in
+   row "\n3 workers under --chaos-net wild:5 (seeded frame faults, both sides):\n";
+   row
+     "  wall %.2fs   corrupt_frames=%d   rejoins=%d   reassigned=%d   \
+      identical=%b\n"
+     wall s.Dist.Coordinator.corrupt_frames s.Dist.Coordinator.rejoins
+     s.Dist.Coordinator.reassigned
+     (aggregates o.Distributed_scan.result = aggregates reference));
+  (* coordinator crash recovery: the first life checkpoints every chunk
+     and is stopped mid-scan; the second life resumes from the lease
+     ledger, bumps the epoch, and finishes only the remaining chunks.
+     The row is the price of the coordinator dying once. *)
+  let ckpt = Filename.temp_file "bench_e7d" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+    (fun () ->
+      let plan = Busy_beaver.plan ~n:3 ~sample:(30_000, 5) () in
+      let m_done = Obs.Metrics.counter "dist.chunks_done" in
+      let m_restarts = Obs.Metrics.counter "coordinator.restarts" in
+      let base_done = Obs.Metrics.value m_done in
+      let base_restarts = Obs.Metrics.value m_restarts in
+      let o1, w_first =
+        time (fun () ->
+            Distributed_scan.coordinate ~workers:3 ~telemetry:false
+              ~checkpoint:ckpt ~checkpoint_every_chunks:1
+              ~should_stop:(fun () ->
+                Obs.Metrics.value m_done - base_done >= 4)
+              ~plan ())
+      in
+      let o2, w_second =
+        time (fun () ->
+            Distributed_scan.coordinate ~workers:3 ~telemetry:false
+              ~checkpoint:ckpt ~checkpoint_every_chunks:1 ~resume:true ~plan ())
+      in
+      row "\ncoordinator stopped after %d chunks, restarted with --resume:\n"
+        o1.Distributed_scan.stats.Dist.Coordinator.chunks_done;
+      row
+        "  first life %.2fs + recovery %.2fs = %.2fs   restarts=%d   \
+         identical=%b\n"
+        w_first w_second (w_first +. w_second)
+        (Obs.Metrics.value m_restarts - base_restarts)
+        (aggregates o2.Distributed_scan.result = aggregates reference))
 
 (* ------------------------------------------------------------------ E8 *)
 

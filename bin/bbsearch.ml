@@ -33,9 +33,25 @@ let print_result n max_input print_best (r : Busy_beaver.scan_result) =
 (* --connect mode: serve chunks for a remote coordinator; everything
    about the scan (including n) comes over the wire, local scan flags
    are ignored *)
-let run_worker (host, port) chaos_kill =
+(* the spec is logged on stderr and in the event log so a failing chaos
+   run can be replayed exactly: same spec, same fault schedule *)
+let log_chaos_net = function
+  | None -> ()
+  | Some spec ->
+    let s = Dist.Chaos.spec_to_string spec in
+    Printf.eprintf "bbsearch: chaos-net active: replay with --chaos-net %s\n%!" s;
+    if Obs.Events.enabled () then
+      Obs.Events.emit ~data:[ ("spec", Obs.Json.String s) ] "chaos.config"
+
+let run_worker (host, port) chaos_kill chaos_net heartbeat_timeout =
+  log_chaos_net chaos_net;
+  (* the worker's own cadence tracks the coordinator's liveness window *)
+  let heartbeat_every =
+    Option.map (fun t -> Float.min 2.0 (t /. 4.0)) heartbeat_timeout
+  in
   match
-    Distributed_scan.connect_worker ?chaos_kill ~host ~port ()
+    Distributed_scan.connect_worker ?heartbeat_every ?chaos_kill ?chaos_net
+      ~host ~port ()
   with
   | Ok () -> 0
   | Error e ->
@@ -44,9 +60,10 @@ let run_worker (host, port) chaos_kill =
 
 let run n max_input sample seed jobs chunk schedule no_prune no_packed
     eta_budget checkpoint ckpt_chunks ckpt_secs resume on_error print_best
-    workers serve connect chaos_kill chaos_worker () =
+    workers serve connect chaos_kill chaos_worker chaos_net heartbeat_timeout
+    () =
   match connect with
-  | Some hp -> run_worker hp chaos_kill
+  | Some hp -> run_worker hp chaos_kill chaos_net heartbeat_timeout
   | None ->
   let sample = Option.map (fun count -> (count, seed)) sample in
   let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
@@ -73,6 +90,7 @@ let run n max_input sample seed jobs chunk schedule no_prune no_packed
             let chaos =
               Option.map (fun k -> (chaos_worker, k)) chaos_kill
             in
+            log_chaos_net chaos_net;
             let o =
               Fun.protect
                 ~finally:(fun () ->
@@ -81,19 +99,23 @@ let run n max_input sample seed jobs chunk schedule no_prune no_packed
                   | None -> ())
                 (fun () ->
                   Distributed_scan.coordinate ~workers ?serve:serve_fd
-                    ?checkpoint ~checkpoint_every_chunks:ckpt_chunks
+                    ?heartbeat_timeout ?checkpoint
+                    ~checkpoint_every_chunks:ckpt_chunks
                     ~checkpoint_every_s:ckpt_secs ~resume ?chaos_kill:chaos
-                    ~plan ())
+                    ?chaos_net ~plan ())
             in
             let s = o.Distributed_scan.stats in
             (* stderr, so the stdout report stays byte-identical to a
-               single-process run *)
+               single-process run; CI greps "workers seen, N lost", so
+               new fields only ever append *)
             Printf.eprintf
               "bbsearch: distributed: %d workers seen, %d lost, %d chunks \
-               scanned, %d reassigned, %d stale dropped\n%!"
+               scanned, %d reassigned, %d stale dropped, %d rejoined, %d \
+               corrupt frames\n%!"
               s.Dist.Coordinator.workers_seen s.Dist.Coordinator.workers_lost
               s.Dist.Coordinator.chunks_done s.Dist.Coordinator.reassigned
-              s.Dist.Coordinator.stale_dropped;
+              s.Dist.Coordinator.stale_dropped s.Dist.Coordinator.rejoins
+              s.Dist.Coordinator.corrupt_frames;
             o.Distributed_scan.result
           end
           else
@@ -297,6 +319,33 @@ let chaos_worker_arg =
        & info [ "chaos-worker" ] ~docv:"W" ~docs:Manpage.s_none
            ~doc:"Which forked worker index $(b,--chaos-kill) applies to.")
 
+let chaos_net_conv =
+  let parse s =
+    match Dist.Chaos.parse_spec s with
+    | Ok spec -> Ok spec
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt spec = Format.pp_print_string fmt (Dist.Chaos.spec_to_string spec) in
+  Arg.conv (parse, print)
+
+let chaos_net_arg =
+  Arg.(value & opt (some chaos_net_conv) None
+       & info [ "chaos-net" ] ~docv:"PROFILE[:SEED]" ~docs:Manpage.s_none
+           ~doc:"Deterministic transport fault injection: drop, duplicate, \
+                 delay, truncate and bit-flip frames per $(docv) \
+                 (none|lossy|corrupt|wild, seed defaults to 1). The same \
+                 spec replays the same fault schedule; the merged scan \
+                 result stays byte-identical regardless.")
+
+let heartbeat_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+           ~doc:"Distributed liveness window (default 10): a lease with no \
+                 progress for $(docv) is reclaimed, and worker cadences \
+                 (heartbeats, Welcome retries) scale down with it. Lower it \
+                 to recover faster from injected faults; raise it on slow \
+                 links.")
+
 let cmd =
   Cmd.v (Cmd.info "bbsearch" ~doc:"Busy-beaver search over small protocols")
     Term.(
@@ -304,6 +353,7 @@ let cmd =
       $ chunk_arg $ schedule_arg $ no_prune_arg $ no_packed_arg
       $ eta_budget_arg $ checkpoint_arg $ ckpt_chunks_arg $ ckpt_secs_arg
       $ resume_arg $ on_error_arg $ best_arg $ workers_arg $ serve_arg
-      $ connect_arg $ chaos_kill_arg $ chaos_worker_arg $ Obs_cli.term)
+      $ connect_arg $ chaos_kill_arg $ chaos_worker_arg $ chaos_net_arg
+      $ heartbeat_timeout_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -135,7 +135,24 @@ let render_fleet buf ~prev ~cur ~dt =
           (fit 24 w.f_worker) (fit 12 w.f_host) w.f_chunks (number rate)
           w.f_leased w.f_events w.f_offset_s seen (spark key))
       cur.workers
-  end
+  end;
+  (* recovery counters, shown only once something went wrong: a clean
+     run keeps the fleet view clean *)
+  let v name =
+    match List.assoc_opt name cur.snap with
+    | Some (Obs.Metrics.Counter n) -> float_of_int n
+    | Some (Obs.Metrics.Gauge g) -> g
+    | Some _ | None -> 0.0
+  in
+  let restarts = v "coordinator.restarts"
+  and rejoins = v "dist.rejoins"
+  and corrupt = v "dist.corrupt_frames"
+  and expired = v "dist.lease_expired" in
+  if restarts +. rejoins +. corrupt +. expired > 0.0 then
+    Printf.bprintf buf
+      "recovery: %s coordinator restarts, %s rejoins, %s expired leases, %s \
+       corrupt frames\n"
+      (number restarts) (number rejoins) (number expired) (number corrupt)
 
 let render ~path ~meta ~prev ~cur ~filters ~fleet =
   let buf = Buffer.create 4096 in

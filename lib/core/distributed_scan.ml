@@ -20,12 +20,16 @@ type outcome = {
   stats : Dist.Coordinator.stats;
 }
 
+let m_restarts = Obs.Metrics.counter "coordinator.restarts"
+
 (* Same open-or-resume logic as Busy_beaver.scan, plus the v2 adoption
    step: bump the epoch and persist it *before* any grant goes out, so
    grants of a previous (crashed) coordinator can never be mistaken for
-   this run's. *)
+   this run's. Every recovery step leaves an events/metrics trail:
+   [coordinator.restarts] counts prior lives (epoch - 1 on adoption)
+   and a [dist.recovery] record says what was rehydrated. *)
 let open_ledger ~path ~resume ~config_json ~num_chunks =
-  let c =
+  let c, resumed =
     if resume && Sys.file_exists path then begin
       match Obs.Checkpoint.load path with
       | Error msg ->
@@ -44,15 +48,49 @@ let open_ledger ~path ~resume ~config_json ~num_chunks =
                    Obs.Checkpoint.config_diff ~expected:config_json
                      ~found:c.Obs.Checkpoint.config;
                });
-        c
+        (c, true)
     end
-    else Obs.Checkpoint.create ~config:config_json ~total_chunks:num_chunks
+    else (Obs.Checkpoint.create ~config:config_json ~total_chunks:num_chunks, false)
   in
-  ignore (Obs.Checkpoint.bump_epoch c);
+  let epoch = Obs.Checkpoint.bump_epoch c in
+  (* leases stamped by previous lives are dead letters in the new
+     epoch — their holders (if still alive) carry stale grant stamps
+     the coordinator will drop anyway. Clear them so the ledger's lease
+     table only ever describes the current epoch. *)
+  let stale_leases = ref 0 in
+  for i = 0 to num_chunks - 1 do
+    match Obs.Checkpoint.lease c i with
+    | Some { Obs.Checkpoint.lease_epoch; _ } when lease_epoch < epoch ->
+      incr stale_leases;
+      Obs.Checkpoint.clear_lease c i
+    | _ -> ()
+  done;
   Obs.Checkpoint.save ~path c;
+  if resumed then begin
+    Obs.Metrics.add m_restarts (epoch - 1);
+    if Obs.Events.enabled () then
+      Obs.Events.emit "dist.recovery"
+        ~data:
+          [
+            ("path", Obs.Json.String path);
+            ("epoch", Obs.Json.Int epoch);
+            ("done_chunks", Obs.Json.Int (Obs.Checkpoint.num_done c));
+            ("total_chunks", Obs.Json.Int num_chunks);
+            ("stale_leases_cleared", Obs.Json.Int !stale_leases);
+          ]
+  end;
   c
 
-let child_main ~idx ~chaos_kill ~fd =
+(* Chaos stream numbering keeps both endpoints of every connection on
+   independent Splitmix64 substreams of the same seed: the coordinator
+   numbers its streams by accept order (0, 1, 2, ...), forked children
+   take 10000+idx, TCP workers 20000+session. *)
+let child_chaos ~chaos_net ~idx =
+  match chaos_net with
+  | None -> None
+  | Some spec -> Some (Dist.Chaos.create spec ~conn:(10_000 + idx))
+
+let child_main ~idx ~chaos_kill ~chaos_net ~heartbeat_timeout ~fd =
   (* the inherited trace/events/export channels (buffers included)
      belong to the parent — recording from here would interleave
      garbage into its files. Detach, don't stop: stop would close the
@@ -72,7 +110,20 @@ let child_main ~idx ~chaos_kill ~fd =
     | _ -> ()
   in
   let name = Printf.sprintf "fork%d-%d" idx (Unix.getpid ()) in
-  match Dist.Worker.run ~on_chunk_done ~name ~fd ~runner:worker_runner () with
+  (* cadence scales with the coordinator's expiry horizon (identical to
+     the old fixed 2s/5s at the default 10s timeout): grants are gated
+     on beat freshness, so a child must beat well inside the timeout,
+     and a lost Welcome must be retried before the scan gives up on
+     it *)
+  let heartbeat_every = Float.min 2.0 (heartbeat_timeout /. 4.0) in
+  let welcome_timeout =
+    Float.min 5.0 (Float.max 0.25 (heartbeat_timeout /. 2.0))
+  in
+  match
+    Dist.Worker.run ~heartbeat_every ~welcome_timeout
+      ?chaos:(child_chaos ~chaos_net ~idx) ~on_chunk_done ~name ~fd
+      ~runner:worker_runner ()
+  with
   | Ok () -> Unix._exit 0
   | Error e ->
     (* stderr only: the child shares the parent's stdout buffers, and
@@ -84,7 +135,7 @@ let child_main ~idx ~chaos_kill ~fd =
 let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
     ?(max_batch = 16) ?checkpoint ?(checkpoint_every_chunks = 64)
     ?(checkpoint_every_s = 30.0) ?(resume = false) ?should_stop ?chaos_kill
-    ?telemetry ~plan () =
+    ?chaos_net ?telemetry ~plan () =
   if workers < 0 then invalid_arg "Distributed_scan.coordinate: workers >= 0";
   if workers = 0 && serve = None then
     invalid_arg "Distributed_scan.coordinate: no worker source (workers=0, no serve)";
@@ -147,7 +198,8 @@ let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
               if j <> i then close_quiet c)
             pairs;
           (match serve with Some fd -> close_quiet fd | None -> ());
-          child_main ~idx:i ~chaos_kill ~fd:child_fd
+          child_main ~idx:i ~chaos_kill ~chaos_net ~heartbeat_timeout
+            ~fd:child_fd
         | pid ->
           Unix.close child_fd;
           pid)
@@ -203,7 +255,8 @@ let coordinate ?(workers = 0) ?serve ?(heartbeat_timeout = 10.0)
           (fun () ->
             Dist.Coordinator.run ?accept:serve
               ~fds:(Array.to_list (Array.map fst pairs))
-              ~heartbeat_timeout ~max_batch ~should_stop:stop_requested
+              ~heartbeat_timeout ~max_batch ?chaos:chaos_net
+              ~should_stop:stop_requested
               ~on_grant ~on_reclaim ?telemetry ~config:config_json
               ~config_hash:(Obs.Checkpoint.hash_config config_json)
               ~epoch ~total_chunks:num_chunks
@@ -236,31 +289,55 @@ let listen ?(host = "127.0.0.1") ~port () =
   Unix.listen fd 16;
   fd
 
-let connect_worker ?name ?heartbeat_every ?chaos_kill ~host ~port () =
+let connect_worker ?name ?heartbeat_every ?chaos_kill ?chaos_net
+    ?(reconnect = true) ?max_attempts ?backoff_base ~host ~port () =
   ignore_sigpipe ();
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (resolve host port) with
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Printf.sprintf "cannot connect to %s:%d: %s" host port
-         (Unix.error_message e))
-  | () ->
-    let name =
-      match name with
-      | Some n -> n
-      | None -> Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
-    in
-    Obs.Export.set_identity [ ("role", "worker"); ("worker", name) ];
-    let count = ref 0 in
-    let on_chunk_done _ =
-      incr count;
-      match chaos_kill with
-      | Some k when !count >= k -> Unix.kill (Unix.getpid ()) Sys.sigkill
-      | _ -> ()
-    in
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        Dist.Worker.run ?heartbeat_every ~on_chunk_done ~name ~fd
-          ~runner:worker_runner ())
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
+  in
+  Obs.Export.set_identity [ ("role", "worker"); ("worker", name) ];
+  let count = ref 0 in
+  let on_chunk_done _ =
+    incr count;
+    match chaos_kill with
+    | Some k when !count >= k -> Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ()
+  in
+  let connect () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (resolve host port) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s:%d: %s" host port
+           (Unix.error_message e))
+    | () -> Ok fd
+  in
+  if reconnect then
+    (* the session layer owns the fds; the chunk cache rides across
+       sessions so a Result lost to a dying connection is resent, not
+       recomputed, once the redial's rejoin handshake lands *)
+    Dist.Worker.run_reconnect ?heartbeat_every ?max_attempts ?backoff_base
+      ~jitter_seed:(Hashtbl.hash (host, port))
+      ?chaos_for:
+        (match chaos_net with
+         | None -> None
+         | Some spec ->
+           Some (fun session -> Some (Dist.Chaos.create spec ~conn:(20_000 + session))))
+      ~on_chunk_done ~name ~connect ~runner:worker_runner ()
+  else
+    match connect () with
+    | Error e -> Error e
+    | Ok fd ->
+      let chaos =
+        match chaos_net with
+        | None -> None
+        | Some spec -> Some (Dist.Chaos.create spec ~conn:20_000)
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Dist.Worker.run ?heartbeat_every ?chaos ~on_chunk_done ~name ~fd
+            ~runner:worker_runner ())

@@ -33,6 +33,7 @@ val coordinate :
   ?resume:bool ->
   ?should_stop:(unit -> bool) ->
   ?chaos_kill:int * int ->
+  ?chaos_net:Dist.Chaos.spec ->
   ?telemetry:bool ->
   plan:Busy_beaver.plan ->
   unit ->
@@ -62,6 +63,18 @@ val coordinate :
     forked worker index [w] SIGKILLs {e itself} after completing [k]
     chunks — exercising EOF detection, lease reassignment and the
     byte-identity of the merged result under a real mid-scan crash.
+    [chaos_net] arms deterministic {e transport} fault injection
+    ({!Dist.Chaos}) on both sides of every connection: the coordinator
+    mangles its outbound frames and each forked child mangles its own,
+    all on independent Splitmix64 substreams of the spec's seed — the
+    same spec replays the same fault schedule. The scan rides it out
+    (CRC skip, progress-expiry, re-grant, duplicate drop) and the
+    merged result stays byte-identical.
+
+    Resuming a ledger emits a [dist.recovery] event (epoch, done
+    chunks, stale leases cleared) and adds the prior life count to the
+    [coordinator.restarts] metric; leases stamped by earlier epochs
+    are cleared on adoption.
 
     [telemetry] is passed through to {!Dist.Coordinator.run}: workers
     stream metric deltas and event batches up, the coordinator merges
@@ -82,6 +95,10 @@ val connect_worker :
   ?name:string ->
   ?heartbeat_every:float ->
   ?chaos_kill:int ->
+  ?chaos_net:Dist.Chaos.spec ->
+  ?reconnect:bool ->
+  ?max_attempts:int ->
+  ?backoff_base:float ->
   host:string ->
   port:int ->
   unit ->
@@ -89,5 +106,15 @@ val connect_worker :
 (** Join a coordinator at [host:port] as a TCP worker and serve chunks
     until its {!Dist.Wire.Shutdown}. [name] defaults to
     ["<hostname>-<pid>"]. [chaos_kill:k] SIGKILLs the process after
-    [k] chunks (tests). Returns [Error _] when the coordinator
-    vanishes or rejects — the exit diagnostic, not an exception. *)
+    [k] chunks (tests); [chaos_net] mangles this side's outbound
+    frames deterministically ({!Dist.Chaos}).
+
+    [reconnect] (default true) redials through
+    {!Dist.Worker.run_reconnect} when the connection drops — or was
+    never up — with exponential backoff and deterministic jitter, up
+    to [max_attempts] (default 6) consecutive failures, keeping the
+    same worker identity and its computed-chunk cache across sessions:
+    a coordinator restart ([--serve --resume]) sees the worker rejoin
+    mid-scan and any completed-but-unacked chunk is resent, not
+    redone. Returns [Error _] when the coordinator stays gone or
+    rejects — the exit diagnostic, not an exception. *)

@@ -1,0 +1,139 @@
+type fault = Drop | Duplicate | Delay | Truncate | Bitflip
+
+type profile = {
+  name : string;
+  faults : fault list;
+  rate : float;
+  budget : int;
+}
+
+type spec = { profile : profile; seed : int }
+
+let profiles =
+  [
+    { name = "none"; faults = []; rate = 0.0; budget = 0 };
+    { name = "lossy"; faults = [ Drop; Duplicate; Delay ]; rate = 0.2; budget = 12 };
+    { name = "corrupt"; faults = [ Truncate; Bitflip ]; rate = 0.2; budget = 12 };
+    {
+      name = "wild";
+      faults = [ Drop; Duplicate; Delay; Truncate; Bitflip ];
+      rate = 0.25;
+      budget = 16;
+    };
+  ]
+
+let parse_spec s =
+  let name, seed =
+    match String.index_opt s ':' with
+    | None -> (s, Ok 1)
+    | Some i ->
+        let tail = String.sub s (i + 1) (String.length s - i - 1) in
+        ( String.sub s 0 i,
+          match int_of_string_opt tail with
+          | Some n -> Ok n
+          | None -> Error (Printf.sprintf "bad chaos seed %S" tail) )
+  in
+  match (List.find_opt (fun p -> p.name = name) profiles, seed) with
+  | _, Error e -> Error e
+  | None, _ ->
+      Error
+        (Printf.sprintf "unknown chaos profile %S (try %s)" name
+           (String.concat ", " (List.map (fun p -> p.name) profiles)))
+  | Some profile, Ok seed -> Ok { profile; seed }
+
+let spec_to_string { profile; seed } = Printf.sprintf "%s:%d" profile.name seed
+
+type t = {
+  rng : Splitmix64.t;
+  profile : profile;
+  mutable injected : int;
+  mutable held : string option;  (** a delayed frame, emitted after the next *)
+}
+
+(* Connection [k] gets the [k]-th split of the seed stream, so every
+   connection's fault schedule is independent of how the others
+   consumed theirs. *)
+let create { profile; seed } ~conn =
+  let g = Splitmix64.create seed in
+  let rng = ref (Splitmix64.split g) in
+  for _ = 1 to conn do
+    rng := Splitmix64.split g
+  done;
+  { rng = !rng; profile; injected = 0; held = None }
+
+let injected t = t.injected
+
+let fault_name = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Delay -> "delay"
+  | Truncate -> "truncate"
+  | Bitflip -> "bitflip"
+
+let m_injected = Obs.Metrics.counter "chaos.injected"
+
+let count t f =
+  t.injected <- t.injected + 1;
+  Obs.Metrics.incr m_injected;
+  Obs.Metrics.incr (Obs.Metrics.counter ("chaos." ^ fault_name f))
+
+(* Frames are whole "...\n" lines. Truncation keeps a 4-byte prefix and
+   the trailing newline, and bit-flips land past the "#3 " framing
+   prefix: the damage stays confined to one wire line, which is what
+   the CRC layer is built to catch (a fault that glued two frames
+   together would damage its neighbour too — real, but it would make
+   the budget's blast radius fuzzy). *)
+let truncate rng frame =
+  let n = String.length frame in
+  if n < 6 then frame
+  else
+    let keep = 4 + Splitmix64.int_below rng (n - 5) in
+    String.sub frame 0 keep ^ "\n"
+
+let bitflip rng frame =
+  let n = String.length frame in
+  if n < 5 then frame
+  else
+    let b = Bytes.of_string frame in
+    let i = 3 + Splitmix64.int_below rng (n - 4) in
+    let c = Char.code (Bytes.get b i) lxor (1 lsl Splitmix64.int_below rng 8) in
+    Bytes.set b i (if c = Char.code '\n' then '\000' else Char.chr c);
+    Bytes.unsafe_to_string b
+
+let apply t frame =
+  let fault =
+    if
+      t.injected < t.profile.budget
+      && t.profile.faults <> []
+      && Splitmix64.float_unit t.rng < t.profile.rate
+    then
+      Some
+        (List.nth t.profile.faults
+           (Splitmix64.int_below t.rng (List.length t.profile.faults)))
+    else None
+  in
+  let release out =
+    match t.held with
+    | None -> out
+    | Some d ->
+        t.held <- None;
+        out @ [ d ]
+  in
+  match fault with
+  | Some Delay when t.held = None ->
+      count t Delay;
+      t.held <- Some frame;
+      []
+  | Some Drop ->
+      count t Drop;
+      release []
+  | Some Duplicate ->
+      count t Duplicate;
+      release [ frame; frame ]
+  | Some Truncate ->
+      count t Truncate;
+      release [ truncate t.rng frame ]
+  | Some Bitflip ->
+      count t Bitflip;
+      release [ bitflip t.rng frame ]
+  | Some Delay (* already holding one *) | None -> release [ frame ]

@@ -1,0 +1,64 @@
+(** Deterministic transport fault injection for the distributed scan.
+
+    A chaos {e stream} sits on the send path of one connection and
+    mangles outbound wire frames: dropping, duplicating, reordering
+    (delay), truncating and bit-flipping them. Both endpoints can carry
+    one — faulting a peer's outbound is indistinguishable from faulting
+    this side's inbound, so two streams cover every direction.
+
+    Everything is derived from an explicit seed through per-connection
+    {!Sim}[.Splitmix64] streams: the same [PROFILE:SEED] spec replays
+    the exact same fault schedule against the same message flow, which
+    is how a failing chaos run is reproduced from its logged seed.
+
+    Every profile carries a finite {e fault budget} per connection.
+    Once a stream has spent its budget it becomes a passthrough, so a
+    chaos run always terminates: recovery (CRC skip, lease reclaim,
+    reconnect) only has to outlast a bounded number of faults, never an
+    adversarial infinite stream. The invariant under any profile and
+    seed is that the merged scan output stays byte-identical to the
+    fault-free run. *)
+
+type fault = Drop | Duplicate | Delay | Truncate | Bitflip
+
+type profile = {
+  name : string;
+  faults : fault list;  (** which faults this profile may inject *)
+  rate : float;  (** per-frame injection probability, in [0, 1] *)
+  budget : int;  (** max faults per connection before passthrough *)
+}
+
+type spec = { profile : profile; seed : int }
+
+val profiles : profile list
+(** The built-in profiles: [none] (passthrough), [lossy] (drop /
+    duplicate / delay — frames vanish, repeat or arrive out of order,
+    but arrive intact), [corrupt] (truncate / bit-flip — frames arrive
+    damaged, for the CRC layer to catch), [wild] (all five, higher
+    rate). *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse a [--chaos-net] argument: [PROFILE] or [PROFILE:SEED]
+    ([lossy], [wild:42], ...). The seed defaults to 1. *)
+
+val spec_to_string : spec -> string
+(** Round-trips {!parse_spec}: ["lossy:42"]. *)
+
+type t
+(** One connection's fault stream. *)
+
+val create : spec -> conn:int -> t
+(** The stream for connection number [conn]: distinct connections get
+    independent Splitmix64 substreams of the same seed, so a fleet's
+    fault schedule is reproducible connection by connection. *)
+
+val apply : t -> string -> string list
+(** Push one outbound frame through the stream; returns the byte
+    strings to actually write, in order. [[]] means the frame was
+    dropped or delayed; a delayed frame is emitted {e after} the next
+    frame (reordering) and is lost if the stream ends first — exactly
+    like a real network. Injections are counted in the [chaos.*]
+    metrics. *)
+
+val injected : t -> int
+(** Faults injected so far (at most the profile's budget). *)

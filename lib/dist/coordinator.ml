@@ -5,6 +5,8 @@ type stats = {
   reassigned : int;
   workers_seen : int;
   workers_lost : int;
+  rejoins : int;
+  corrupt_frames : int;
   events_forwarded : int;
   interrupted : bool;
   fleet : Telemetry.summary list;
@@ -12,7 +14,9 @@ type stats = {
 
 type conn = {
   rd : Wire.reader;
+  chaos : Chaos.t option;
   mutable name : string option;  (** set by the worker's [Hello] *)
+  mutable corrupt_seen : int;  (** reader corrupt count already tallied *)
 }
 
 let m_done = Obs.Metrics.counter "dist.chunks_done"
@@ -20,16 +24,21 @@ let m_dup = Obs.Metrics.counter "dist.duplicates"
 let m_stale = Obs.Metrics.counter "dist.stale_dropped"
 let m_reassigned = Obs.Metrics.counter "dist.reassigned"
 let m_lost = Obs.Metrics.counter "dist.workers_lost"
+let m_rejoin = Obs.Metrics.counter "dist.rejoins"
+let m_expired = Obs.Metrics.counter "dist.lease_expired"
 let m_events_fwd = Obs.Metrics.counter "dist.events_forwarded"
 let m_unknown = Obs.Metrics.counter "dist.unknown_msgs"
 let g_workers = Obs.Metrics.gauge "dist.workers"
 
 let now_s () =
-  (* lease timestamps only ever feed interval comparisons *)
+  (* every liveness/lease timestamp in this loop comes from the
+     monotonic clock and only ever feeds interval comparisons — a
+     wall-clock (NTP) step can never mass-expire healthy leases *)
   Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
 
 let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
-    ?(should_stop = fun () -> false) ?(on_grant = fun ~worker:_ ~lo:_ ~hi:_ -> ())
+    ?chaos ?(should_stop = fun () -> false)
+    ?(on_grant = fun ~worker:_ ~lo:_ ~hi:_ -> ())
     ?(on_reclaim = fun ~worker:_ ~chunks:_ -> ()) ?telemetry ~config
     ~config_hash ~epoch ~total_chunks ~completed ~on_result () =
   let telemetry =
@@ -42,13 +51,25 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
   in
   let lease = Lease.create ~max_batch ~total:total_chunks ~completed () in
   let reg = Telemetry.create () in
-  let conns = ref (List.map (fun fd -> { rd = Wire.reader fd; name = None }) fds) in
+  let next_conn = ref 0 in
+  let mk_conn fd =
+    let stream =
+      match chaos with
+      | None -> None
+      | Some spec -> Some (Chaos.create spec ~conn:!next_conn)
+    in
+    incr next_conn;
+    { rd = Wire.reader fd; chaos = stream; name = None; corrupt_seen = 0 }
+  in
+  let conns = ref (List.map mk_conn fds) in
   let chunks_done = ref 0 in
   let duplicates = ref 0 in
   let stale_dropped = ref 0 in
   let reassigned = ref 0 in
   let workers_seen = ref 0 in
   let workers_lost = ref 0 in
+  let rejoins = ref 0 in
+  let corrupt_frames = ref 0 in
   let events_forwarded = ref 0 in
   let interrupted = ref false in
   let emit ?severity ev data =
@@ -58,11 +79,11 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
     (* a peer that died between select rounds raises EPIPE here; its
        EOF is about to surface on the read side, which owns the
        cleanup — so swallow the write error *)
-    try Wire.send (Wire.reader_fd c.rd) msg
+    try Wire.send ?chaos:c.chaos (Wire.reader_fd c.rd) msg
     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
   in
   let grant_to c name =
-    match Lease.grant lease ~worker:name with
+    match Lease.grant lease ~worker:name ~now:(now_s ()) with
     | None -> ()
     | Some (lo_chunk, hi_chunk) ->
         send_safe c (Wire.Grant { lo_chunk; hi_chunk; epoch });
@@ -77,14 +98,51 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
             ("epoch", Obs.Json.Int epoch);
           ]
   in
-  (* top up every named worker that is out of leased chunks *)
+  (* re-send Grant frames for every lease [name] already holds, one per
+     contiguous run — the rejoin/re-Hello reconciliation: the ledger
+     says the work is theirs, the worker just never saw (or lost) the
+     order. Cached chunks on the worker side come back as instant
+     resends. *)
+  let regrant_held c name =
+    let rec runs = function
+      | [] -> []
+      | i :: rest ->
+          let j = ref i in
+          let rest = ref rest in
+          let continue = ref true in
+          while !continue do
+            match !rest with
+            | k :: tl when k = !j + 1 ->
+                j := k;
+                rest := tl
+            | _ -> continue := false
+          done;
+          (i, !j + 1) :: runs !rest
+    in
+    List.iter
+      (fun (lo_chunk, hi_chunk) ->
+        send_safe c (Wire.Grant { lo_chunk; hi_chunk; epoch }))
+      (runs (Lease.leases_of lease ~worker:name))
+  in
+  (* top up every named worker that is out of leased chunks — but only
+     workers showing a fresh heartbeat: granting to one that has gone
+     silent (dead without an EOF yet) would just park chunks on a
+     corpse until the next expiry *)
   let feed_idle () =
     List.iter
       (fun c ->
         match c.name with
-        | Some name when Lease.leases_of lease ~worker:name = [] -> grant_to c name
+        | Some name when Lease.leases_of lease ~worker:name = [] -> (
+            match Lease.beat_age lease ~worker:name ~now:(now_s ()) with
+            | Some age when age <= heartbeat_timeout -> grant_to c name
+            | _ -> ())
         | _ -> ())
       !conns
+  in
+  let close_conn c =
+    (try Unix.close (Wire.reader_fd c.rd) with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c' != c) !conns;
+    Obs.Metrics.set g_workers (float_of_int (List.length !conns))
   in
   let drop_conn ?(lost = true) c reason =
     (match c.name with
@@ -112,23 +170,70 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
             ]
         end
     | None -> if lost then incr workers_lost);
-    (try Unix.close (Wire.reader_fd c.rd) with Unix.Unix_error _ -> ());
-    conns := List.filter (fun c' -> c' != c) !conns;
-    Obs.Metrics.set g_workers (float_of_int (List.length !conns))
+    close_conn c
+  in
+  let note_corrupt c =
+    let n = Wire.corrupt_count c.rd in
+    if n > c.corrupt_seen then begin
+      let fresh = n - c.corrupt_seen in
+      c.corrupt_seen <- n;
+      corrupt_frames := !corrupt_frames + fresh;
+      emit ~severity:Obs.Events.Warn "corrupt_frames"
+        [
+          ( "worker",
+            match c.name with
+            | Some w -> Obs.Json.String w
+            | None -> Obs.Json.Null );
+          ("n", Obs.Json.Int fresh);
+        ]
+    end
   in
   let handle_msg c = function
-    | Wire.Hello { worker; pid; host; sent_s } ->
-        c.name <- Some worker;
-        incr workers_seen;
-        Lease.register lease ~worker ~now:(now_s ());
-        Telemetry.join reg ~worker ~host ~pid ~sent_s ~now:(now_s ());
-        Obs.Metrics.set g_workers (float_of_int (List.length !conns));
-        emit "worker_join"
-          ([ ("worker", Obs.Json.String worker); ("pid", Obs.Json.Int pid) ]
-          @ if host = "" then [] else [ ("host", Obs.Json.String host) ]);
-        send_safe c
-          (Wire.Welcome { config; config_hash; epoch; total_chunks; telemetry });
-        grant_to c worker
+    | Wire.Hello { worker; pid; host; sent_s } -> (
+        let welcome () =
+          send_safe c
+            (Wire.Welcome { config; config_hash; epoch; total_chunks; telemetry })
+        in
+        match c.name with
+        | Some prev when prev = worker ->
+            (* a Hello retry on the live connection: our Welcome (or
+               their view of it) was lost — answer again and re-send
+               any standing grants; nothing about the ledger changed *)
+            Lease.register lease ~worker ~now:(now_s ());
+            welcome ();
+            regrant_held c worker;
+            if Lease.leases_of lease ~worker = [] then grant_to c worker
+        | Some prev ->
+            raise
+              (Wire.Protocol_error
+                 (Printf.sprintf "connection renamed itself %S -> %S" prev worker))
+        | None ->
+            (* same name arriving on a *new* connection: the worker
+               redialled — supersede the old socket without touching
+               its leases (same identity, work still theirs) *)
+            (match List.find_opt (fun c' -> c' != c && c'.name = Some worker) !conns with
+            | Some stale ->
+                incr rejoins;
+                Obs.Metrics.incr m_rejoin;
+                emit "worker_rejoin"
+                  [
+                    ("worker", Obs.Json.String worker);
+                    ("pid", Obs.Json.Int pid);
+                  ];
+                stale.name <- None;
+                close_conn stale
+            | None -> ());
+            c.name <- Some worker;
+            incr workers_seen;
+            Lease.register lease ~worker ~now:(now_s ());
+            Telemetry.join reg ~worker ~host ~pid ~sent_s ~now:(now_s ());
+            Obs.Metrics.set g_workers (float_of_int (List.length !conns));
+            emit "worker_join"
+              ([ ("worker", Obs.Json.String worker); ("pid", Obs.Json.Int pid) ]
+              @ if host = "" then [] else [ ("host", Obs.Json.String host) ]);
+            welcome ();
+            regrant_held c worker;
+            if Lease.leases_of lease ~worker = [] then grant_to c worker)
     | Wire.Heartbeat { worker; sent_s; metrics } ->
         Lease.heartbeat lease ~worker ~now:(now_s ());
         Telemetry.heartbeat reg ~worker ~sent_s ~metrics ~now:(now_s ())
@@ -161,7 +266,7 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
         else if chunk < 0 || chunk >= total_chunks then
           raise (Wire.Protocol_error (Printf.sprintf "chunk %d out of range" chunk))
         else begin
-          match Lease.complete lease ~chunk with
+          match Lease.complete lease ~chunk ~now:(now_s ()) with
           | `Duplicate ->
               incr duplicates;
               Obs.Metrics.incr m_dup
@@ -218,15 +323,12 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
             (match accept with Some fd -> [ fd ] | None -> [])
             @ List.map (fun c -> Wire.reader_fd c.rd) !conns
           in
-          let readable, _, _ =
-            try Unix.select read_fds [] [] tick_timeout
-            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-          in
+          let readable = Wire.select_eintr read_fds tick_timeout in
           (* new TCP workers *)
           (match accept with
           | Some afd when List.memq afd readable ->
               let wfd, _addr = Unix.accept afd in
-              conns := { rd = Wire.reader wfd; name = None } :: !conns
+              conns := mk_conn wfd :: !conns
           | _ -> ());
           (* worker traffic; snapshot the list — handlers mutate it *)
           List.iter
@@ -234,26 +336,31 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
               if List.memq (Wire.reader_fd c.rd) readable then
                 match Wire.drain c.rd with
                 | exception Wire.Protocol_error e ->
+                    note_corrupt c;
                     drop_conn c ("protocol error: " ^ e)
                 | msgs, eof ->
+                    note_corrupt c;
                     (try List.iter (handle_msg c) msgs
                      with Wire.Protocol_error e ->
                        drop_conn c ("protocol error: " ^ e));
                     if eof && List.memq c !conns then drop_conn c "eof")
             !conns;
-          (* wedged-worker backup path *)
+          (* progress-expiry backup path: a worker sitting on leases
+             without completing anything — wedged, or cut off from its
+             Grant by a dropped frame — gets its chunks reclaimed but
+             keeps its registration and socket: one lost frame is not a
+             lost worker, and the moment it shows life it earns grants
+             again *)
           List.iter
             (fun (worker, reclaimed) ->
-              incr workers_lost;
-              Obs.Metrics.incr m_lost;
+              Obs.Metrics.incr m_expired;
               Telemetry.clear_leased reg ~worker;
               reassigned := !reassigned + List.length reclaimed;
               Obs.Metrics.add m_reassigned (List.length reclaimed);
               on_reclaim ~worker ~chunks:reclaimed;
-              emit ~severity:Obs.Events.Warn "worker_lost"
+              emit ~severity:Obs.Events.Warn "lease_expired"
                 [
                   ("worker", Obs.Json.String worker);
-                  ("reason", Obs.Json.String "heartbeat timeout");
                   ("leased", Obs.Json.Int (List.length reclaimed));
                 ];
               emit "reassign"
@@ -261,12 +368,21 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
                   ("worker", Obs.Json.String worker);
                   ( "chunks",
                     Obs.Json.List (List.map (fun i -> Obs.Json.Int i) reclaimed) );
-                ];
-              (* close the wedged worker's socket too, if still connected *)
-              match List.find_opt (fun c -> c.name = Some worker) !conns with
-              | Some c -> drop_conn ~lost:false c "expired"
-              | None -> ())
+                ])
             (Lease.expire lease ~now:(now_s ()) ~timeout:heartbeat_timeout);
+          (* ...whereas prolonged total silence means the process is
+             gone without an EOF (severed link, frozen host): cut it
+             loose so an all-dead fleet drains instead of spinning *)
+          List.iter
+            (fun c ->
+              match c.name with
+              | Some name -> (
+                  match Lease.beat_age lease ~worker:name ~now:(now_s ()) with
+                  | Some age when age > 3.0 *. heartbeat_timeout ->
+                      drop_conn c "heartbeat timeout"
+                  | _ -> ())
+              | None -> ())
+            !conns;
           (* reclaimed (or newly-arrived) chunks go to whoever is hungry *)
           feed_idle ()
         end
@@ -281,10 +397,7 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
           let remaining = deadline -. now_s () in
           if remaining > 0.0 && !conns <> [] then begin
             let read_fds = List.map (fun c -> Wire.reader_fd c.rd) !conns in
-            let readable, _, _ =
-              try Unix.select read_fds [] [] remaining
-              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-            in
+            let readable = Wire.select_eintr read_fds remaining in
             if readable <> [] then begin
               List.iter
                 (fun c ->
@@ -292,6 +405,7 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
                     match Wire.drain c.rd with
                     | exception Wire.Protocol_error _ -> drop_conn ~lost:false c "eof"
                     | msgs, eof ->
+                        note_corrupt c;
                         (try
                            List.iter
                              (fun m ->
@@ -320,6 +434,8 @@ let run ?accept ?(fds = []) ?(heartbeat_timeout = 10.0) ?(max_batch = 16)
         reassigned = !reassigned;
         workers_seen = !workers_seen;
         workers_lost = !workers_lost;
+        rejoins = !rejoins;
+        corrupt_frames = !corrupt_frames;
         events_forwarded = !events_forwarded;
         interrupted = !interrupted;
         fleet = Telemetry.summaries reg;

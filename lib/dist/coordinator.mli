@@ -1,15 +1,31 @@
 (** The coordinator side of the distributed scan: a single-threaded
-    [select(2)] event loop that welcomes workers, leases them chunk
-    ranges, collects their per-chunk accumulators, and reassigns the
-    leases of workers that die.
+    [select(2)] event loop (EINTR-proof, {!Wire.select_eintr}) that
+    welcomes workers, leases them chunk ranges, collects their
+    per-chunk accumulators, and reassigns the leases of workers that
+    die.
 
-    Worker death is detected two ways: the fast path is fd EOF — a
-    SIGKILLed worker's socket closes immediately — and the backup is a
-    heartbeat timeout, which catches workers that are wedged rather
-    than dead. Either way the worker's leased chunks return to the
-    todo pool and the next hungry worker picks them up; a chunk is
-    only ever {e recorded} once, so a resurrection race produces a
-    dropped duplicate, never a double count.
+    Worker death is detected in graded steps. The fast path is fd
+    EOF — a SIGKILLed worker's socket closes immediately; the worker
+    is failed and its leases reclaimed. The backup is {e progress
+    expiry}: a worker sitting on leases without completing anything
+    for [heartbeat_timeout] seconds has its chunks reclaimed but keeps
+    its registration and socket — under fault injection that usually
+    means a lost Grant or Result frame, not a dead process, and the
+    worker earns grants again the moment it shows life (grants are
+    gated on heartbeat freshness, so a silent worker is never fed).
+    Only prolonged {e total} silence (3× the timeout without a beat)
+    drops the connection as lost. Either way a chunk is only ever
+    {e recorded} once, so a resurrection race produces a dropped
+    duplicate, never a double count.
+
+    Rejoins: a Hello bearing an already-registered name on a {e new}
+    connection supersedes the old socket without touching the ledger —
+    same identity, the standing leases are re-sent as Grant frames
+    (the worker's cache answers instantly for chunks it already
+    computed). A Hello {e retry} on the same connection (the worker
+    missed our Welcome) is answered with a fresh Welcome and the same
+    re-grant. Corrupt frames skipped by the v3 reader are tallied per
+    connection into the stats and [dist.corrupt_frames].
 
     Every accepted result is handed to [on_result] in arrival order —
     the caller stores it in its per-chunk slot (and typically notes it
@@ -18,8 +34,9 @@
     byte-identical to a single-process run.
 
     Emits [dist.*] events ({!Obs.Events}) — [worker_join], [lease],
-    [chunk_done], [worker_lost], [reassign], [stale_result] — and
-    mirrors the totals in [dist.*] metrics ({!Obs.Metrics}).
+    [chunk_done], [worker_lost], [worker_rejoin], [lease_expired],
+    [reassign], [stale_result], [corrupt_frames] — and mirrors the
+    totals in [dist.*] metrics ({!Obs.Metrics}).
 
     With telemetry on (see [?telemetry]) it additionally maintains a
     {!Telemetry} registry — per-worker identity, liveness, clock
@@ -32,9 +49,11 @@ type stats = {
   chunks_done : int;  (** fresh results recorded this run *)
   duplicates : int;  (** results for already-done chunks, dropped *)
   stale_dropped : int;  (** results stamped with a previous epoch *)
-  reassigned : int;  (** chunk leases reclaimed from dead workers *)
+  reassigned : int;  (** chunk leases reclaimed (death or expiry) *)
   workers_seen : int;
-  workers_lost : int;  (** EOF or heartbeat-expired while leasing *)
+  workers_lost : int;  (** EOF, protocol failure, or prolonged silence *)
+  rejoins : int;  (** reconnects recognised by worker name *)
+  corrupt_frames : int;  (** v3 frames skipped for length/CRC failure *)
   events_forwarded : int;  (** worker event lines ingested (racy) *)
   interrupted : bool;  (** [should_stop] fired before completion *)
   fleet : Telemetry.summary list;  (** per-worker totals, join order *)
@@ -45,6 +64,7 @@ val run :
   ?fds:Unix.file_descr list ->
   ?heartbeat_timeout:float ->
   ?max_batch:int ->
+  ?chaos:Chaos.spec ->
   ?should_stop:(unit -> bool) ->
   ?on_grant:(worker:string -> lo:int -> hi:int -> unit) ->
   ?on_reclaim:(worker:string -> chunks:int list -> unit) ->
@@ -65,10 +85,12 @@ val run :
     receive in their {!Wire.Welcome}; [epoch] stamps every grant, and
     results carrying any other epoch are dropped as stale.
     [completed] seeds the ledger from a resumed checkpoint.
-    [heartbeat_timeout] (default 10s) bounds how long a wedged worker
-    can sit on a lease; [max_batch] (default 16) caps grant sizes
-    (see {!Lease}). [should_stop] (polled every loop tick, with
-    {!Obs.Shutdown.requested} checked alongside by the caller if
+    [heartbeat_timeout] (default 10s) bounds how long an unproductive
+    worker can sit on a lease; [max_batch] (default 16) caps grant
+    sizes (see {!Lease}). [chaos] arms deterministic fault injection
+    on this side's outbound frames, one {!Chaos} stream per accepted
+    connection in accept order. [should_stop] (polled every loop tick,
+    with {!Obs.Shutdown.requested} checked alongside by the caller if
     desired) drains the loop early: workers get a {!Wire.Shutdown} and
     [interrupted] is set.
 

@@ -1,6 +1,11 @@
 type chunk_state = Todo | Leased of string | Done
 
-type worker_info = { mutable last_beat : float; mutable held : int }
+type worker_info = {
+  mutable last_beat : float;  (** liveness: any message refreshes it *)
+  mutable last_progress : float;
+      (** scheduling progress: register / grant / complete-as-holder *)
+  mutable held : int;
+}
 
 type t = {
   chunks : chunk_state array;
@@ -30,15 +35,18 @@ let create ?(max_batch = 16) ~total ~completed () =
 
 let register t ~worker ~now =
   match Hashtbl.find_opt t.workers worker with
-  | Some w -> w.last_beat <- now
+  | Some w ->
+      w.last_beat <- now;
+      w.last_progress <- now
   | None ->
-      Hashtbl.add t.workers worker { last_beat = now; held = 0 };
+      Hashtbl.add t.workers worker
+        { last_beat = now; last_progress = now; held = 0 };
       t.order <- worker :: t.order
 
 let live_workers t =
   Hashtbl.length t.workers
 
-let grant t ~worker =
+let grant t ~worker ~now =
   let w =
     match Hashtbl.find_opt t.workers worker with
     | Some w -> w
@@ -67,18 +75,22 @@ let grant t ~worker =
       t.todo <- t.todo - taken;
       t.scan_from <- !hi;
       w.held <- w.held + taken;
+      w.last_beat <- now;
+      w.last_progress <- now;
       Some (lo, !hi)
     end
   end
 
-let complete t ~chunk =
+let complete t ~chunk ~now =
   match t.chunks.(chunk) with
   | Done -> `Duplicate
   | prev ->
       (match prev with
       | Leased holder -> (
           match Hashtbl.find_opt t.workers holder with
-          | Some w -> w.held <- w.held - 1
+          | Some w ->
+              w.held <- w.held - 1;
+              w.last_progress <- now
           | None -> ())
       | Todo -> t.todo <- t.todo - 1
       | Done -> ());
@@ -91,6 +103,11 @@ let heartbeat t ~worker ~now =
   | Some w -> w.last_beat <- now
   | None -> ()
 
+let beat_age t ~worker ~now =
+  match Hashtbl.find_opt t.workers worker with
+  | Some w -> Some (now -. w.last_beat)
+  | None -> None
+
 let leases_of t ~worker =
   let out = ref [] in
   for i = Array.length t.chunks - 1 downto 0 do
@@ -98,17 +115,24 @@ let leases_of t ~worker =
   done;
   !out
 
+let reclaim t ~worker =
+  let held = leases_of t ~worker in
+  List.iter
+    (fun i ->
+      t.chunks.(i) <- Todo;
+      t.todo <- t.todo + 1;
+      if i < t.scan_from then t.scan_from <- i)
+    held;
+  (match Hashtbl.find_opt t.workers worker with
+  | Some w -> w.held <- 0
+  | None -> ());
+  held
+
 let fail_worker t ~worker =
   match Hashtbl.find_opt t.workers worker with
   | None -> []
   | Some _ ->
-      let held = leases_of t ~worker in
-      List.iter
-        (fun i ->
-          t.chunks.(i) <- Todo;
-          t.todo <- t.todo + 1;
-          if i < t.scan_from then t.scan_from <- i)
-        held;
+      let held = reclaim t ~worker in
       Hashtbl.remove t.workers worker;
       t.order <- List.filter (fun w -> w <> worker) t.order;
       held
@@ -117,12 +141,13 @@ let expire t ~now ~timeout =
   let stale =
     Hashtbl.fold
       (fun name w acc ->
-        if w.held > 0 && now -. w.last_beat > timeout then name :: acc else acc)
+        if w.held > 0 && now -. w.last_progress > timeout then name :: acc
+        else acc)
       t.workers []
   in
   List.filter_map
     (fun name ->
-      match fail_worker t ~worker:name with
+      match reclaim t ~worker:name with
       | [] -> None
       | chunks -> Some (name, chunks))
     (List.sort compare stale)

@@ -182,9 +182,35 @@ let of_json j =
       | k -> Ok (Unknown k))
   | _ -> Error "message is not a JSON object"
 
-let send fd msg =
-  let line = Obs.Json.to_string (to_json msg) ^ "\n" in
-  let b = Bytes.unsafe_of_string line in
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the frame
+   checksum of ppdist/v3. Table-driven; crc32 "123456789" = 0xCBF43926. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 1 to 8 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ppdist/v3 framing: "#3 <payload-bytes> <crc32-hex> <payload>\n".
+   '#' cannot open a JSON value, so a v1/v2 decoder could never have
+   produced a line like this and a bare JSON line is unambiguously
+   v1/v2 — both generations parse from the same stream. *)
+let frame payload =
+  Printf.sprintf "#3 %d %08x %s\n" (String.length payload) (crc32 payload)
+    payload
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
   let len = Bytes.length b in
   let pos = ref 0 in
   while !pos < len do
@@ -195,17 +221,34 @@ let send fd msg =
     pos := !pos + n
   done
 
+let send ?chaos fd msg =
+  let line = frame (Obs.Json.to_string (to_json msg)) in
+  match chaos with
+  | None -> write_all fd line
+  | Some c -> List.iter (write_all fd) (Chaos.apply c line)
+
 type reader = {
   fd : Unix.file_descr;
   buf : Buffer.t;  (** bytes received but not yet cut into lines *)
   scratch : Bytes.t;
   mutable pending : msg list;  (** parsed but not yet handed out *)
+  mutable corrupt : int;  (** frames skipped for failing the v3 checks *)
+  mutable v3_seen : bool;  (** peer has proven itself a v3 sender *)
 }
 
 let reader fd =
-  { fd; buf = Buffer.create 4096; scratch = Bytes.create 65536; pending = [] }
+  {
+    fd;
+    buf = Buffer.create 4096;
+    scratch = Bytes.create 65536;
+    pending = [];
+    corrupt = 0;
+    v3_seen = false;
+  }
 
 let reader_fd r = r.fd
+let corrupt_count r = r.corrupt
+let m_corrupt = Obs.Metrics.counter "dist.corrupt_frames"
 
 let parse_line line =
   match Obs.Json.parse line with
@@ -215,6 +258,55 @@ let parse_line line =
       | Ok m -> m
       | Error e ->
           raise (Protocol_error (Printf.sprintf "bad message: %s in %s" e line)))
+
+(* A "#3 "-prefixed line whose length and CRC both check out; None is a
+   corrupt (truncated / bit-flipped) frame. *)
+let unframe_v3 line =
+  let n = String.length line in
+  match String.index_from_opt line 3 ' ' with
+  | None -> None
+  | Some sp1 -> (
+      match String.index_from_opt line (sp1 + 1) ' ' with
+      | None -> None
+      | Some sp2 -> (
+          let len = int_of_string_opt (String.sub line 3 (sp1 - 3)) in
+          let crc =
+            int_of_string_opt ("0x" ^ String.sub line (sp1 + 1) (sp2 - sp1 - 1))
+          in
+          match (len, crc) with
+          | Some len, Some crc when n - sp2 - 1 = len ->
+              let payload = String.sub line (sp2 + 1) len in
+              if crc32 payload = crc then Some payload else None
+          | _ -> None))
+
+let mark_corrupt r =
+  r.corrupt <- r.corrupt + 1;
+  Obs.Metrics.incr m_corrupt
+
+(* Classify one complete line. Corrupt v3 frames are counted and
+   skipped — never fatal; the sender's recovery machinery (lease
+   reclaim, duplicate resend) replaces whatever they carried. Bare
+   lines are v1/v2 messages and keep the strict Protocol_error
+   contract — except on a connection that has already proven itself v3,
+   where an unparseable bare line can only be a mangled frame (e.g. a
+   bit flip inside the "#3 " prefix) and is counted as corrupt too. *)
+let classify r line =
+  if String.length line >= 3 && String.sub line 0 3 = "#3 " then
+    match unframe_v3 line with
+    | Some payload ->
+        r.v3_seen <- true;
+        (* the CRC vouched for the payload: a parse failure here is a
+           sender bug, not line noise — keep it loud *)
+        Some (parse_line payload)
+    | None ->
+        mark_corrupt r;
+        None
+  else
+    match parse_line line with
+    | m -> Some m
+    | exception Protocol_error _ when r.v3_seen ->
+        mark_corrupt r;
+        None
 
 (* Move every complete line of [r.buf] onto [r.pending], keeping the
    trailing partial line (if any) buffered. *)
@@ -227,7 +319,10 @@ let cut_lines r =
      while true do
        let nl = String.index_from s !start '\n' in
        let line = String.sub s !start (nl - !start) in
-       if String.length line > 0 then msgs := parse_line line :: !msgs;
+       (if String.length line > 0 then
+          match classify r line with
+          | Some m -> msgs := m :: !msgs
+          | None -> ());
        start := nl + 1
      done
    with Not_found -> ());
@@ -261,3 +356,42 @@ let rec recv r =
           if n > 0 then Buffer.add_subbytes r.buf r.scratch 0 n;
           cut_lines r;
           recv r)
+
+(* select(2) that survives signals: EINTR retries with the remaining
+   time recomputed on the monotonic clock, so a SIGALRM/SIGCHLD storm
+   neither tears the loop down nor stretches the timeout. A negative
+   timeout blocks indefinitely, as in [Unix.select]. *)
+let select_eintr fds timeout_s =
+  let t0 = Obs.Clock.now_ns () in
+  let rec go remaining =
+    match Unix.select fds [] [] remaining with
+    | ready, _, _ -> ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        go
+          (if timeout_s < 0.0 then timeout_s
+           else Float.max 0.0 (timeout_s -. Obs.Clock.elapsed_s t0))
+  in
+  go timeout_s
+
+let recv_within r ~timeout_s =
+  let t0 = Obs.Clock.now_ns () in
+  let rec go () =
+    match r.pending with
+    | m :: rest ->
+        r.pending <- rest;
+        `Msg m
+    | [] -> (
+        let remaining = timeout_s -. Obs.Clock.elapsed_s t0 in
+        if remaining < 0.0 then `Timeout
+        else
+          match select_eintr [ r.fd ] remaining with
+          | [] -> `Timeout
+          | _ -> (
+              match read_once r with
+              | 0 -> `Eof
+              | n ->
+                  if n > 0 then Buffer.add_subbytes r.buf r.scratch 0 n;
+                  cut_lines r;
+                  go ()))
+  in
+  go ()

@@ -1,5 +1,5 @@
-(** The distributed scan's wire protocol: one [ppdist/v2] JSON object
-    per newline-terminated line, over any stream file descriptor — a
+(** The distributed scan's wire protocol: one [ppdist/v3] frame per
+    newline-terminated line, over any stream file descriptor — a
     socketpair to a forked worker or a TCP connection to a remote one.
     Reusing {!Obs.Json} keeps the whole protocol dependency-free.
 
@@ -19,15 +19,24 @@
     results stamped with a previous life's epoch are recognisably stale
     and dropped (see {!Obs.Checkpoint}).
 
-    {b Version compatibility} is field- and kind-lenient in both
-    directions, so mixed-version fleets degrade instead of desync:
-    decoders skip unknown fields inside known messages (a v2 frame
-    parses on a v1-era decoder path), the v2 additions are optional
-    with v1 defaults ([host = ""], [sent_s]/[metrics] absent,
-    [telemetry = false] — so a v2 worker behind a v1 coordinator stays
-    silent), and an unknown message {e kind} decodes to {!Unknown}
-    for the event loops to count and skip rather than drop the
-    connection. *)
+    {b v3 framing.} Each line is ["#3 <len> <crc32-hex> <payload>\n"]
+    where [payload] is the v2 JSON object, [len] its byte length and
+    the checksum CRC-32 (IEEE 802.3, {!crc32}). A frame that fails
+    either check — truncated mid-line, bit-flipped in transit — is
+    {e counted} ([dist.corrupt_frames], {!corrupt_count}) and skipped,
+    never fatal: whatever it carried is replaced by the recovery
+    machinery above the wire (lease reclaim for a lost [Grant]/
+    [Result], the next beat for a lost [Heartbeat]).
+
+    {b Version compatibility} is two-way. Readers accept bare v1/v2
+    JSON lines alongside v3 frames (['#'] cannot open a JSON value, so
+    the two are unambiguous) with the same field- and kind-lenient
+    decoding as before: unknown fields skipped, v2 additions defaulted,
+    unknown kinds surfaced as {!Unknown}. An unparseable {e bare} line
+    keeps the strict {!Protocol_error} contract on a v1/v2-only
+    connection, but on a connection that has already produced a valid
+    v3 frame it is demoted to a corrupt-frame count — a mangled frame
+    prefix, not a broken peer. *)
 
 type msg =
   | Hello of { worker : string; pid : int; host : string; sent_s : float option }
@@ -71,16 +80,24 @@ type msg =
           Loops count and ignore it. *)
 
 exception Protocol_error of string
-(** A line that is not valid JSON, or valid JSON missing a known
-    message's required fields. Raised by {!drain}/{!recv}; the peer is
-    beyond repair at that point — drop the connection. (An unknown
-    message {e kind} is {!Unknown}, not an error.) *)
+(** A bare line that is not valid JSON (on a pre-v3 connection), or a
+    CRC-valid frame missing a known message's required fields — the
+    peer is genuinely broken, not merely noisy; drop the connection.
+    (An unknown message {e kind} is {!Unknown}; a corrupt v3 frame is
+    a {!corrupt_count} tick. Neither raises.) *)
 
 val to_json : msg -> Obs.Json.t
 val of_json : Obs.Json.t -> (msg, string) result
 
-val send : Unix.file_descr -> msg -> unit
-(** Write one message line, looping over partial writes.
+val crc32 : string -> int
+(** CRC-32 of a byte string (IEEE 802.3, polynomial [0xEDB88320],
+    reflected): [crc32 "" = 0], [crc32 "123456789" = 0xCBF43926]. *)
+
+val send : ?chaos:Chaos.t -> Unix.file_descr -> msg -> unit
+(** Write one v3 frame, looping over partial writes. [chaos] routes
+    the frame through a fault-injection stream first — the frame may
+    be dropped, duplicated, reordered or damaged ({!Chaos.apply});
+    production sends pass no [chaos] and pay nothing.
     @raise Unix.Unix_error ([EPIPE] when the peer is gone — the caller
     treats that as a dead worker, not a crash). *)
 
@@ -94,15 +111,33 @@ type reader
 val reader : Unix.file_descr -> reader
 val reader_fd : reader -> Unix.file_descr
 
+val corrupt_count : reader -> int
+(** Frames this reader skipped for failing the v3 length/CRC checks
+    (also accumulated in the [dist.corrupt_frames] metric). *)
+
 val drain : reader -> msg list * bool
 (** One non-blocking-ish step for a select loop: a single [Unix.read]
     (the caller knows the fd is readable, so it will not block),
     returning every message completed by it plus [true] when the peer
     closed the connection (EOF — a SIGKILLed worker's socket reads as
     EOF, which is exactly how worker death is detected).
-    @raise Protocol_error on an unparseable line. *)
+    @raise Protocol_error on an unparseable bare line (pre-v3 peers). *)
 
 val recv : reader -> msg option
 (** Blocking receive of the next single message; [None] on EOF. The
     worker side's main loop.
-    @raise Protocol_error on an unparseable line. *)
+    @raise Protocol_error on an unparseable bare line (pre-v3 peers). *)
+
+val recv_within :
+  reader -> timeout_s:float -> [ `Msg of msg | `Eof | `Timeout ]
+(** {!recv} with a monotonic-clock deadline: waits at most [timeout_s]
+    seconds (0 polls) for a complete message. [`Timeout] is how an
+    idle worker discovers it has been silent too long and owes the
+    coordinator a heartbeat — under chaos, a dropped [Grant] would
+    otherwise leave it blocked and indistinguishable from dead. *)
+
+val select_eintr : Unix.file_descr list -> float -> Unix.file_descr list
+(** [Unix.select fds [] [] timeout] that retries [EINTR] with the
+    remaining time recomputed on the monotonic clock — a signal (timer,
+    [SIGCHLD]) neither tears down the event loop nor stretches its
+    deadline. Negative timeout blocks indefinitely. *)

@@ -13,12 +13,39 @@ type tele = {
   last_snap : Obs.Metrics.snapshot ref;
 }
 
-let run ?(heartbeat_every = 2.0) ?(on_chunk_done = fun _ -> ())
-    ?(events_batch = 64) ~name ~fd ~runner () =
+(* Completed-but-possibly-unacked chunk states. Under chaos a Result
+   frame can vanish; the coordinator reclaims the lease and re-grants
+   the chunk — to us or to a peer. Keeping the last few computed states
+   lets a re-granted chunk be *resent* instead of *redone*: the
+   in-flight lease reconciliation of the rejoin handshake. The cache
+   survives reconnects (run_reconnect threads one through every
+   session) because the unacked work predates the disconnect. *)
+type cache = {
+  states : (int, Obs.Json.t) Hashtbl.t;
+  fifo : int Queue.t;
+  cap : int;
+}
+
+let cache_create ?(cap = 128) () =
+  { states = Hashtbl.create 32; fifo = Queue.create (); cap }
+
+let cache_add c chunk state =
+  if not (Hashtbl.mem c.states chunk) then begin
+    Hashtbl.replace c.states chunk state;
+    Queue.add chunk c.fifo;
+    if Queue.length c.fifo > c.cap then
+      Hashtbl.remove c.states (Queue.pop c.fifo)
+  end
+
+let m_resends = Obs.Metrics.counter "dist.cache_resends"
+
+let run ?(heartbeat_every = 2.0) ?(welcome_timeout = 5.0) ?(hello_retries = 3)
+    ?chaos ?cache:(store = cache_create ()) ?(on_welcome = fun ~config_hash:_ -> ())
+    ?(on_chunk_done = fun _ -> ()) ?(events_batch = 64) ~name ~fd ~runner () =
   let rd = Wire.reader fd in
   let last_sent = ref (now_s ()) in
   let send msg =
-    Wire.send fd msg;
+    Wire.send ?chaos fd msg;
     last_sent := now_s ()
   in
   let tele = ref None in
@@ -63,75 +90,195 @@ let run ?(heartbeat_every = 2.0) ?(on_chunk_done = fun _ -> ())
     else Obs.Events.start_sink capture;
     tele := Some { pending; last_snap = ref (Obs.Metrics.snapshot ()) }
   in
+  let hello () =
+    Wire.Hello
+      {
+        worker = name;
+        pid = Unix.getpid ();
+        host = Unix.gethostname ();
+        sent_s = Some (now_s ());
+      }
+  in
+  (* The opening handshake under chaos: either our Hello or the
+     coordinator's Welcome can be a dropped frame, and on a socketpair
+     there is no reconnect to fall back on — so missing the Welcome for
+     a while means "say Hello again on the same fd" (the coordinator
+     re-Welcomes a name it already knows). *)
+  let rec await_welcome retries =
+    match Wire.recv_within rd ~timeout_s:welcome_timeout with
+    | `Eof -> Error "coordinator closed the connection before Welcome"
+    | `Msg (Wire.Welcome { config; config_hash; telemetry; _ }) ->
+        Ok (config, config_hash, telemetry)
+    | `Msg Wire.Shutdown -> Error "coordinator shut down before Welcome"
+    | `Msg (Wire.Unknown _ | Wire.Grant _ | Wire.Heartbeat _ | Wire.Events _) ->
+        (* traffic before the Welcome means the Welcome frame itself
+           was lost — keep waiting; the timeout path re-Hellos and the
+           coordinator re-Welcomes *)
+        await_welcome retries
+    | `Msg (Wire.Hello _ | Wire.Result _) ->
+        Error "expected Welcome as the first coordinator message"
+    | `Timeout ->
+        if retries <= 0 then Error "no Welcome from coordinator (timed out)"
+        else begin
+          send (hello ());
+          await_welcome (retries - 1)
+        end
+  in
   try
-    send
-      (Wire.Hello
-         {
-           worker = name;
-           pid = Unix.getpid ();
-           host = Unix.gethostname ();
-           sent_s = Some (now_s ());
-         });
-    match Wire.recv rd with
-    | None -> Error "coordinator closed the connection before Welcome"
-    | Some (Wire.Welcome { config; telemetry; _ }) -> (
+    send (hello ());
+    match await_welcome hello_retries with
+    | Error e -> Error e
+    | Ok (config, config_hash, telemetry) -> (
+        on_welcome ~config_hash;
         if telemetry then start_telemetry ();
         match runner config with
         | Error e -> Error (Printf.sprintf "rejected coordinator config: %s" e)
         | Ok cr ->
             let rec loop () =
-              match Wire.recv rd with
-              | None -> Error "coordinator vanished (EOF before Shutdown)"
-              | Some Wire.Shutdown ->
+              (* waking every half-beat keeps heartbeats flowing while
+                 idle: a worker whose Grant frame was dropped would
+                 otherwise block silently, indistinguishable from dead *)
+              match Wire.recv_within rd ~timeout_s:(heartbeat_every /. 2.0) with
+              | `Eof -> Error "coordinator vanished (EOF before Shutdown)"
+              | `Timeout ->
+                  beat ();
+                  loop ()
+              | `Msg Wire.Shutdown ->
                   (* the final flush races the coordinator closing our
                      fd after its last Result arrived — losing it only
                      loses telemetry, never results *)
                   (try beat ~force:true ()
                    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
                   Ok ()
-              | Some (Wire.Grant { lo_chunk; hi_chunk; epoch }) ->
+              | `Msg (Wire.Grant { lo_chunk; hi_chunk; epoch }) ->
                   for chunk = lo_chunk to hi_chunk - 1 do
                     beat ();
-                    let t0 = now_s () in
-                    let state = cr.scan chunk in
-                    if !tele <> None && Obs.Events.enabled () then begin
-                      let data =
-                        [
-                          ("chunk", Obs.Json.Int chunk);
-                          ("dur_s", Obs.Json.Float (now_s () -. t0));
-                        ]
-                        @
-                        match cr.range with
-                        | Some range ->
-                            (* hi is inclusive, the Trace_stats lo/hi
-                               convention, so chunk-size normalisation
-                               works on the merged log *)
-                            let lo, hi = range chunk in
-                            [
-                              ("lo", Obs.Json.Int lo);
-                              ("hi", Obs.Json.Int (hi - 1));
-                            ]
-                        | None -> []
-                      in
-                      Obs.Events.emit "worker.chunk" ~data
-                    end;
+                    let state =
+                      match Hashtbl.find_opt store.states chunk with
+                      | Some state ->
+                          (* computed in a previous life, Result lost in
+                             transit: resend, don't redo *)
+                          Obs.Metrics.incr m_resends;
+                          state
+                      | None ->
+                          let t0 = now_s () in
+                          let state = cr.scan chunk in
+                          if !tele <> None && Obs.Events.enabled () then begin
+                            let data =
+                              [
+                                ("chunk", Obs.Json.Int chunk);
+                                ("dur_s", Obs.Json.Float (now_s () -. t0));
+                              ]
+                              @
+                              match cr.range with
+                              | Some range ->
+                                  (* hi is inclusive, the Trace_stats
+                                     lo/hi convention, so chunk-size
+                                     normalisation works on the merged
+                                     log *)
+                                  let lo, hi = range chunk in
+                                  [
+                                    ("lo", Obs.Json.Int lo);
+                                    ("hi", Obs.Json.Int (hi - 1));
+                                  ]
+                              | None -> []
+                            in
+                            Obs.Events.emit "worker.chunk" ~data
+                          end;
+                          cache_add store chunk state;
+                          state
+                    in
                     flush_events ();
                     send (Wire.Result { chunk; epoch; state });
                     on_chunk_done chunk
                   done;
                   loop ()
-              | Some (Wire.Heartbeat _ | Wire.Events _ | Wire.Unknown _) ->
+              | `Msg (Wire.Welcome _) ->
+                  (* a duplicated Welcome frame, or the answer to a
+                     Hello retry that crossed the first Welcome on the
+                     wire: the config is identical, carry on *)
+                  loop ()
+              | `Msg (Wire.Heartbeat _ | Wire.Events _ | Wire.Unknown _) ->
                   (* Unknown: a newer coordinator's extra traffic —
                      skipping it is the forward-compat contract *)
                   loop ()
-              | Some (Wire.Hello _ | Wire.Welcome _ | Wire.Result _) ->
+              | `Msg (Wire.Hello _ | Wire.Result _) ->
                   Error "worker-bound stream carried a worker message"
             in
             loop ())
-    | Some (Wire.Unknown _) ->
-        Error "expected Welcome as the first coordinator message"
-    | Some _ -> Error "expected Welcome as the first coordinator message"
   with
   | Wire.Protocol_error e -> Error e
   | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
       Error "coordinator vanished (broken pipe)"
+
+let m_reconnects = Obs.Metrics.counter "dist.reconnects"
+
+let run_reconnect ?heartbeat_every ?welcome_timeout ?hello_retries
+    ?(max_attempts = 6) ?(backoff_base = 0.4) ?(backoff_cap = 5.0)
+    ?(jitter_seed = 0) ?chaos_for ?on_chunk_done ?events_batch ~name ~connect
+    ~runner () =
+  let store = cache_create () in
+  let rng = Splitmix64.create (jitter_seed lxor Hashtbl.hash name) in
+  let first_hash = ref None in
+  let hash_conflict = ref None in
+  let welcomed = ref false in
+  let on_welcome ~config_hash =
+    welcomed := true;
+    match !first_hash with
+    | None -> first_hash := Some config_hash
+    | Some h when h = config_hash -> ()
+    | Some h ->
+        (* a different scan took over the endpoint: resending cached
+           states would poison it — refuse to proceed *)
+        hash_conflict :=
+          Some
+            (Printf.sprintf "config hash changed across reconnect (%s -> %s)" h
+               config_hash)
+  in
+  let rec attempt session failures =
+    welcomed := false;
+    let outcome =
+      match connect () with
+      | Error e -> Error e
+      | Ok fd ->
+          let chaos = match chaos_for with None -> None | Some f -> f session in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              run ?heartbeat_every ?welcome_timeout ?hello_retries ?chaos
+                ~cache:store ~on_welcome ?on_chunk_done ?events_batch ~name ~fd
+                ~runner ())
+    in
+    match (outcome, !hash_conflict) with
+    | _, Some e -> Error e
+    | Ok (), None -> Ok ()
+    | Error e, None ->
+        (* a session that got as far as Welcome proves the coordinator
+           was alive: its loss resets the failure streak, so only
+           *consecutive* dead ends count against max_attempts *)
+        let failures = if !welcomed then 1 else failures + 1 in
+        if failures > max_attempts then
+          Error (Printf.sprintf "%s (after %d reconnect attempts)" e max_attempts)
+        else begin
+          Obs.Metrics.incr m_reconnects;
+          if Obs.Events.enabled () then
+            Obs.Events.emit "dist.reconnect"
+              ~data:
+                [
+                  ("worker", Obs.Json.String name);
+                  ("attempt", Obs.Json.Int failures);
+                  ("error", Obs.Json.String e);
+                ];
+          let backoff =
+            Float.min backoff_cap
+              (backoff_base *. (2.0 ** float_of_int (failures - 1)))
+          in
+          (* deterministic jitter in [0.75, 1.25): de-synchronises a
+             fleet reconnect stampede without an RNG the replay cannot
+             reproduce *)
+          Unix.sleepf (backoff *. (0.75 +. (0.5 *. Splitmix64.float_unit rng)));
+          attempt (session + 1) failures
+        end
+  in
+  attempt 0 0

@@ -15,7 +15,19 @@
     [worker.chunk] record per chunk, and ships both upward: batched
     {!Wire.Events} plus an {!Obs.Metrics.diff} on every heartbeat.
     Telemetry rides the same racy channels as heartbeats and never
-    gates a Result, so scan output is byte-identical either way. *)
+    gates a Result, so scan output is byte-identical either way.
+
+    {b Fault tolerance.} Three mechanisms keep a worker useful on a
+    lossy transport: a missed Welcome is answered by re-sending Hello
+    on the same fd (the handshake frames are as droppable as any
+    other); an {e idle} worker still heartbeats (so a dropped Grant
+    leaves it visibly alive while the coordinator's progress-expiry
+    reclaims the lease); and a bounded {!cache} of computed chunk
+    states lets a chunk whose Result vanished be {e resent} rather
+    than recomputed when it is granted again — to this worker in this
+    or a later session. {!run_reconnect} adds the session layer: TCP
+    redial with exponential backoff and deterministic jitter, the
+    cache threaded through every session. *)
 
 type chunk_runner = {
   scan : int -> Obs.Json.t;  (** chunk index -> serialised accumulator *)
@@ -26,8 +38,21 @@ type chunk_runner = {
           unsized). *)
 }
 
+type cache
+(** Completed chunk states awaiting (possible) re-grant, bounded FIFO.
+    Resends are counted in [dist.cache_resends]. *)
+
+val cache_create : ?cap:int -> unit -> cache
+(** [cap] (default 128) bounds retained states; the oldest entry is
+    evicted first. *)
+
 val run :
   ?heartbeat_every:float ->
+  ?welcome_timeout:float ->
+  ?hello_retries:int ->
+  ?chaos:Chaos.t ->
+  ?cache:cache ->
+  ?on_welcome:(config_hash:string -> unit) ->
   ?on_chunk_done:(int -> unit) ->
   ?events_batch:int ->
   name:string ->
@@ -42,12 +67,55 @@ val run :
 
     [runner config] is called once, on the Welcome; the returned
     {!chunk_runner}'s [scan] is called once per granted chunk, in
-    grant order. A {!Wire.Heartbeat} is sent before any chunk whenever
-    [heartbeat_every] (default 2s) has elapsed since the last send, so
-    long chunk streaks keep the lease alive; with telemetry on, each
-    beat first flushes pending event lines and carries the metric
-    delta since the previous beat. [events_batch] (default 64) forces
-    an early flush when that many lines are pending. [on_chunk_done]
-    fires after each chunk's Result is on the wire — the chaos-kill
-    test hook ([Unix.kill] yourself there to simulate a crash at an
-    exact chunk count). *)
+    grant order — except chunks still in [cache], whose stored state
+    is resent as-is. A {!Wire.Heartbeat} is sent whenever
+    [heartbeat_every] (default 2s) has elapsed since the last send —
+    between chunks {e and} while idle (the receive loop wakes every
+    half-interval); with telemetry on, each beat first flushes pending
+    event lines and carries the metric delta since the previous beat.
+    [events_batch] (default 64) forces an early flush when that many
+    lines are pending. If no Welcome arrives within [welcome_timeout]
+    (default 5s) the Hello is re-sent, up to [hello_retries] (default
+    3) times. [chaos] mangles this side's outbound frames
+    ({!Wire.send}); [on_welcome] reports each accepted Welcome's
+    config hash; [on_chunk_done] fires after each chunk's Result is on
+    the wire — the chaos-kill test hook ([Unix.kill] yourself there to
+    simulate a crash at an exact chunk count). *)
+
+val run_reconnect :
+  ?heartbeat_every:float ->
+  ?welcome_timeout:float ->
+  ?hello_retries:int ->
+  ?max_attempts:int ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  ?jitter_seed:int ->
+  ?chaos_for:(int -> Chaos.t option) ->
+  ?on_chunk_done:(int -> unit) ->
+  ?events_batch:int ->
+  name:string ->
+  connect:(unit -> (Unix.file_descr, string) result) ->
+  runner:(Obs.Json.t -> (chunk_runner, string) result) ->
+  unit ->
+  (unit, string) result
+(** {!run} in a redial loop, for TCP workers: each session calls
+    [connect] for a fresh fd (closed when the session ends), keeps the
+    same worker identity [name], and threads one {!cache} through —
+    so a Result completed just before a disconnect is resent, not
+    redone, when the rejoined session is re-granted the chunk. The
+    coordinator recognises the returning name, supersedes the dead
+    connection and re-registers the worker (its rejoin handshake);
+    results always carry their {e Grant's} epoch, so work from before
+    a coordinator restart is recognisably stale.
+
+    A failed session sleeps [min backoff_cap (backoff_base * 2^(k-1))]
+    seconds (defaults 0.4s doubling to 5s) scaled by a deterministic
+    jitter in [0.75, 1.25) drawn from a Splitmix64 stream seeded by
+    [jitter_seed] and the worker name, then redials. [k] counts
+    {e consecutive} failures — a session that reached its Welcome
+    proves the coordinator was alive and resets the streak — and
+    [max_attempts] (default 6) of them end the loop with the last
+    error. A config-hash change across sessions is fatal (the cache
+    would poison a different scan). [chaos_for session] supplies each
+    session's outbound fault stream. Reconnects are counted in
+    [dist.reconnects] and logged as [dist.reconnect] events. *)

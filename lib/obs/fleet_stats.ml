@@ -28,6 +28,11 @@ type report = {
   wall_s : float;
   total_events : int;
   skipped : int;
+  rejoins : int;  (** dist.worker_rejoin records *)
+  expired_leases : int;  (** dist.lease_expired records *)
+  corrupt_frames : int;  (** frames tallied by dist.corrupt_frames *)
+  reconnects : int;  (** worker-side dist.reconnect records *)
+  restarts : int;  (** coordinator lives minus one (dist.recovery) *)
   workers : worker_row list;
   chronology : entry list;
   fanout : Trace_stats.chunk_group list;
@@ -77,6 +82,11 @@ type acc = {
   mutable total : int;
   mutable skipped : int;
   mutable next_sid : int;
+  mutable rejoins : int;
+  mutable expired : int;
+  mutable corrupt : int;
+  mutable reconnects : int;
+  mutable restarts : int;
 }
 
 let note_worker a name =
@@ -184,6 +194,43 @@ let ingest_record a fields =
         (Printf.sprintf "chunk %d from epoch %d dropped"
            (Option.value ~default:(-1) (Option.bind (dfield "chunk") jint))
            (Option.value ~default:(-1) (Option.bind (dfield "result_epoch") jint)))
+  | "dist.worker_rejoin" ->
+      a.rejoins <- a.rejoins + 1;
+      chron a ~ts ~ev:"rejoin"
+        (Printf.sprintf "%s back on a new connection, leases kept"
+           (Option.value ~default:"?" worker))
+  | "dist.lease_expired" ->
+      a.expired <- a.expired + 1;
+      chron a ~ts ~ev:"expired"
+        (Printf.sprintf "%s silent on %d chunks, reclaimed (still registered)"
+           (Option.value ~default:"?" worker)
+           (Option.value ~default:0 (Option.bind (dfield "leased") jint)))
+  | "dist.corrupt_frames" ->
+      let n = Option.value ~default:0 (Option.bind (dfield "n") jint) in
+      a.corrupt <- a.corrupt + n;
+      chron a ~ts ~ev:"corrupt"
+        (Printf.sprintf "%d mangled frame%s from %s skipped by CRC" n
+           (if n = 1 then "" else "s")
+           (Option.value ~default:"?" worker))
+  | "dist.reconnect" ->
+      a.reconnects <- a.reconnects + 1;
+      chron a ~ts ~ev:"reconnect"
+        (Printf.sprintf "%s redialing (attempt %d): %s"
+           (Option.value ~default:"?" worker)
+           (Option.value ~default:0 (Option.bind (dfield "attempt") jint))
+           (Option.value ~default:"?" (Option.bind (dfield "error") jstr)))
+  | "dist.recovery" ->
+      let epoch = Option.value ~default:1 (Option.bind (dfield "epoch") jint) in
+      a.restarts <- a.restarts + Stdlib.max 0 (epoch - 1);
+      chron a ~ts ~ev:"recover"
+        (Printf.sprintf
+           "ledger adopted at epoch %d: %d/%d chunks done, %d stale leases \
+            cleared"
+           epoch
+           (Option.value ~default:0 (Option.bind (dfield "done_chunks") jint))
+           (Option.value ~default:0 (Option.bind (dfield "total_chunks") jint))
+           (Option.value ~default:0
+              (Option.bind (dfield "stale_leases_cleared") jint)))
   | "worker.chunk" -> (
       match (worker, Option.bind (dfield "chunk") jint) with
       | Some w, Some chunk ->
@@ -235,6 +282,11 @@ let analyse ?(source = "<fleet>") lines =
       total = 0;
       skipped = 0;
       next_sid = 0;
+      rejoins = 0;
+      expired = 0;
+      corrupt = 0;
+      reconnects = 0;
+      restarts = 0;
     }
   in
   List.iter
@@ -290,6 +342,11 @@ let analyse ?(source = "<fleet>") lines =
     wall_s;
     total_events = a.total;
     skipped = a.skipped;
+    rejoins = a.rejoins;
+    expired_leases = a.expired;
+    corrupt_frames = a.corrupt;
+    reconnects = a.reconnects;
+    restarts = a.restarts;
     workers;
     chronology =
       List.sort (fun x y -> compare x.c_ts_s y.c_ts_s) (List.rev a.chron);
@@ -325,6 +382,25 @@ let to_markdown r =
        (fmt_s r.wall_s) (List.length r.workers)
        (if r.skipped = 0 then ""
         else Printf.sprintf " (%d unparseable lines skipped)" r.skipped));
+  if
+    r.rejoins + r.expired_leases + r.corrupt_frames + r.reconnects + r.restarts
+    > 0
+  then
+    Buffer.add_string b
+      (Printf.sprintf
+         "Recovery: %d coordinator restart%s, %d worker rejoin%s, %d \
+          reconnect attempt%s, %d expired lease%s, %d corrupt frame%s \
+          skipped.\n\n"
+         r.restarts
+         (if r.restarts = 1 then "" else "s")
+         r.rejoins
+         (if r.rejoins = 1 then "" else "s")
+         r.reconnects
+         (if r.reconnects = 1 then "" else "s")
+         r.expired_leases
+         (if r.expired_leases = 1 then "" else "s")
+         r.corrupt_frames
+         (if r.corrupt_frames = 1 then "" else "s"));
   if r.workers <> [] then begin
     Buffer.add_string b "## Workers\n\n";
     Buffer.add_string b
@@ -420,6 +496,11 @@ let to_json r =
       ("wall_s", Json.Float r.wall_s);
       ("total_events", Json.Int r.total_events);
       ("skipped", Json.Int r.skipped);
+      ("rejoins", Json.Int r.rejoins);
+      ("expired_leases", Json.Int r.expired_leases);
+      ("corrupt_frames", Json.Int r.corrupt_frames);
+      ("reconnects", Json.Int r.reconnects);
+      ("restarts", Json.Int r.restarts);
       ("workers", Json.List (List.map worker_json r.workers));
       ("chronology", Json.List (List.map entry_json r.chronology));
       ("fanout", Json.List (List.map group_json r.fanout));

@@ -32,13 +32,21 @@ type worker_row = {
 }
 
 type entry = { c_ts_s : float; c_ev : string; c_detail : string }
-(** One chronology line: join / lost / reassign / stale. *)
+(** One chronology line: join / lost / reassign / stale / rejoin /
+    expired / corrupt / reconnect / recover. *)
 
 type report = {
   source : string;
   wall_s : float;  (** span of record timestamps *)
   total_events : int;  (** record lines ingested *)
   skipped : int;  (** unparseable lines (never fatal) *)
+  rejoins : int;  (** [dist.worker_rejoin] — reconnects by name *)
+  expired_leases : int;  (** [dist.lease_expired] — progress expiry *)
+  corrupt_frames : int;  (** frames skipped by CRC, summed over
+                             [dist.corrupt_frames] records *)
+  reconnects : int;  (** worker-side [dist.reconnect] redials *)
+  restarts : int;  (** coordinator lives beyond the first, from
+                       [dist.recovery] epochs *)
   workers : worker_row list;  (** first-seen order *)
   chronology : entry list;  (** time-sorted *)
   fanout : Trace_stats.chunk_group list;

@@ -185,7 +185,7 @@ let now = 100.0
 let test_lease_grant_lowest_first () =
   let t = Dist.Lease.create ~max_batch:4 ~total:20 ~completed:(fun i -> i < 3) () in
   Dist.Lease.register t ~worker:"a" ~now;
-  (match Dist.Lease.grant t ~worker:"a" with
+  (match Dist.Lease.grant t ~worker:"a" ~now with
    | Some (lo, hi) ->
      Alcotest.(check int) "starts after the restored prefix" 3 lo;
      Alcotest.(check bool) "batch is bounded" true (hi - lo <= 4 && hi > lo)
@@ -198,11 +198,11 @@ let test_lease_batches_descend () =
   Dist.Lease.register t ~worker:"a" ~now;
   let sizes = ref [] in
   let rec go () =
-    match Dist.Lease.grant t ~worker:"a" with
+    match Dist.Lease.grant t ~worker:"a" ~now with
     | Some (lo, hi) ->
       sizes := (hi - lo) :: !sizes;
       for i = lo to hi - 1 do
-        ignore (Dist.Lease.complete t ~chunk:i)
+        ignore (Dist.Lease.complete t ~chunk:i ~now)
       done;
       go ()
     | None -> ()
@@ -225,17 +225,17 @@ let test_lease_fail_worker_reclaims () =
   Dist.Lease.register t ~worker:"a" ~now;
   Dist.Lease.register t ~worker:"b" ~now;
   let a_lo, a_hi =
-    match Dist.Lease.grant t ~worker:"a" with
+    match Dist.Lease.grant t ~worker:"a" ~now with
     | Some r -> r
     | None -> Alcotest.fail "no grant for a"
   in
-  ignore (Dist.Lease.complete t ~chunk:a_lo);
+  ignore (Dist.Lease.complete t ~chunk:a_lo ~now);
   let reclaimed = Dist.Lease.fail_worker t ~worker:"a" in
   Alcotest.(check (list int)) "uncompleted leases come back"
     (List.init (a_hi - a_lo - 1) (fun i -> a_lo + 1 + i))
     reclaimed;
   (* the reclaimed chunks are the lowest free ones, so b gets them next *)
-  (match Dist.Lease.grant t ~worker:"b" with
+  (match Dist.Lease.grant t ~worker:"b" ~now with
    | Some (lo, _) ->
      Alcotest.(check int) "reassigned to the next hungry worker" (a_lo + 1) lo
    | None -> Alcotest.fail "no grant for b");
@@ -246,28 +246,332 @@ let test_lease_expire_only_leaseholders () =
   let t = Dist.Lease.create ~max_batch:2 ~total:8 ~completed:(fun _ -> false) () in
   Dist.Lease.register t ~worker:"busy" ~now;
   Dist.Lease.register t ~worker:"idle" ~now;
-  ignore (Dist.Lease.grant t ~worker:"busy");
-  (* both heartbeats are equally stale, but only the leaseholder expires *)
+  ignore (Dist.Lease.grant t ~worker:"busy" ~now);
+  (* both stamps are equally stale, but only the leaseholder expires *)
   let expired = Dist.Lease.expire t ~now:(now +. 60.0) ~timeout:10.0 in
   Alcotest.(check (list string)) "only the lease-holding worker expires"
     [ "busy" ] (List.map fst expired);
-  Alcotest.(check (list string)) "idle worker survives" [ "idle" ]
-    (Dist.Lease.workers t);
-  (* a fresh heartbeat protects a leaseholder *)
-  Dist.Lease.register t ~worker:"busy2" ~now:(now +. 60.0);
-  ignore (Dist.Lease.grant t ~worker:"busy2");
-  Dist.Lease.heartbeat t ~worker:"busy2" ~now:(now +. 100.0);
-  Alcotest.(check int) "heartbeat keeps the lease alive" 0
-    (List.length (Dist.Lease.expire t ~now:(now +. 105.0) ~timeout:10.0))
+  Alcotest.(check int) "reclaimed chunks return to the pool" 8
+    (Dist.Lease.todo_count t);
+  (* progress-expiry reclaims the lease but keeps the worker: one lost
+     frame is not a lost worker — it stays registered, connection open,
+     eligible for grants again *)
+  Alcotest.(check (list string)) "expired worker stays registered"
+    [ "busy"; "idle" ] (Dist.Lease.workers t);
+  Alcotest.(check bool) "and can be granted to again" true
+    (Dist.Lease.grant t ~worker:"busy" ~now:(now +. 61.0) <> None)
+
+let test_lease_expiry_is_progress_based () =
+  (* heartbeats prove liveness, not progress: a worker wedged by a
+     dropped Grant heartbeats forever and must still expire — while a
+     worker that keeps completing chunks must not, however old its
+     registration *)
+  let t = Dist.Lease.create ~max_batch:2 ~total:8 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"wedged" ~now;
+  ignore (Dist.Lease.grant t ~worker:"wedged" ~now);
+  Dist.Lease.heartbeat t ~worker:"wedged" ~now:(now +. 59.0);
+  Alcotest.(check (list string)) "heartbeats alone do not protect a lease"
+    [ "wedged" ]
+    (List.map fst (Dist.Lease.expire t ~now:(now +. 60.0) ~timeout:10.0));
+  let t = Dist.Lease.create ~max_batch:2 ~total:8 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"slow" ~now;
+  (match Dist.Lease.grant t ~worker:"slow" ~now with
+   | Some (lo, _) ->
+     ignore (Dist.Lease.complete t ~chunk:lo ~now:(now +. 55.0))
+   | None -> Alcotest.fail "no grant");
+  Alcotest.(check int) "completing a chunk is progress" 0
+    (List.length (Dist.Lease.expire t ~now:(now +. 60.0) ~timeout:10.0))
+
+let test_lease_beat_age () =
+  let t = Dist.Lease.create ~total:4 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"a" ~now;
+  Dist.Lease.heartbeat t ~worker:"a" ~now:(now +. 5.0);
+  (match Dist.Lease.beat_age t ~worker:"a" ~now:(now +. 7.0) with
+   | Some age -> Alcotest.(check (float 1e-9)) "age since last beat" 2.0 age
+   | None -> Alcotest.fail "registered worker has a beat age");
+  Alcotest.(check bool) "unregistered worker has none" true
+    (Dist.Lease.beat_age t ~worker:"ghost" ~now = None)
 
 let test_lease_duplicate_complete () =
   let t = Dist.Lease.create ~total:4 ~completed:(fun _ -> false) () in
   Dist.Lease.register t ~worker:"a" ~now;
-  ignore (Dist.Lease.grant t ~worker:"a");
+  ignore (Dist.Lease.grant t ~worker:"a" ~now);
   Alcotest.(check bool) "first completion is fresh" true
-    (Dist.Lease.complete t ~chunk:0 = `Fresh);
+    (Dist.Lease.complete t ~chunk:0 ~now = `Fresh);
   Alcotest.(check bool) "second completion is a duplicate" true
-    (Dist.Lease.complete t ~chunk:0 = `Duplicate)
+    (Dist.Lease.complete t ~chunk:0 ~now = `Duplicate)
+
+let test_lease_same_tick_grant_complete () =
+  (* a grant and its completions landing on the same timestamp count as
+     progress: expiry compares strictly-greater, and nothing is left to
+     reclaim afterwards *)
+  let t = Dist.Lease.create ~max_batch:8 ~total:4 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"a" ~now;
+  (match Dist.Lease.grant t ~worker:"a" ~now with
+   | Some (lo, hi) ->
+     for c = lo to hi - 1 do
+       Alcotest.(check bool) "fresh" true
+         (Dist.Lease.complete t ~chunk:c ~now = `Fresh)
+     done
+   | None -> Alcotest.fail "no grant");
+  Alcotest.(check int) "same-tick completions expire nothing" 0
+    (List.length (Dist.Lease.expire t ~now ~timeout:0.0));
+  Alcotest.(check (list int)) "nothing left to reclaim" []
+    (Dist.Lease.fail_worker t ~worker:"a")
+
+let test_lease_expiry_races_duplicate_result () =
+  (* the lease expired, the chunk was re-granted and completed by a
+     peer — then the original holder's Result finally limps in: it must
+     read as a duplicate, never a double count *)
+  let t = Dist.Lease.create ~max_batch:1 ~total:2 ~completed:(fun _ -> false) () in
+  Dist.Lease.register t ~worker:"slow" ~now;
+  Dist.Lease.register t ~worker:"fast" ~now:(now +. 30.0);
+  let lo =
+    match Dist.Lease.grant t ~worker:"slow" ~now with
+    | Some (lo, _) -> lo
+    | None -> Alcotest.fail "no grant"
+  in
+  let expired = Dist.Lease.expire t ~now:(now +. 31.0) ~timeout:10.0 in
+  Alcotest.(check (list string)) "only the stalled holder expires" [ "slow" ]
+    (List.map fst expired);
+  (match Dist.Lease.grant t ~worker:"fast" ~now:(now +. 31.0) with
+   | Some (lo', _) -> Alcotest.(check int) "reclaimed chunk re-granted" lo lo'
+   | None -> Alcotest.fail "no re-grant");
+  Alcotest.(check bool) "the peer's completion is fresh" true
+    (Dist.Lease.complete t ~chunk:lo ~now:(now +. 32.0) = `Fresh);
+  Alcotest.(check bool) "the late original is a duplicate" true
+    (Dist.Lease.complete t ~chunk:lo ~now:(now +. 33.0) = `Duplicate);
+  Alcotest.(check int) "recorded exactly once" 1 (Dist.Lease.done_count t)
+
+let test_lease_grant_sizing_small_todo () =
+  (* four hungry workers, two chunks: grants are single chunks — never
+     empty ranges — and the stragglers get [None] *)
+  let t = Dist.Lease.create ~max_batch:16 ~total:2 ~completed:(fun _ -> false) () in
+  List.iter
+    (fun w -> Dist.Lease.register t ~worker:w ~now)
+    [ "a"; "b"; "c"; "d" ];
+  let g w = Dist.Lease.grant t ~worker:w ~now in
+  (match g "a" with
+   | Some range -> Alcotest.(check (pair int int)) "one chunk" (0, 1) range
+   | None -> Alcotest.fail "a starves");
+  (match g "b" with
+   | Some range -> Alcotest.(check (pair int int)) "the other chunk" (1, 2) range
+   | None -> Alcotest.fail "b starves");
+  Alcotest.(check bool) "no empty grants for the rest" true
+    (g "c" = None && g "d" = None)
+
+(* -- Wire: v3 framing, CRC, corrupt-frame tolerance -------------------------- *)
+
+let v3_frame payload =
+  Printf.sprintf "#3 %d %08x %s\n" (String.length payload)
+    (Dist.Wire.crc32 payload) payload
+
+let payload_of m = Obs.Json.to_string (Dist.Wire.to_json m)
+
+let with_pipe f =
+  let rfd, wfd = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close rfd with Unix.Unix_error _ -> ());
+      try Unix.close wfd with Unix.Unix_error _ -> ())
+    (fun () -> f rfd wfd)
+
+let write_str fd s =
+  let pos = ref 0 in
+  while !pos < String.length s do
+    pos := !pos + Unix.write_substring fd s !pos (String.length s - !pos)
+  done
+
+let pump rd =
+  let got = ref [] in
+  let rec go () =
+    match Dist.Wire.recv rd with
+    | Some m ->
+      got := m :: !got;
+      go ()
+    | None -> ()
+  in
+  go ();
+  List.rev !got
+
+let test_crc32_vectors () =
+  Alcotest.(check int) "crc32 of empty is 0" 0 (Dist.Wire.crc32 "");
+  Alcotest.(check int) "IEEE 802.3 check value" 0xCBF43926
+    (Dist.Wire.crc32 "123456789")
+
+let test_wire_v3_roundtrip () =
+  with_pipe (fun rfd wfd ->
+      List.iter (Dist.Wire.send wfd) sample_msgs;
+      Unix.close wfd;
+      let rd = Dist.Wire.reader rfd in
+      Alcotest.(check bool) "v3 frames decode to the same messages" true
+        (pump rd = sample_msgs);
+      Alcotest.(check int) "no frame counted corrupt" 0
+        (Dist.Wire.corrupt_count rd))
+
+let test_wire_send_writes_v3_frames () =
+  with_pipe (fun rfd wfd ->
+      Dist.Wire.send wfd Dist.Wire.Shutdown;
+      Unix.close wfd;
+      let buf = Bytes.create 4096 in
+      let n = Unix.read rfd buf 0 4096 in
+      Alcotest.(check string) "the canonical length+CRC frame"
+        (v3_frame (payload_of Dist.Wire.Shutdown))
+        (Bytes.sub_string buf 0 n))
+
+let test_wire_corrupt_frames_skipped () =
+  with_pipe (fun rfd wfd ->
+      let grant = Dist.Wire.Grant { lo_chunk = 0; hi_chunk = 2; epoch = 1 } in
+      (* a bit-flipped payload byte under an unchanged CRC... *)
+      let flipped =
+        let f = Bytes.of_string (v3_frame (payload_of Dist.Wire.Shutdown)) in
+        let i = Bytes.length f - 3 in
+        Bytes.set f i (Char.chr (Char.code (Bytes.get f i) lxor 0x10));
+        Bytes.to_string f
+      in
+      (* ...and a frame cut short of its declared length *)
+      let truncated =
+        let f = v3_frame (payload_of Dist.Wire.Shutdown) in
+        String.sub f 0 (String.length f - 6) ^ "\n"
+      in
+      write_str wfd
+        (v3_frame (payload_of grant)
+        ^ flipped ^ truncated
+        ^ v3_frame (payload_of Dist.Wire.Shutdown));
+      Unix.close wfd;
+      let rd = Dist.Wire.reader rfd in
+      Alcotest.(check bool) "good frames survive around the damage" true
+        (pump rd = [ grant; Dist.Wire.Shutdown ]);
+      Alcotest.(check int) "both damaged frames counted" 2
+        (Dist.Wire.corrupt_count rd))
+
+let test_wire_valid_crc_bad_json_raises () =
+  (* a frame whose checksum passes but whose payload is not a message
+     is a broken sender, not line noise — the strict contract holds *)
+  with_pipe (fun rfd wfd ->
+      write_str wfd (v3_frame "this is not json");
+      Unix.close wfd;
+      let rd = Dist.Wire.reader rfd in
+      match Dist.Wire.recv rd with
+      | exception Dist.Wire.Protocol_error _ -> ()
+      | _ -> Alcotest.fail "CRC-valid garbage payload must raise")
+
+let test_wire_v2_bytes_still_decode () =
+  (* a v1/v2 peer writes bare JSON lines; the v3 reader accepts the
+     byte stream unchanged, even interleaved with v3 frames *)
+  with_pipe (fun rfd wfd ->
+      let bare m = payload_of m ^ "\n" in
+      write_str wfd
+        (bare (List.nth sample_msgs 0)
+        ^ v3_frame (payload_of (List.nth sample_msgs 4))
+        ^ bare Dist.Wire.Shutdown);
+      Unix.close wfd;
+      let rd = Dist.Wire.reader rfd in
+      Alcotest.(check bool) "mixed v2/v3 stream decodes in order" true
+        (pump rd
+         = [ List.nth sample_msgs 0; List.nth sample_msgs 4; Dist.Wire.Shutdown ]);
+      Alcotest.(check int) "nothing counted corrupt" 0
+        (Dist.Wire.corrupt_count rd))
+
+let test_wire_garbage_strict_then_lenient () =
+  (* pre-v3, an unparseable bare line is a broken peer... *)
+  with_pipe (fun rfd wfd ->
+      write_str wfd "garbage\n";
+      Unix.close wfd;
+      let rd = Dist.Wire.reader rfd in
+      match Dist.Wire.recv rd with
+      | exception Dist.Wire.Protocol_error _ -> ()
+      | _ -> Alcotest.fail "garbage on a v1/v2 connection must raise");
+  (* ...but once the connection has spoken v3, it reads as a frame
+     whose "#3 " prefix was mangled in transit: count and skip *)
+  with_pipe (fun rfd wfd ->
+      write_str wfd (v3_frame (payload_of Dist.Wire.Shutdown) ^ "garbage\n");
+      Unix.close wfd;
+      let rd = Dist.Wire.reader rfd in
+      Alcotest.(check bool) "the valid frame decodes" true
+        (pump rd = [ Dist.Wire.Shutdown ]);
+      Alcotest.(check int) "the mangled line is counted, not fatal" 1
+        (Dist.Wire.corrupt_count rd))
+
+let test_select_eintr_rides_signals () =
+  (* an interval timer delivers SIGALRM every 50ms; a 0.3s select must
+     neither raise EINTR nor return early — the monotonic remaining-time
+     recompute keeps the deadline honest across interruptions *)
+  let hits = ref 0 in
+  let old_handler =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr hits))
+  in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.05; it_value = 0.05 });
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = 0.0 });
+      Sys.set_signal Sys.sigalrm old_handler)
+    (fun () ->
+      with_pipe (fun rfd _wfd ->
+          let t0 = Obs.Clock.now_ns () in
+          let ready = Dist.Wire.select_eintr [ rfd ] 0.3 in
+          let dt = Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0) in
+          Alcotest.(check int) "nothing readable" 0 (List.length ready);
+          Alcotest.(check bool) "signals actually interrupted the wait" true
+            (!hits >= 2);
+          Alcotest.(check bool) "the deadline held through EINTR" true
+            (dt >= 0.25 && dt < 2.0)))
+
+(* -- Chaos: deterministic fault injection ------------------------------------ *)
+
+let chaos_profile name =
+  List.find (fun p -> p.Dist.Chaos.name = name) Dist.Chaos.profiles
+
+let test_chaos_parse_spec () =
+  (match Dist.Chaos.parse_spec "lossy" with
+   | Ok { Dist.Chaos.profile; seed } ->
+     Alcotest.(check string) "profile" "lossy" profile.Dist.Chaos.name;
+     Alcotest.(check int) "seed defaults to 1" 1 seed
+   | Error e -> Alcotest.fail e);
+  (match Dist.Chaos.parse_spec "wild:42" with
+   | Ok s ->
+     Alcotest.(check string) "round-trips" "wild:42"
+       (Dist.Chaos.spec_to_string s)
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "unknown profile rejected" true
+    (Result.is_error (Dist.Chaos.parse_spec "bogus"));
+  Alcotest.(check bool) "bad seed rejected" true
+    (Result.is_error (Dist.Chaos.parse_spec "lossy:banana"))
+
+let chaos_frames =
+  List.init 64 (fun i ->
+      let payload = Printf.sprintf {|{"msg":"probe","i":%d}|} i in
+      v3_frame payload)
+
+let chaos_determinism_prop =
+  prop "same spec and conn replay the same fault schedule" ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 0 40))
+    (fun (seed, conn) ->
+      let spec = { Dist.Chaos.profile = chaos_profile "wild"; seed } in
+      let a = Dist.Chaos.create spec ~conn in
+      let b = Dist.Chaos.create spec ~conn in
+      List.for_all
+        (fun f -> Dist.Chaos.apply a f = Dist.Chaos.apply b f)
+        chaos_frames
+      && Dist.Chaos.injected a = Dist.Chaos.injected b)
+
+let test_chaos_budget_bounds_faults () =
+  let spec = { Dist.Chaos.profile = chaos_profile "lossy"; seed = 7 } in
+  let t = Dist.Chaos.create spec ~conn:0 in
+  List.iter (fun f -> ignore (Dist.Chaos.apply t f)) chaos_frames;
+  List.iter (fun f -> ignore (Dist.Chaos.apply t f)) chaos_frames;
+  Alcotest.(check int) "budget fully spent, never exceeded"
+    (chaos_profile "lossy").Dist.Chaos.budget (Dist.Chaos.injected t);
+  (* an exhausted stream is a passthrough — the liveness argument: any
+     chaos run faces only finitely many faults *)
+  let f = List.hd chaos_frames in
+  ignore (Dist.Chaos.apply t f);
+  Alcotest.(check bool) "passthrough after exhaustion" true
+    (Dist.Chaos.apply t f = [ f ])
 
 (* -- Checkpoint v1 -> v2 read compatibility ---------------------------------- *)
 
@@ -356,7 +660,7 @@ let simulate_with_kill ~plan ~reference ~num_workers ~kill_worker ~kill_after
     (* top up idle live workers, as the coordinator's feed_idle does *)
     for w = 0 to num_workers - 1 do
       if live.(w) && queues.(w) = [] then
-        match Dist.Lease.grant lease ~worker:(string_of_int w) with
+        match Dist.Lease.grant lease ~worker:(string_of_int w) ~now:0.0 with
         | Some (lo, hi) -> queues.(w) <- List.init (hi - lo) (fun i -> lo + i)
         | None -> ()
     done;
@@ -383,7 +687,7 @@ let simulate_with_kill ~plan ~reference ~num_workers ~kill_worker ~kill_after
           queues.(w) <- rest;
           if slots.(c) = None then
             slots.(c) <- Some (Busy_beaver.scan_chunk plan c);
-          ignore (Dist.Lease.complete lease ~chunk:c);
+          ignore (Dist.Lease.complete lease ~chunk:c ~now:0.0);
           done_by.(w) <- done_by.(w) + 1
       end
   done;
@@ -644,6 +948,178 @@ let test_fork_telemetry () =
       Alcotest.(check bool) "fleet markdown renders" true
         (String.length (Obs.Fleet_stats.to_markdown report) > 0))
 
+(* -- Worker: cached chunk states resend instead of redoing ------------------- *)
+
+let test_worker_cache_resends () =
+  (* scripted coordinator in a child process: Welcome, the same Grant
+     twice (what a lease expiry after a lost Result produces), then
+     Shutdown. The worker must compute each chunk once and answer the
+     second Grant from its cache. *)
+  let coord_fd, worker_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close worker_fd;
+    let rd = Dist.Wire.reader coord_fd in
+    let send = Dist.Wire.send coord_fd in
+    let ok = ref true in
+    let rec wait_results n =
+      if n > 0 then
+        match Dist.Wire.recv rd with
+        | Some (Dist.Wire.Result _) -> wait_results (n - 1)
+        | Some (Dist.Wire.Hello _ | Dist.Wire.Heartbeat _) -> wait_results n
+        | Some _ | None -> ok := false
+    in
+    (match Dist.Wire.recv rd with
+     | Some (Dist.Wire.Hello _) -> ()
+     | _ -> ok := false);
+    send
+      (Dist.Wire.Welcome
+         {
+           config = Obs.Json.Obj [];
+           config_hash = "h";
+           epoch = 1;
+           total_chunks = 3;
+           telemetry = false;
+         });
+    send (Dist.Wire.Grant { lo_chunk = 0; hi_chunk = 3; epoch = 1 });
+    wait_results 3;
+    send (Dist.Wire.Grant { lo_chunk = 0; hi_chunk = 3; epoch = 1 });
+    wait_results 3;
+    send Dist.Wire.Shutdown;
+    (* drain the worker's final telemetry flush until EOF *)
+    (try
+       let rec drain () =
+         match Dist.Wire.recv rd with Some _ -> drain () | None -> ()
+       in
+       drain ()
+     with Dist.Wire.Protocol_error _ -> ());
+    Unix._exit (if !ok then 0 else 1)
+  | pid ->
+    Unix.close coord_fd;
+    let scans = ref 0 in
+    let runner _config =
+      Ok
+        {
+          Dist.Worker.scan =
+            (fun i ->
+              incr scans;
+              Obs.Json.Int i);
+          range = None;
+        }
+    in
+    let res =
+      Dist.Worker.run ~heartbeat_every:0.2 ~name:"cachetest" ~fd:worker_fd
+        ~runner ()
+    in
+    (try Unix.close worker_fd with Unix.Unix_error _ -> ());
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "worker ran to Shutdown" true (res = Ok ());
+    Alcotest.(check int) "each chunk computed exactly once" 3 !scans;
+    Alcotest.(check bool) "scripted coordinator satisfied" true
+      (status = Unix.WEXITED 0)
+
+(* -- The tentpole invariant end to end: randomized chaos x kill points -------- *)
+
+(* one plan and reference for all iterations; the prop varies the chaos
+   profile, its seed and the SIGKILL point. Every run forks 3 real
+   worker processes through the socketpair topology with deterministic
+   fault injection armed on both sides of every connection. *)
+let fork_chaos_plan = Busy_beaver.plan ~chunk:8 ~max_input:6 ~n:2 ()
+let fork_chaos_reference = Busy_beaver.scan ~chunk:8 ~max_input:6 ~n:2 ()
+
+let fork_chaos_kill_prop =
+  prop "chaos + SIGKILL through real forks stays byte-identical" ~count:100
+    QCheck.(
+      quad (int_range 0 100_000) (int_range 0 2) (int_range 0 2) (int_range 0 3))
+    (fun (seed, profile_idx, kill_worker, kill_after) ->
+      let profile =
+        chaos_profile (List.nth [ "lossy"; "corrupt"; "wild" ] profile_idx)
+      in
+      let o =
+        Distributed_scan.coordinate ~workers:3 ~heartbeat_timeout:0.35
+          ~chaos_kill:(kill_worker, kill_after)
+          ~chaos_net:{ Dist.Chaos.profile; seed } ~plan:fork_chaos_plan ()
+      in
+      result_eq o.Distributed_scan.result fork_chaos_reference
+      && not o.Distributed_scan.result.Busy_beaver.interrupted)
+
+(* -- Coordinator crash recovery with a live, reconnecting worker ------------- *)
+
+let test_coordinator_restart_recovery () =
+  with_temp_checkpoint (fun path ->
+      let plan = Busy_beaver.plan ~chunk:4 ~max_input:8 ~n:2 () in
+      let reference = Busy_beaver.scan ~chunk:4 ~max_input:8 ~n:2 () in
+      let serve_fd = Distributed_scan.listen ~port:0 () in
+      let port =
+        match Unix.getsockname serve_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "listen socket has no port"
+      in
+      (* first coordinator life: a forked process sharing the listening
+         fd, SIGKILLed once the ledger shows progress — the parent then
+         resumes on the very same socket, so the port never moves *)
+      let coord_pid =
+        match Unix.fork () with
+        | 0 ->
+          (try
+             ignore
+               (Distributed_scan.coordinate ~serve:serve_fd
+                  ~heartbeat_timeout:1.0 ~checkpoint:path
+                  ~checkpoint_every_chunks:1 ~checkpoint_every_s:0.05 ~plan ())
+           with _ -> ());
+          Unix._exit 0
+        | pid -> pid
+      in
+      let worker_pid =
+        match Unix.fork () with
+        | 0 ->
+          let r =
+            Distributed_scan.connect_worker ~name:"phoenix"
+              ~heartbeat_every:0.25 ~reconnect:true ~max_attempts:8
+              ~backoff_base:0.1 ~host:"127.0.0.1" ~port ()
+          in
+          Unix._exit (match r with Ok () -> 0 | Error _ -> 1)
+        | pid -> pid
+      in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec wait_progress () =
+        if Unix.gettimeofday () > deadline then `Timeout
+        else
+          match Obs.Checkpoint.load path with
+          | Ok c when Obs.Checkpoint.num_done c >= c.Obs.Checkpoint.total_chunks
+            ->
+            `Finished
+          | Ok c when Obs.Checkpoint.num_done c > 0 -> `Mid
+          | _ ->
+            Unix.sleepf 0.01;
+            wait_progress ()
+      in
+      let progress = wait_progress () in
+      Alcotest.(check bool) "ledger showed progress before the kill" true
+        (progress <> `Timeout);
+      Unix.kill coord_pid Sys.sigkill;
+      ignore (Unix.waitpid [] coord_pid);
+      (* second life: adopt the ledger, bump the epoch, finish the scan
+         with the worker that reconnects mid-flight *)
+      let o =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close serve_fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Distributed_scan.coordinate ~serve:serve_fd ~heartbeat_timeout:1.0
+              ~checkpoint:path ~checkpoint_every_chunks:1 ~resume:true ~plan ())
+      in
+      let _, _wstatus = Unix.waitpid [] worker_pid in
+      Alcotest.(check bool) "merged result identical across the crash" true
+        (result_eq o.Distributed_scan.result reference);
+      Alcotest.(check bool) "recovery run completed" true
+        (not o.Distributed_scan.result.Busy_beaver.interrupted);
+      match Obs.Checkpoint.load path with
+      | Ok c ->
+        Alcotest.(check bool) "second adoption bumped the epoch" true
+          (Obs.Checkpoint.epoch c >= 2)
+      | Error e -> Alcotest.fail e)
+
 let () =
   Alcotest.run "dist"
     [
@@ -656,6 +1132,32 @@ let () =
             test_wire_unknown_kind;
           wire_unknown_fields_prop;
           wire_fragmentation_prop;
+        ] );
+      ( "wire-v3",
+        [
+          Alcotest.test_case "crc32 test vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "send writes canonical v3 frames" `Quick
+            test_wire_send_writes_v3_frames;
+          Alcotest.test_case "v3 frames round-trip" `Quick
+            test_wire_v3_roundtrip;
+          Alcotest.test_case "corrupt frames counted and skipped" `Quick
+            test_wire_corrupt_frames_skipped;
+          Alcotest.test_case "CRC-valid garbage payload raises" `Quick
+            test_wire_valid_crc_bad_json_raises;
+          Alcotest.test_case "v1/v2 byte streams still decode" `Quick
+            test_wire_v2_bytes_still_decode;
+          Alcotest.test_case "bare garbage: strict pre-v3, lenient after"
+            `Quick test_wire_garbage_strict_then_lenient;
+          Alcotest.test_case "select_eintr rides out signals" `Quick
+            test_select_eintr_rides_signals;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "parse_spec accepts PROFILE[:SEED]" `Quick
+            test_chaos_parse_spec;
+          chaos_determinism_prop;
+          Alcotest.test_case "finite budget, then passthrough" `Quick
+            test_chaos_budget_bounds_faults;
         ] );
       ( "telemetry",
         [
@@ -675,8 +1177,18 @@ let () =
             test_lease_fail_worker_reclaims;
           Alcotest.test_case "expiry spares idle workers" `Quick
             test_lease_expire_only_leaseholders;
+          Alcotest.test_case "expiry is progress-based" `Quick
+            test_lease_expiry_is_progress_based;
+          Alcotest.test_case "beat age tracks liveness" `Quick
+            test_lease_beat_age;
           Alcotest.test_case "duplicate completion detected" `Quick
             test_lease_duplicate_complete;
+          Alcotest.test_case "same-tick grant+complete is progress" `Quick
+            test_lease_same_tick_grant_complete;
+          Alcotest.test_case "expiry racing a late Result" `Quick
+            test_lease_expiry_races_duplicate_result;
+          Alcotest.test_case "grant sizing when todo < workers" `Quick
+            test_lease_grant_sizing_small_todo;
         ] );
       ( "ledger",
         [
@@ -696,5 +1208,13 @@ let () =
             test_fork_checkpoint_epochs;
           Alcotest.test_case "fleet telemetry over fork workers" `Quick
             test_fork_telemetry;
+          Alcotest.test_case "cached chunk states resend, not redo" `Quick
+            test_worker_cache_resends;
+        ] );
+      ( "chaos-e2e",
+        [
+          fork_chaos_kill_prop;
+          Alcotest.test_case "coordinator SIGKILL, resume, rejoin" `Quick
+            test_coordinator_restart_recovery;
         ] );
     ]
